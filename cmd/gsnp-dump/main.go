@@ -1,0 +1,116 @@
+// Command gsnp-dump decompresses GSNP output containers — the
+// decompression tool of Section V-B. It converts the compressed result
+// back to the 17-column text format, optionally filtering to SNP rows.
+//
+// Usage:
+//
+//	gsnp-dump result.gsnp                 # full table to stdout
+//	gsnp-dump -snps result.gsnp           # non-reference calls only
+//	gsnp-dump -head 10 -stats result.gsnp
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"gsnp/internal/snpio"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "gsnp-dump:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		snpsOnly = flag.Bool("snps", false, "print only non-reference calls")
+		head     = flag.Int("head", 0, "print at most N rows (0 = all)")
+		stats    = flag.Bool("stats", false, "print container statistics to stderr")
+		vcf      = flag.Bool("vcf", false, "emit variants as VCFv4.2 instead of the 17-column table")
+		minQual  = flag.Int("min-quality", 0, "drop SNP calls below this consensus quality")
+		minDepth = flag.Int("min-depth", 0, "drop SNP calls below this depth")
+		minRank  = flag.Float64("min-ranksum", 0, "drop heterozygous calls with rank-sum p below this (allele-bias filter)")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		return fmt.Errorf("exactly one input file required")
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	br := snpio.NewBlockReader(f)
+	var write func(*snpio.Row) error
+	var flush func() error
+	if *vcf {
+		vw := snpio.NewVCFWriter(os.Stdout)
+		write, flush = vw.Write, vw.Flush
+	} else {
+		out := snpio.NewResultWriter(os.Stdout)
+		write, flush = out.Write, out.Flush
+	}
+	// keep applies the quality filters to SNP rows (non-SNP rows pass:
+	// the filters judge calls, not coverage gaps).
+	keep := func(r *snpio.Row) bool {
+		if !r.IsSNP() {
+			return true
+		}
+		if int(r.Quality) < *minQual || int(r.Depth) < *minDepth {
+			return false
+		}
+		if *minRank > 0 && r.SecondBase != 'N' && r.RankSumP < *minRank {
+			return false
+		}
+		return true
+	}
+
+	var blocks, rows, snps, filtered, printed int64
+	for {
+		blk, err := br.NextBlock()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		blocks++
+		for i := range blk {
+			rows++
+			if blk[i].IsSNP() {
+				snps++
+				if !keep(&blk[i]) {
+					filtered++
+					continue
+				}
+			} else if *snpsOnly || *vcf {
+				continue
+			}
+			if *head > 0 && printed >= int64(*head) {
+				continue
+			}
+			if err := write(&blk[i]); err != nil {
+				return err
+			}
+			printed++
+		}
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+	if *stats {
+		info, err := f.Stat()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "%s: %d blocks, %d rows, %d SNPs (%d filtered out), %d compressed bytes (%.1f bits/site)\n",
+			flag.Arg(0), blocks, rows, snps, filtered, info.Size(), 8*float64(info.Size())/float64(rows))
+	}
+	return nil
+}

@@ -1,0 +1,76 @@
+// Command gsnp-experiments regenerates the tables and figures of the
+// paper's evaluation (Section VI) on scaled synthetic workloads.
+//
+// Usage:
+//
+//	gsnp-experiments -exp all                 # every table and figure
+//	gsnp-experiments -exp table4,fig5         # a subset
+//	gsnp-experiments -list                    # show experiment ids
+//	gsnp-experiments -exp all -scale 250 -o report.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"gsnp/internal/harness"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "gsnp-experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		exp   = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
+		scale = flag.Int("scale", harness.DefaultScale().SitesPerMb, "sites per real megabase")
+		seed  = flag.Int64("seed", harness.DefaultScale().Seed, "data generation seed")
+		out   = flag.String("o", "", "write the report to a file instead of stdout")
+		list  = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range harness.IDs() {
+			fmt.Println(id)
+		}
+		return nil
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+
+	ids := harness.IDs()
+	if *exp != "all" {
+		ids = strings.Split(*exp, ",")
+	}
+
+	s := harness.NewSession(harness.Scale{SitesPerMb: *scale, Seed: *seed})
+	fmt.Fprintf(w, "GSNP reproduction report — scale %d sites/Mb, seed %d, %s\n\n",
+		*scale, *seed, time.Now().Format(time.RFC3339))
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		start := time.Now()
+		res, err := s.Run(id)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, res.Format())
+		fmt.Fprintf(w, "(%s completed in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}

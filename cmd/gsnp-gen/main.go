@@ -1,0 +1,156 @@
+// Command gsnp-gen generates synthetic SNP-calling workloads: a reference
+// FASTA, a position-sorted SOAP alignment file, a known-SNP prior file and
+// a ground-truth variant list. It substitutes for the operational
+// sequencing data of the paper's evaluation.
+//
+// Usage:
+//
+//	gsnp-gen -out data/ -chr chr21 -scale 250 [-seed N]     # one chromosome
+//	gsnp-gen -out data/ -genome -scale 100 [-seed N]        # all 24
+//	gsnp-gen -out data/ -sites 500000 -depth 11 [-seed N]   # custom size
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"gsnp/internal/align"
+	"gsnp/internal/bayes"
+	"gsnp/internal/seqsim"
+	"gsnp/internal/snpio"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "gsnp-gen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		outDir = flag.String("out", ".", "output directory")
+		chr    = flag.String("chr", "", "single chromosome name (chr1..chr22, chrX, chrY)")
+		genome = flag.Bool("genome", false, "generate all 24 chromosomes")
+		scale  = flag.Int("scale", 250, "sites per real megabase")
+		sites  = flag.Int("sites", 0, "custom chromosome length in sites (overrides -chr/-genome)")
+		depth  = flag.Float64("depth", 10, "sequencing depth for -sites mode")
+		seed   = flag.Int64("seed", 20110607, "generation seed")
+		fastq  = flag.Bool("fastq", false, "also write the raw reads as FASTQ (for gsnp-align)")
+	)
+	flag.Parse()
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		return err
+	}
+
+	var specs []seqsim.ChromosomeSpec
+	switch {
+	case *sites > 0:
+		specs = []seqsim.ChromosomeSpec{{
+			Name: "chrSim", Length: *sites, Depth: *depth, MaskFraction: 0.12, Seed: *seed,
+		}}
+	case *genome:
+		specs = seqsim.ScaledHumanGenome(*scale, *seed)
+	case *chr != "":
+		for _, s := range seqsim.ScaledHumanGenome(*scale, *seed) {
+			if s.Name == *chr {
+				specs = []seqsim.ChromosomeSpec{s}
+			}
+		}
+		if len(specs) == 0 {
+			return fmt.Errorf("unknown chromosome %q", *chr)
+		}
+	default:
+		flag.Usage()
+		return fmt.Errorf("one of -chr, -genome or -sites is required")
+	}
+
+	for _, spec := range specs {
+		if err := writeDataset(*outDir, spec, *fastq); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeDataset(dir string, spec seqsim.ChromosomeSpec, fastq bool) error {
+	ds := seqsim.BuildDataset(spec)
+	st := ds.Stats()
+	fmt.Printf("%s: %v\n", spec.Name, st)
+
+	// Reference FASTA.
+	if err := withFile(filepath.Join(dir, spec.Name+".fa"), func(f *os.File) error {
+		return snpio.WriteFASTA(f, snpio.FASTARecord{Name: spec.Name, Seq: ds.Ref.Seq})
+	}); err != nil {
+		return err
+	}
+
+	// SOAP alignment.
+	if err := withFile(filepath.Join(dir, spec.Name+".soap"), func(f *os.File) error {
+		return snpio.WriteSOAP(f, spec.Name, ds.Reads)
+	}); err != nil {
+		return err
+	}
+
+	// Known-SNP prior file.
+	known := snpio.KnownSNPs{}
+	for _, v := range ds.Diploid.Variants {
+		if !v.Known {
+			continue
+		}
+		a1, a2 := v.Genotype.Alleles()
+		rec := &bayes.KnownSNP{Validated: true}
+		rec.Freq[a1] += 0.5
+		rec.Freq[a2] += 0.5
+		known[v.Pos] = rec
+	}
+	if err := withFile(filepath.Join(dir, spec.Name+".snp"), func(f *os.File) error {
+		return snpio.WriteKnownSNPs(f, spec.Name, known)
+	}); err != nil {
+		return err
+	}
+
+	// Raw reads in FASTQ for the aligner stage.
+	if fastq {
+		raws := make([]align.RawRead, len(ds.Reads))
+		for i := range ds.Reads {
+			raws[i] = align.RawFromAligned(&ds.Reads[i])
+		}
+		if err := withFile(filepath.Join(dir, spec.Name+".fq"), func(f *os.File) error {
+			return snpio.WriteFASTQ(f, raws)
+		}); err != nil {
+			return err
+		}
+	}
+
+	// Ground truth (not a pipeline input; for accuracy evaluation).
+	return withFile(filepath.Join(dir, spec.Name+".truth"), func(f *os.File) error {
+		bw := bufio.NewWriter(f)
+		for _, v := range ds.Diploid.Variants {
+			k := 0
+			if v.Known {
+				k = 1
+			}
+			if _, err := fmt.Fprintf(bw, "%s\t%d\t%c\t%c\t%d\n",
+				spec.Name, v.Pos+1, v.Ref.Byte(), v.Genotype.IUPAC(), k); err != nil {
+				return err
+			}
+		}
+		return bw.Flush()
+	})
+}
+
+func withFile(path string, f func(*os.File) error) error {
+	file, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := f(file); err != nil {
+		file.Close()
+		return err
+	}
+	return file.Close()
+}

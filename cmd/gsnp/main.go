@@ -1,0 +1,262 @@
+// Command gsnp calls SNPs from an alignment file, a FASTA reference and an
+// optional known-SNP prior file — the command-line equivalent of SOAPsnp,
+// with three engines:
+//
+//	-engine soapsnp    the dense CPU baseline (Algorithms 1-2 of the paper)
+//	-engine gsnp-cpu   the sparse algorithm on the CPU (GSNP_CPU)
+//	-engine gsnp-gpu   the full GSNP pipeline on the simulated GPU
+//
+// Usage:
+//
+//	gsnp -ref ref.fa -aln reads.soap [-snp known.snp] -out result.txt \
+//	     [-engine gsnp-gpu] [-format soap|sam] [-window N] [-compress] [-stats]
+//
+// Whole-genome mode processes a directory of per-chromosome files (the
+// production layout of the paper's evaluation: 24 separate sequence
+// files), calling each <name>.fa against <name>.soap (+ optional
+// <name>.snp) and writing <name>.result[.gsnp]:
+//
+//	gsnp -genome-dir data/ [-engine gsnp-gpu] [-compress] [-stats]
+package main
+
+import (
+	"compress/gzip"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"gsnp/internal/gpu"
+	"gsnp/internal/gsnp"
+	"gsnp/internal/pipeline"
+	"gsnp/internal/reads"
+	"gsnp/internal/snpio"
+	"gsnp/internal/soapsnp"
+)
+
+// options carries the parsed command line.
+type options struct {
+	engine   string
+	format   string
+	window   int
+	compress bool
+	stats    bool
+	device   *gpu.Device
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "gsnp:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		refPath   = flag.String("ref", "", "reference FASTA file")
+		alnPath   = flag.String("aln", "", "alignment file")
+		format    = flag.String("format", "soap", "alignment format: soap or sam")
+		snpPath   = flag.String("snp", "", "known-SNP prior file (optional)")
+		outPath   = flag.String("out", "", "output file ('-' or empty for stdout)")
+		genomeDir = flag.String("genome-dir", "", "process every <chr>.fa/<chr>.soap pair in a directory")
+		engine    = flag.String("engine", "gsnp-gpu", "engine: soapsnp, gsnp-cpu or gsnp-gpu")
+		window    = flag.Int("window", 0, "sites per window (0 = engine default)")
+		compress  = flag.Bool("compress", false, "write the GSNP compressed container (gsnp engines only)")
+		stats     = flag.Bool("stats", false, "print per-component timing to stderr")
+	)
+	flag.Parse()
+
+	opts := options{engine: *engine, format: *format, window: *window, compress: *compress, stats: *stats}
+	switch opts.engine {
+	case "soapsnp":
+		if opts.compress {
+			return fmt.Errorf("-compress requires a gsnp engine")
+		}
+	case "gsnp-cpu":
+	case "gsnp-gpu":
+		opts.device = gpu.NewDevice(gpu.M2050())
+	default:
+		return fmt.Errorf("unknown engine %q", opts.engine)
+	}
+	if opts.format != "soap" && opts.format != "sam" {
+		return fmt.Errorf("unknown alignment format %q", opts.format)
+	}
+
+	if *genomeDir != "" {
+		return runGenome(*genomeDir, opts)
+	}
+	if *refPath == "" || *alnPath == "" {
+		flag.Usage()
+		return fmt.Errorf("-ref and -aln are required (or use -genome-dir)")
+	}
+
+	var out io.Writer = os.Stdout
+	if *outPath != "" && *outPath != "-" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	return callOne(*refPath, *alnPath, *snpPath, out, opts)
+}
+
+// runGenome processes every chromosome of a directory, the 24-file
+// production layout of the paper.
+func runGenome(dir string, opts options) error {
+	fas, err := filepath.Glob(filepath.Join(dir, "*.fa"))
+	if err != nil {
+		return err
+	}
+	if len(fas) == 0 {
+		return fmt.Errorf("no .fa files in %s", dir)
+	}
+	sort.Strings(fas)
+	suffix := ".result"
+	if opts.compress {
+		suffix = ".result.gsnp"
+	}
+	for _, fa := range fas {
+		base := strings.TrimSuffix(fa, ".fa")
+		aln := base + "." + opts.format
+		if opts.format == "soap" {
+			aln = base + ".soap"
+		}
+		if _, err := os.Stat(aln); err != nil {
+			fmt.Fprintf(os.Stderr, "gsnp: skipping %s: no alignment file %s\n", fa, aln)
+			continue
+		}
+		snp := base + ".snp"
+		if _, err := os.Stat(snp); err != nil {
+			snp = ""
+		}
+		outPath := base + suffix
+		f, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		err = callOne(fa, aln, snp, f, opts)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("%s: %w", fa, err)
+		}
+		fmt.Fprintf(os.Stderr, "gsnp: %s -> %s\n", filepath.Base(fa), filepath.Base(outPath))
+	}
+	return nil
+}
+
+// callOne runs one chromosome through the selected engine.
+func callOne(refPath, alnPath, snpPath string, out io.Writer, opts options) error {
+	refFile, err := os.Open(refPath)
+	if err != nil {
+		return err
+	}
+	recs, err := snpio.ReadFASTA(refFile)
+	refFile.Close()
+	if err != nil {
+		return err
+	}
+	if len(recs) != 1 {
+		return fmt.Errorf("reference must hold exactly one sequence, found %d", len(recs))
+	}
+	ref := recs[0]
+
+	var known snpio.KnownSNPs
+	if snpPath != "" {
+		f, err := os.Open(snpPath)
+		if err != nil {
+			return err
+		}
+		all, err := snpio.ReadKnownSNPs(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		known = all[ref.Name]
+	}
+
+	// The pipeline reads its input twice (cal_p_matrix, then the windowed
+	// pass); the source reopens the alignment file per pass. Files ending
+	// in .gz are decompressed transparently.
+	src := pipeline.FuncSource(func() (pipeline.ReadIter, error) {
+		f, err := os.Open(alnPath)
+		if err != nil {
+			return nil, err
+		}
+		var r io.Reader = f
+		if strings.HasSuffix(alnPath, ".gz") {
+			zr, err := gzip.NewReader(f)
+			if err != nil {
+				f.Close()
+				return nil, err
+			}
+			r = zr
+		}
+		if opts.format == "sam" {
+			return &fileIter{f: f, it: snpio.NewSAMReader(r)}, nil
+		}
+		return &fileIter{f: f, it: snpio.NewSOAPReader(r)}, nil
+	})
+
+	switch opts.engine {
+	case "soapsnp":
+		eng := soapsnp.New(soapsnp.Config{Chr: ref.Name, Ref: ref.Seq, Known: known, Window: opts.window})
+		rep, err := eng.Run(src, out)
+		if err != nil {
+			return err
+		}
+		if opts.stats {
+			fmt.Fprintf(os.Stderr, "soapsnp: %d sites, %d SNPs, mean depth %.1fX\n%v\n",
+				rep.Sites, rep.SNPs, rep.MeanDepth, rep.Times)
+		}
+	case "gsnp-cpu", "gsnp-gpu":
+		cfg := gsnp.Config{
+			Chr: ref.Name, Ref: ref.Seq, Known: known,
+			Window: opts.window, CompressOutput: opts.compress,
+		}
+		if opts.device != nil {
+			cfg.Mode = gsnp.ModeGPU
+			cfg.Device = opts.device
+		} else {
+			cfg.Mode = gsnp.ModeCPU
+		}
+		eng, err := gsnp.New(cfg)
+		if err != nil {
+			return err
+		}
+		rep, err := eng.Run(src, out)
+		if err != nil {
+			return err
+		}
+		if opts.stats {
+			fmt.Fprintf(os.Stderr, "%s: %d sites, %d SNPs, mean depth %.1fX, %d output bytes\n%v\n",
+				opts.engine, rep.Sites, rep.SNPs, rep.MeanDepth, rep.OutputBytes, rep.Times)
+			if cfg.Device != nil {
+				fmt.Fprintf(os.Stderr, "\nsimulated device profile (%s):\n%s",
+					cfg.Device.Config().Name, cfg.Device.FormatProfile())
+			}
+		}
+	}
+	return nil
+}
+
+// fileIter adapts an alignment reader over an open file to
+// pipeline.ReadIter, closing the file at EOF.
+type fileIter struct {
+	f  *os.File
+	it pipeline.ReadIter
+}
+
+func (it *fileIter) Next() (reads.AlignedRead, error) {
+	r, err := it.it.Next()
+	if err == io.EOF {
+		it.f.Close()
+	}
+	return r, err
+}

@@ -1,0 +1,46 @@
+package gsnp_test
+
+import (
+	"bytes"
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestExamplesRun executes the faster runnable examples end to end so the
+// documented entry points cannot rot. The wholegenome example is exercised
+// at reduced scale via its -scale flag.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("example smoke tests in -short mode")
+	}
+	cases := []struct {
+		name string
+		args []string
+		want []string
+	}{
+		{"quickstart", nil, []string{"called", "vs ground truth"}},
+		{"compression", nil, []string{"GSNP container", "decompressed"}},
+		{"sortlab", nil, []string{"bitonic MP", "per-array GPU radix"}},
+		{"fullpipeline", nil, []string{"aligned", "ground truth"}},
+		{"wholegenome", []string{"-scale", "5"}, []string{"whole genome", "speedup"}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			args := append([]string{"run", "./examples/" + tc.name}, tc.args...)
+			cmd := exec.Command("go", args...)
+			var out bytes.Buffer
+			cmd.Stdout = &out
+			cmd.Stderr = &out
+			if err := cmd.Run(); err != nil {
+				t.Fatalf("example failed: %v\n%s", err, out.String())
+			}
+			for _, want := range tc.want {
+				if !strings.Contains(out.String(), want) {
+					t.Errorf("output missing %q:\n%s", want, out.String())
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,3 @@
+module gsnp
+
+go 1.22

@@ -1,0 +1,177 @@
+package align
+
+import (
+	"testing"
+
+	"gsnp/internal/dna"
+	"gsnp/internal/reads"
+	"gsnp/internal/seqsim"
+)
+
+func TestBuildIndexErrors(t *testing.T) {
+	ref, _ := dna.ParseSequence("ACGTACGT")
+	if _, err := BuildIndex(ref, 32); err == nil {
+		t.Error("k=32 accepted")
+	}
+	if _, err := BuildIndex(ref[:3], 16); err == nil {
+		t.Error("reference shorter than k accepted")
+	}
+	long, _ := dna.ParseSequence("ACGTACGTACGTACGTACGTACGT")
+	ix, err := BuildIndex(long, 0)
+	if err != nil {
+		t.Fatalf("default k rejected: %v", err)
+	}
+	if ix.K() != DefaultK {
+		t.Errorf("K = %d", ix.K())
+	}
+}
+
+func TestAlignExactForward(t *testing.T) {
+	ref := seqsim.GenerateReference(seqsim.GenomeSpec{Name: "r", Length: 5000, Seed: 1}).Seq
+	ix, err := BuildIndex(ref, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	read := append(dna.Sequence(nil), ref[1234:1334]...)
+	hits := ix.Align(read, 2)
+	if len(hits) == 0 {
+		t.Fatal("exact read not aligned")
+	}
+	if hits[0].Pos != 1234 || hits[0].Strand != 0 || hits[0].Mismatches != 0 {
+		t.Errorf("best hit = %+v, want pos 1234 forward exact", hits[0])
+	}
+}
+
+func TestAlignReverseStrand(t *testing.T) {
+	ref := seqsim.GenerateReference(seqsim.GenomeSpec{Name: "r", Length: 5000, Seed: 2}).Seq
+	ix, _ := BuildIndex(ref, 16)
+	read := dna.Sequence(ref[700:800]).ReverseComplement()
+	hits := ix.Align(read, 2)
+	if len(hits) == 0 {
+		t.Fatal("reverse read not aligned")
+	}
+	if hits[0].Pos != 700 || hits[0].Strand != 1 {
+		t.Errorf("best hit = %+v, want pos 700 reverse", hits[0])
+	}
+}
+
+func TestAlignWithMismatches(t *testing.T) {
+	ref := seqsim.GenerateReference(seqsim.GenomeSpec{Name: "r", Length: 5000, Seed: 3}).Seq
+	ix, _ := BuildIndex(ref, 16)
+	read := append(dna.Sequence(nil), ref[2000:2100]...)
+	read[50] = read[50] ^ 1 // one mismatch in the middle
+	read[90] = read[90] ^ 2 // another in the tail
+	hits := ix.Align(read, 2)
+	if len(hits) == 0 {
+		t.Fatal("2-mismatch read not aligned")
+	}
+	if hits[0].Pos != 2000 || hits[0].Mismatches != 2 {
+		t.Errorf("best hit = %+v", hits[0])
+	}
+	// With budget 1, the placement is rejected.
+	hits = ix.Align(read, 1)
+	for _, h := range hits {
+		if h.Pos == 2000 && h.Strand == 0 {
+			t.Error("over-budget placement returned")
+		}
+	}
+}
+
+func TestAlignRepeatRegionMultiHit(t *testing.T) {
+	// A reference with an exact repeated segment: reads from it must
+	// report Hits > 1.
+	base := seqsim.GenerateReference(seqsim.GenomeSpec{Name: "r", Length: 3000, Seed: 4}).Seq
+	ref := append(dna.Sequence(nil), base...)
+	copy(ref[2000:2100], ref[500:600]) // plant the repeat
+	ix, _ := BuildIndex(ref, 16)
+	raws := []RawRead{{ID: 1, Seq: append(dna.Sequence(nil), ref[500:600]...), Quals: make([]dna.Quality, 100)}}
+	out := AlignReads(ix, raws, 2)
+	if len(out) != 1 {
+		t.Fatal("repeat read unmapped")
+	}
+	if out[0].Hits < 2 {
+		t.Errorf("repeat read Hits = %d, want >= 2", out[0].Hits)
+	}
+}
+
+func TestAlignReadsEndToEnd(t *testing.T) {
+	// Simulate reads, strip their placements, re-align, and compare with
+	// the simulator's ground truth.
+	ref := seqsim.GenerateReference(seqsim.GenomeSpec{Name: "r", Length: 60000, Seed: 5})
+	dip := seqsim.MakeDiploid(ref, seqsim.DefaultDiploidSpec(6))
+	spec := seqsim.DefaultReadSpec(6, 7)
+	spec.MaskFraction = 0
+	spec.HotspotRate = 0
+	truth, _ := seqsim.SampleReads(dip, spec)
+
+	raws := make([]RawRead, len(truth))
+	truthPos := map[int64]int{}
+	truthStrand := map[int64]uint8{}
+	for i := range truth {
+		raws[i] = RawFromAligned(&truth[i])
+		truthPos[truth[i].ID] = truth[i].Pos
+		truthStrand[truth[i].ID] = truth[i].Strand
+	}
+
+	ix, err := BuildIndex(ref.Seq, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aligned := AlignReads(ix, raws, 2)
+
+	mapped := len(aligned)
+	correct := 0
+	for i := range aligned {
+		a := &aligned[i]
+		if truthPos[a.ID] == a.Pos && truthStrand[a.ID] == a.Strand {
+			correct++
+		}
+		if i > 0 && aligned[i-1].Pos > a.Pos {
+			t.Fatal("aligner output not position sorted")
+		}
+	}
+	mapRate := float64(mapped) / float64(len(truth))
+	accuracy := float64(correct) / float64(mapped)
+	if mapRate < 0.9 {
+		t.Errorf("map rate = %.2f, want >= 0.9 (2%% error reads, 2-mismatch budget)", mapRate)
+	}
+	if accuracy < 0.97 {
+		t.Errorf("placement accuracy = %.3f, want >= 0.97", accuracy)
+	}
+	t.Logf("mapped %.1f%%, placed correctly %.1f%%", 100*mapRate, 100*accuracy)
+}
+
+func TestRawFromAlignedRoundTrip(t *testing.T) {
+	seq, _ := dna.ParseSequence("ACGTT")
+	r := reads.AlignedRead{
+		ID: 9, Pos: 3, Strand: 1,
+		Bases: seq,
+		Quals: []dna.Quality{1, 2, 3, 4, 5},
+	}
+	raw := RawFromAligned(&r)
+	if raw.Seq.String() != "AACGT" {
+		t.Errorf("raw seq = %s, want AACGT", raw.Seq)
+	}
+	if raw.Quals[0] != 5 || raw.Quals[4] != 1 {
+		t.Errorf("raw quals = %v", raw.Quals)
+	}
+	// Forward reads copy through unchanged.
+	r.Strand = 0
+	raw = RawFromAligned(&r)
+	if raw.Seq.String() != seq.String() || raw.Quals[0] != 1 {
+		t.Error("forward conversion altered the read")
+	}
+}
+
+func TestUnmappableReadDropped(t *testing.T) {
+	ref := seqsim.GenerateReference(seqsim.GenomeSpec{Name: "r", Length: 2000, Seed: 8}).Seq
+	ix, _ := BuildIndex(ref, 16)
+	junk := make(dna.Sequence, 100)
+	for i := range junk {
+		junk[i] = dna.Base(i % 4)
+	}
+	out := AlignReads(ix, []RawRead{{ID: 1, Seq: junk, Quals: make([]dna.Quality, 100)}}, 2)
+	if len(out) != 0 {
+		t.Errorf("junk read aligned: %+v", out)
+	}
+}

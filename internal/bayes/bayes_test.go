@@ -1,0 +1,378 @@
+package bayes
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"gsnp/internal/dna"
+)
+
+func TestBaseOccIndexRoundTrip(t *testing.T) {
+	f := func(b, q, c, s uint8) bool {
+		base := dna.Base(b & 3)
+		score := dna.Quality(q & (NQ - 1))
+		coord := int(c) // 0..255
+		strand := int(s & 1)
+		idx := BaseOccIndex(base, score, coord, strand)
+		if idx < 0 || idx >= BaseOccSize {
+			return false
+		}
+		b2, q2, c2, s2 := BaseOccDecompose(idx)
+		return b2 == base && q2 == score && c2 == coord && s2 == strand
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBaseOccIndexDense(t *testing.T) {
+	// Every (base,score,coord,strand) tuple maps to a distinct index and
+	// the full space is covered exactly.
+	seen := make([]bool, BaseOccSize)
+	n := 0
+	for b := dna.Base(0); b < 4; b++ {
+		for q := dna.Quality(0); q < NQ; q++ {
+			for c := 0; c < MaxReadLen; c++ {
+				for s := 0; s < NStrands; s++ {
+					idx := BaseOccIndex(b, q, c, s)
+					if seen[idx] {
+						t.Fatalf("collision at %d", idx)
+					}
+					seen[idx] = true
+					n++
+				}
+			}
+		}
+	}
+	if n != BaseOccSize {
+		t.Fatalf("covered %d of %d", n, BaseOccSize)
+	}
+}
+
+func TestPMatrixIndexBounds(t *testing.T) {
+	max := PMatrixIndex(NQ-1, MaxReadLen-1, 3, 3)
+	if max != PMatrixSize-1 {
+		t.Errorf("max p_matrix index = %d, want %d", max, PMatrixSize-1)
+	}
+	if PMatrixIndex(0, 0, 0, 0) != 0 {
+		t.Error("zero index wrong")
+	}
+}
+
+func TestNewPMatrixIndexBounds(t *testing.T) {
+	max := NewPMatrixIndex(NQ-1, MaxReadLen-1, 3, dna.NGenotypes-1)
+	if max != NewPMatrixSize-1 {
+		t.Errorf("max new_p_matrix index = %d, want %d", max, NewPMatrixSize-1)
+	}
+}
+
+func TestLogTable(t *testing.T) {
+	lt := BuildLogTable()
+	if lt[1] != 0 {
+		t.Error("log10(1) != 0")
+	}
+	if lt[10] != 1 {
+		t.Error("log10(10) != 1")
+	}
+	if math.Abs(lt[64]-math.Log10(64)) > 1e-15 {
+		t.Error("log10(64) wrong")
+	}
+	if lt[0] != 0 {
+		t.Error("guard entry not zero")
+	}
+}
+
+func TestAdjustTable(t *testing.T) {
+	at := BuildAdjustTable(BuildLogTable())
+	if at[0] != 0 {
+		t.Errorf("penalty for first observation = %d, want 0", at[0])
+	}
+	if at[1] != 3 { // round(10*log10(2)) = 3
+		t.Errorf("penalty for one stacked observation = %d, want 3", at[1])
+	}
+	if at[9] != 10 { // round(10*log10(10)) = 10
+		t.Errorf("penalty[9] = %d, want 10", at[9])
+	}
+	// Monotone non-decreasing.
+	for d := 1; d < NQ; d++ {
+		if at[d] < at[d-1] {
+			t.Fatalf("penalty not monotone at %d", d)
+		}
+	}
+}
+
+func TestAdjust(t *testing.T) {
+	at := BuildAdjustTable(BuildLogTable())
+	if got := at.Adjust(40, 1); got != 40 {
+		t.Errorf("first observation adjusted: %d", got)
+	}
+	if got := at.Adjust(40, 2); got != 37 {
+		t.Errorf("second observation = %d, want 37", got)
+	}
+	if got := at.Adjust(3, 50); got != 0 {
+		t.Errorf("underflow not clamped: %d", got)
+	}
+	if got := at.Adjust(40, 0); got != 40 {
+		t.Errorf("zero depCount mishandled: %d", got)
+	}
+	if got := at.Adjust(63, 60000); got > 63 {
+		t.Errorf("huge depCount overflowed: %d", got)
+	}
+}
+
+func TestPhredPMatrix(t *testing.T) {
+	p := NewPMatrixFromPhred()
+	// Q30: error 1e-3.
+	if got := p.At(30, 17, dna.A, dna.A); math.Abs(got-0.999) > 1e-9 {
+		t.Errorf("P(A|A,Q30) = %v", got)
+	}
+	if got := p.At(30, 17, dna.A, dna.C); math.Abs(got-1e-3/3) > 1e-12 {
+		t.Errorf("P(C|A,Q30) = %v", got)
+	}
+	// Rows sum to ~1.
+	for _, q := range []dna.Quality{0, 13, 40, 63} {
+		var sum float64
+		for b := dna.Base(0); b < 4; b++ {
+			sum += p.At(q, 5, dna.G, b)
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("row sum at q=%d is %v", q, sum)
+		}
+	}
+}
+
+func TestCalibrationPureCountsDominate(t *testing.T) {
+	c := NewCalibration()
+	// Feed a strongly skewed signal: at (q=20, coord=3, ref=A) the machine
+	// actually miscalls to C 10% of the time.
+	for i := 0; i < 90000; i++ {
+		c.Observe(20, 3, dna.A, dna.A)
+	}
+	for i := 0; i < 10000; i++ {
+		c.Observe(20, 3, dna.A, dna.C)
+	}
+	if c.Observations() != 100000 {
+		t.Fatalf("Observations = %d", c.Observations())
+	}
+	p := c.Build()
+	if got := p.At(20, 3, dna.A, dna.C); math.Abs(got-0.1) > 0.01 {
+		t.Errorf("calibrated P(C|A) = %v, want ~0.1", got)
+	}
+	if got := p.At(20, 3, dna.A, dna.A); math.Abs(got-0.9) > 0.01 {
+		t.Errorf("calibrated P(A|A) = %v, want ~0.9", got)
+	}
+	// An unexercised row falls back to the Phred model.
+	if got := p.At(50, 100, dna.T, dna.T); math.Abs(got-(1-dna.Quality(50).ErrorProbability())) > 1e-9 {
+		t.Errorf("empty row P(T|T,Q50) = %v", got)
+	}
+}
+
+func TestCalibrationMerge(t *testing.T) {
+	a, b := NewCalibration(), NewCalibration()
+	a.Observe(10, 0, dna.A, dna.A)
+	b.Observe(10, 0, dna.A, dna.A)
+	b.Observe(12, 5, dna.C, dna.G)
+	a.Merge(b)
+	if a.Observations() != 3 {
+		t.Errorf("merged observations = %d, want 3", a.Observations())
+	}
+}
+
+func TestNewPMatrixMatchesLikelyUpdate(t *testing.T) {
+	// The precomputed table must agree exactly with the runtime Algorithm 2
+	// computation — this is the Section IV-G consistency property.
+	p := NewPMatrixFromPhred()
+	np := BuildNewPMatrix(p)
+	for _, q := range []dna.Quality{0, 7, 31, 63} {
+		for _, coord := range []int{0, 1, 99, 255} {
+			for base := dna.Base(0); base < 4; base++ {
+				for rank := 0; rank < dna.NGenotypes; rank++ {
+					g := dna.GenotypeByRank(rank)
+					a1, a2 := g.Alleles()
+					want := LikelyUpdate(p, q, coord, base, a1, a2)
+					got := np.At(q, coord, base, rank)
+					if got != want {
+						t.Fatalf("q=%d coord=%d base=%v rank=%d: table %v != runtime %v",
+							q, coord, base, rank, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestBuildTables(t *testing.T) {
+	tb := BuildTables(NewPMatrixFromPhred())
+	if tb.Log == nil || tb.Adjust == nil || tb.P == nil || tb.NewP == nil {
+		t.Fatal("BuildTables left nil members")
+	}
+	if len(tb.NewP) != NewPMatrixSize {
+		t.Errorf("NewP size = %d", len(tb.NewP))
+	}
+}
+
+func TestPriorsNovel(t *testing.T) {
+	pr := DefaultPriors()
+	lp := pr.LogPriors(dna.A, nil)
+	// Homozygous reference dominates.
+	refRank := dna.HomozygousGenotype(dna.A).Rank()
+	for r := 0; r < dna.NGenotypes; r++ {
+		if r != refRank && lp[r] >= lp[refRank] {
+			t.Errorf("genotype %v prior >= hom-ref prior", dna.GenotypeByRank(r))
+		}
+	}
+	// Transition het (A/G) beats transversion het (A/C).
+	ag := dna.MakeGenotype(dna.A, dna.G).Rank()
+	ac := dna.MakeGenotype(dna.A, dna.C).Rank()
+	if lp[ag] <= lp[ac] {
+		t.Error("transition prior not favoured over transversion")
+	}
+	// Het involving ref beats double-non-ref het.
+	ct := dna.MakeGenotype(dna.C, dna.T).Rank()
+	if lp[ct] >= lp[ac] {
+		t.Error("double-non-ref het prior not penalised")
+	}
+}
+
+func TestPriorsSumToOne(t *testing.T) {
+	pr := DefaultPriors()
+	for ref := dna.Base(0); ref < 4; ref++ {
+		lp := pr.LogPriors(ref, nil)
+		var sum float64
+		for _, v := range lp {
+			sum += math.Pow(10, v)
+		}
+		// The novel model is normalised up to the tiny double-non-ref
+		// terms.
+		if math.Abs(sum-1) > 1e-4 {
+			t.Errorf("ref %v: priors sum to %v", ref, sum)
+		}
+	}
+}
+
+func TestPriorsKnownSNP(t *testing.T) {
+	pr := DefaultPriors()
+	known := &KnownSNP{Freq: [4]float64{0.5, 0, 0.5, 0}, Validated: true}
+	lp := pr.LogPriors(dna.A, known)
+	lpNovel := pr.LogPriors(dna.A, nil)
+	ag := dna.MakeGenotype(dna.A, dna.G).Rank()
+	if lp[ag] <= lpNovel[ag] {
+		t.Error("validated dbSNP site did not boost the known het genotype")
+	}
+	// Non-validated records fall back to the novel model.
+	lp2 := pr.LogPriors(dna.A, &KnownSNP{Freq: known.Freq})
+	for r := range lp2 {
+		if lp2[r] != lpNovel[r] {
+			t.Fatal("unvalidated record altered priors")
+		}
+	}
+}
+
+func TestPosteriorPicksMAP(t *testing.T) {
+	var tl [TypeLikelySize]float64
+	for i := range tl {
+		tl[i] = -1000
+	}
+	gAA := dna.HomozygousGenotype(dna.A)
+	gAG := dna.MakeGenotype(dna.A, dna.G)
+	tl[gAA] = -10
+	tl[gAG] = -12
+	pr := DefaultPriors()
+	lp := pr.LogPriors(dna.A, nil)
+	call := Posterior(&tl, &lp)
+	if call.Genotype != gAA {
+		t.Errorf("MAP genotype = %v, want AA", call.Genotype)
+	}
+	if call.Second != gAG {
+		t.Errorf("second = %v, want AG", call.Second)
+	}
+	if call.Quality <= 0 || call.Quality > 99 {
+		t.Errorf("quality = %d", call.Quality)
+	}
+}
+
+func TestPosteriorQualityClamp(t *testing.T) {
+	var tl [TypeLikelySize]float64
+	for i := range tl {
+		tl[i] = -1e6
+	}
+	tl[dna.HomozygousGenotype(dna.C)] = 0
+	pr := DefaultPriors()
+	lp := pr.LogPriors(dna.C, nil)
+	call := Posterior(&tl, &lp)
+	if call.Quality != 99 {
+		t.Errorf("quality = %d, want clamped 99", call.Quality)
+	}
+}
+
+func TestPosteriorLikelihoodOverridesPrior(t *testing.T) {
+	// Strong evidence for a het must beat the hom-ref prior.
+	var tl [TypeLikelySize]float64
+	for i := range tl {
+		tl[i] = -500
+	}
+	tl[dna.MakeGenotype(dna.A, dna.G)] = -20
+	tl[dna.HomozygousGenotype(dna.A)] = -60
+	pr := DefaultPriors()
+	lp := pr.LogPriors(dna.A, nil)
+	call := Posterior(&tl, &lp)
+	if call.Genotype != dna.MakeGenotype(dna.A, dna.G) {
+		t.Errorf("call = %v, want AG", call.Genotype)
+	}
+}
+
+func TestRankSumIdenticalGroups(t *testing.T) {
+	xs := []float64{30, 31, 32, 33, 34}
+	p := RankSum(xs, xs)
+	if p < 0.99 {
+		t.Errorf("identical groups p = %v, want ~1", p)
+	}
+}
+
+func TestRankSumDisjointGroups(t *testing.T) {
+	lo := []float64{2, 3, 4, 5, 6, 7, 8, 2, 3, 4}
+	hi := []float64{30, 31, 32, 33, 34, 35, 36, 37, 38, 39}
+	p := RankSum(lo, hi)
+	if p > 0.01 {
+		t.Errorf("disjoint groups p = %v, want < 0.01", p)
+	}
+}
+
+func TestRankSumEdgeCases(t *testing.T) {
+	if RankSum(nil, []float64{1, 2}) != 1 {
+		t.Error("empty group p != 1")
+	}
+	if RankSum([]float64{5, 5, 5}, []float64{5, 5}) != 1 {
+		t.Error("all-tied p != 1")
+	}
+	if p := RankSum([]float64{1}, []float64{2}); p <= 0 || p > 1 {
+		t.Errorf("singleton p out of range: %v", p)
+	}
+}
+
+func TestRankSumSymmetry(t *testing.T) {
+	xs := []float64{10, 20, 30}
+	ys := []float64{15, 25, 35, 45}
+	if math.Abs(RankSum(xs, ys)-RankSum(ys, xs)) > 1e-12 {
+		t.Error("rank sum not symmetric")
+	}
+}
+
+func TestRankSumRange(t *testing.T) {
+	f := func(a, b []uint8) bool {
+		xs := make([]float64, 0, len(a))
+		for _, v := range a {
+			xs = append(xs, float64(v%64))
+		}
+		ys := make([]float64, 0, len(b))
+		for _, v := range b {
+			ys = append(ys, float64(v%64))
+		}
+		p := RankSum(xs, ys)
+		return p >= 0 && p <= 1 && !math.IsNaN(p)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

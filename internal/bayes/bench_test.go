@@ -1,0 +1,68 @@
+package bayes
+
+import (
+	"testing"
+
+	"gsnp/internal/dna"
+)
+
+func BenchmarkLikelyUpdate(b *testing.B) {
+	p := NewPMatrixFromPhred()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += LikelyUpdate(p, 37, 12, dna.G, dna.A, dna.G)
+	}
+	_ = sink
+}
+
+func BenchmarkNewPMatrixLookup(b *testing.B) {
+	np := BuildNewPMatrix(NewPMatrixFromPhred())
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += np[NewPMatrixIndex(37, 12, dna.G, i%10)]
+	}
+	_ = sink
+}
+
+func BenchmarkBuildNewPMatrix(b *testing.B) {
+	p := NewPMatrixFromPhred()
+	for i := 0; i < b.N; i++ {
+		BuildNewPMatrix(p)
+	}
+}
+
+func BenchmarkCalibrationObserve(b *testing.B) {
+	c := NewCalibration()
+	for i := 0; i < b.N; i++ {
+		c.Observe(dna.Quality(i&63), i&255, dna.Base(i&3), dna.Base(i>>2&3))
+	}
+}
+
+func BenchmarkPosterior(b *testing.B) {
+	var tl [TypeLikelySize]float64
+	for i := range tl {
+		tl[i] = -float64(i)
+	}
+	pr := DefaultPriors()
+	lp := pr.LogPriors(dna.A, nil)
+	for i := 0; i < b.N; i++ {
+		Posterior(&tl, &lp)
+	}
+}
+
+func BenchmarkRankSum(b *testing.B) {
+	xs := []float64{30, 31, 35, 38, 32, 30, 29}
+	ys := []float64{28, 33, 31, 36}
+	for i := 0; i < b.N; i++ {
+		RankSum(xs, ys)
+	}
+}
+
+func BenchmarkAdjust(b *testing.B) {
+	at := BuildAdjustTable(BuildLogTable())
+	var sink dna.Quality
+	for i := 0; i < b.N; i++ {
+		sink += at.Adjust(dna.Quality(i&63), uint16(i&7))
+	}
+	_ = sink
+}

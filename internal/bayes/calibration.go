@@ -1,0 +1,90 @@
+package bayes
+
+import "gsnp/internal/dna"
+
+// Calibration accumulates observation counts for cal_p_matrix: how often an
+// aligned base o was observed at quality q and read coordinate c over a
+// reference site whose base is r. SOAPsnp's recalibration treats the
+// reference base as the true allele (valid because the overwhelming
+// majority of sites are homozygous reference) and smooths the counted
+// frequencies toward the Phred error model.
+type Calibration struct {
+	// counts is indexed by PMatrixIndex(q, coord, ref, obs).
+	counts []uint64
+	// PseudoWeight is the number of virtual observations drawn from the
+	// Phred model blended into every (q, coord, ref) row. Zero selects
+	// DefaultPseudoWeight.
+	PseudoWeight float64
+}
+
+// DefaultPseudoWeight is the smoothing mass used when Calibration.
+// PseudoWeight is zero.
+const DefaultPseudoWeight = 50
+
+// NewCalibration returns an empty accumulator.
+func NewCalibration() *Calibration {
+	return &Calibration{counts: make([]uint64, PMatrixSize)}
+}
+
+// Observe records one aligned base: observed base obs with quality q at
+// read coordinate coord over a reference base ref.
+func (c *Calibration) Observe(q dna.Quality, coord int, ref, obs dna.Base) {
+	c.counts[PMatrixIndex(q, coord, ref, obs)]++
+}
+
+// Observations returns the total number of recorded observations.
+func (c *Calibration) Observations() uint64 {
+	var n uint64
+	for _, v := range c.counts {
+		n += v
+	}
+	return n
+}
+
+// Merge folds the counts of o into c, allowing parallel accumulation.
+func (c *Calibration) Merge(o *Calibration) {
+	for i, v := range o.counts {
+		c.counts[i] += v
+	}
+}
+
+// Build converts the counts into the calibrated p_matrix:
+//
+//	P(obs | allele, q, coord) =
+//	    (count(q,coord,allele,obs) + w*phred(q,allele,obs)) /
+//	    (rowTotal(q,coord,allele)  + w)
+//
+// where phred is the analytic error model and w the pseudo-observation
+// weight. Rows with no data reduce to the pure Phred model, so the matrix
+// is well defined even for unexercised qualities or coordinates.
+func (c *Calibration) Build() PMatrix {
+	w := c.PseudoWeight
+	if w <= 0 {
+		w = DefaultPseudoWeight
+	}
+	p := make(PMatrix, PMatrixSize)
+	for q := dna.Quality(0); q < NQ; q++ {
+		e := q.ErrorProbability()
+		for coord := 0; coord < MaxReadLen; coord++ {
+			for allele := dna.Base(0); allele < dna.NBases; allele++ {
+				row := PMatrixIndex(q, coord, allele, 0)
+				var total uint64
+				for b := 0; b < dna.NBases; b++ {
+					total += c.counts[row+b]
+				}
+				for b := dna.Base(0); b < dna.NBases; b++ {
+					phred := e / 3
+					if b == allele {
+						phred = 1 - e
+					}
+					v := (float64(c.counts[row+int(b)]) + w*phred) / (float64(total) + w)
+					if v < minProb {
+						v = minProb
+					}
+					p[row+int(b)] = v
+				}
+			}
+		}
+	}
+	return p
+}

@@ -1,0 +1,64 @@
+// Package bayes implements the statistical core shared by the SOAPsnp
+// baseline and GSNP pipelines: the calibrated score matrix (p_matrix), the
+// precomputed log tables and new score table (new_p_matrix) of Section IV-D,
+// the quality adjustment of repeated observations, genotype priors and the
+// posterior genotype call with its rank-sum strand/quality bias test.
+//
+// The bit layouts of the matrices follow the paper's pseudocode exactly
+// (Algorithms 1-3), so that the dense (SOAPsnp) and sparse (GSNP) pipelines
+// can share one implementation of every table and produce bit-identical
+// results.
+package bayes
+
+import "gsnp/internal/dna"
+
+// Dimension constants of the aligned-base matrices. They mirror the
+// 4 x 64 x 256 x 2 base_occ layout of the paper.
+const (
+	// MaxReadLen is the coordinate dimension: reads may be at most 256 bp.
+	MaxReadLen = 256
+	// NQ is the quality-score dimension (scores 0..63).
+	NQ = dna.QMax
+	// NStrands covers forward (0) and reverse (1).
+	NStrands = 2
+	// BaseOccSize is the number of elements of the dense per-site matrix:
+	// 4*64*256*2 = 131,072 (Formula 1's |base_occ|).
+	BaseOccSize = dna.NBases * NQ * MaxReadLen * NStrands
+)
+
+// BaseOccIndex computes the dense matrix index base<<15 | score<<9 |
+// coord<<1 | strand from Algorithm 1.
+func BaseOccIndex(base dna.Base, score dna.Quality, coord, strand int) int {
+	return int(base)<<15 | int(score)<<9 | coord<<1 | strand
+}
+
+// BaseOccDecompose inverts BaseOccIndex.
+func BaseOccDecompose(idx int) (base dna.Base, score dna.Quality, coord, strand int) {
+	return dna.Base(idx >> 15 & 3), dna.Quality(idx >> 9 & (NQ - 1)), idx >> 1 & (MaxReadLen - 1), idx & 1
+}
+
+// PMatrixSize is the number of entries of p_matrix: quality (64) x
+// coordinate (256) x allele (4) x observed base (4), laid out as
+// q<<12 | coord<<4 | allele<<2 | base per Algorithm 2.
+const PMatrixSize = NQ << 12
+
+// PMatrixIndex computes the p_matrix index of Algorithm 2.
+func PMatrixIndex(q dna.Quality, coord int, allele, base dna.Base) int {
+	return int(q)<<12 | coord<<4 | int(allele)<<2 | int(base)
+}
+
+// NewPMatrixSize is the number of entries of new_p_matrix: one slot per
+// (quality, coordinate, observed base) triple times the ten genotypes
+// (Algorithm 3 drops the allele bits and appends the genotype rank).
+const NewPMatrixSize = (NQ << 10) * dna.NGenotypes
+
+// NewPMatrixIndex computes the new_p_matrix index of Algorithm 3:
+// (q<<10 | coord<<2 | base)*10 + genotypeRank.
+func NewPMatrixIndex(q dna.Quality, coord int, base dna.Base, genotypeRank int) int {
+	return (int(q)<<10|coord<<2|int(base))*dna.NGenotypes + genotypeRank
+}
+
+// TypeLikelySize is the size of the genotype likelihood accumulator. The
+// paper indexes it allele1<<2 | allele2 inside 16 slots of which ten are
+// used (the unordered pairs).
+const TypeLikelySize = 16

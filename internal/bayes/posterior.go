@@ -1,0 +1,116 @@
+package bayes
+
+import (
+	"math"
+
+	"gsnp/internal/dna"
+)
+
+// Call is the outcome of the posterior step for one site: the consensus
+// genotype, its Phred-scaled confidence and the runner-up.
+type Call struct {
+	// Genotype is the maximum-a-posteriori genotype.
+	Genotype dna.Genotype
+	// Quality is the Phred-scaled confidence of the call,
+	// 10*(log10 post(best) - log10 post(second)), clamped to [0, 99].
+	Quality int
+	// Second is the runner-up genotype.
+	Second dna.Genotype
+	// LogPosterior holds the unnormalised log10 posterior of every
+	// genotype in canonical rank order.
+	LogPosterior [dna.NGenotypes]float64
+}
+
+// Posterior combines the genotype log-likelihoods (the type_likely array
+// produced by the likelihood component, indexed allele1<<2|allele2) with
+// log priors and selects the best and second-best genotypes.
+func Posterior(typeLikely *[TypeLikelySize]float64, logPriors *[dna.NGenotypes]float64) Call {
+	var c Call
+	best, second := -1, -1
+	for rank := 0; rank < dna.NGenotypes; rank++ {
+		g := dna.GenotypeByRank(rank)
+		lp := typeLikely[g] + logPriors[rank]
+		c.LogPosterior[rank] = lp
+		if best < 0 || lp > c.LogPosterior[best] {
+			second = best
+			best = rank
+		} else if second < 0 || lp > c.LogPosterior[second] {
+			second = rank
+		}
+	}
+	c.Genotype = dna.GenotypeByRank(best)
+	c.Second = dna.GenotypeByRank(second)
+	q := 10 * (c.LogPosterior[best] - c.LogPosterior[second])
+	if math.IsNaN(q) || q < 0 {
+		q = 0
+	}
+	if q > 99 {
+		q = 99
+	}
+	c.Quality = int(q)
+	return c
+}
+
+// RankSum computes a two-sided Wilcoxon rank-sum (Mann-Whitney) p-value via
+// the normal approximation with tie correction. It tests whether the
+// quality scores supporting the two alleles of a heterozygous call are
+// drawn from the same distribution; a small p indicates one allele is
+// supported only by low-quality evidence, a classic false-het signal.
+// SOAPsnp reports this p-value as the 15th column of its result table.
+//
+// xs and ys are the quality scores supporting each allele. The function
+// returns 1 when either group is empty (no evidence of bias).
+func RankSum(xs, ys []float64) float64 {
+	n1, n2 := len(xs), len(ys)
+	if n1 == 0 || n2 == 0 {
+		return 1
+	}
+	type obs struct {
+		v     float64
+		group int
+	}
+	all := make([]obs, 0, n1+n2)
+	for _, v := range xs {
+		all = append(all, obs{v, 0})
+	}
+	for _, v := range ys {
+		all = append(all, obs{v, 1})
+	}
+	// Insertion sort: groups are tiny (sequencing depth per allele).
+	for i := 1; i < len(all); i++ {
+		for j := i; j > 0 && all[j-1].v > all[j].v; j-- {
+			all[j-1], all[j] = all[j], all[j-1]
+		}
+	}
+	// Midranks with tie bookkeeping.
+	n := n1 + n2
+	var r1 float64      // rank sum of group 0
+	var tieTerm float64 // sum of t^3 - t over tie groups
+	for i := 0; i < n; {
+		j := i
+		for j < n && all[j].v == all[i].v {
+			j++
+		}
+		t := float64(j - i)
+		mid := float64(i+j+1) / 2 // average of 1-based ranks i+1..j
+		for k := i; k < j; k++ {
+			if all[k].group == 0 {
+				r1 += mid
+			}
+		}
+		tieTerm += t*t*t - t
+		i = j
+	}
+	mu := float64(n1) * float64(n+1) / 2
+	sigma2 := float64(n1) * float64(n2) / 12 * (float64(n+1) - tieTerm/float64(n*(n-1)))
+	if sigma2 <= 0 {
+		return 1 // all observations tied
+	}
+	z := (r1 - mu) / math.Sqrt(sigma2)
+	return 2 * normSF(math.Abs(z))
+}
+
+// normSF is the standard normal survival function P(Z > z).
+func normSF(z float64) float64 {
+	return 0.5 * math.Erfc(z/math.Sqrt2)
+}

@@ -1,0 +1,106 @@
+package bayes
+
+import (
+	"math"
+
+	"gsnp/internal/dna"
+)
+
+// KnownSNP carries the prior information the dbSNP-style input file
+// provides for a site: the population allele frequencies and whether the
+// site is a validated polymorphism.
+type KnownSNP struct {
+	// Freq holds the population frequency of each base; entries sum to 1.
+	Freq [dna.NBases]float64
+	// Validated marks experimentally confirmed SNPs, which receive the
+	// full dbSNP prior weight.
+	Validated bool
+}
+
+// Priors is the genotype prior model: the probability of each diploid
+// genotype at a site given the reference base and, when present, dbSNP
+// knowledge. Rates follow SOAPsnp's defaults.
+type Priors struct {
+	// NovelHet is the prior of a novel heterozygous SNP (default 1e-3).
+	NovelHet float64
+	// NovelHom is the prior of a novel homozygous SNP (default 5e-4).
+	NovelHom float64
+	// TiTv is the transition/transversion rate ratio used to tilt
+	// substitution priors (default 2.0, typical 2-4 for human).
+	TiTv float64
+	// KnownHetBoost scales the heterozygote prior at validated dbSNP
+	// sites (default 0.1 prior mass spread by allele frequency).
+	KnownRate float64
+}
+
+// DefaultPriors returns SOAPsnp's default rate configuration.
+func DefaultPriors() Priors {
+	return Priors{NovelHet: 1e-3, NovelHom: 5e-4, TiTv: 2.0, KnownRate: 0.1}
+}
+
+// tiTvWeight apportions substitution mass between the one transition and
+// the two transversions of a reference base.
+func (p Priors) tiTvWeight(ref, alt dna.Base) float64 {
+	// Normalise so the weights of the three substitutions sum to 1:
+	// transition gets TiTv/(TiTv+2), each transversion 1/(TiTv+2).
+	if ref.IsTransition(alt) {
+		return p.TiTv / (p.TiTv + 2)
+	}
+	return 1 / (p.TiTv + 2)
+}
+
+// LogPriors returns log10 prior probabilities for the ten genotypes in
+// canonical rank order, given the reference base and optional known-SNP
+// record (nil for novel sites).
+func (p Priors) LogPriors(ref dna.Base, known *KnownSNP) [dna.NGenotypes]float64 {
+	var pri [dna.NGenotypes]float64
+	if known != nil && known.Validated {
+		// dbSNP site: Hardy-Weinberg genotype frequencies from the
+		// population allele frequencies, mixed with the novel-SNP model
+		// so unseen alleles keep non-zero mass.
+		for rank := 0; rank < dna.NGenotypes; rank++ {
+			g := dna.GenotypeByRank(rank)
+			a1, a2 := g.Alleles()
+			hw := known.Freq[a1] * known.Freq[a2]
+			if a1 != a2 {
+				hw *= 2
+			}
+			pri[rank] = p.KnownRate*hw + (1-p.KnownRate)*p.novelPrior(ref, g)
+		}
+	} else {
+		for rank := 0; rank < dna.NGenotypes; rank++ {
+			pri[rank] = p.novelPrior(ref, dna.GenotypeByRank(rank))
+		}
+	}
+	var lg [dna.NGenotypes]float64
+	for i, v := range pri {
+		if v < minProb {
+			v = minProb
+		}
+		lg[i] = math.Log10(v)
+	}
+	return lg
+}
+
+// novelPrior is the prior of genotype g at a site with reference base ref
+// and no dbSNP knowledge.
+func (p Priors) novelPrior(ref dna.Base, g dna.Genotype) float64 {
+	a1, a2 := g.Alleles()
+	switch {
+	case a1 == ref && a2 == ref:
+		return 1 - p.NovelHet - p.NovelHom
+	case a1 == ref || a2 == ref:
+		// Heterozygous ref/alt: het rate tilted by Ti/Tv of the alt.
+		alt := a1
+		if alt == ref {
+			alt = a2
+		}
+		return p.NovelHet * p.tiTvWeight(ref, alt)
+	case a1 == a2:
+		// Homozygous non-reference.
+		return p.NovelHom * p.tiTvWeight(ref, a1)
+	default:
+		// Heterozygous with both alleles non-reference: doubly unlikely.
+		return p.NovelHet * p.NovelHom * p.tiTvWeight(ref, a1) * p.tiTvWeight(ref, a2)
+	}
+}

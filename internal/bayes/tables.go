@@ -1,0 +1,163 @@
+package bayes
+
+import (
+	"math"
+
+	"gsnp/internal/dna"
+)
+
+// LogTable holds log10(i) for the integers 0..64, the table Section IV-G
+// computes once on the CPU and places in GPU constant memory so both
+// processors use identical values. Entry 0 is a guard and holds 0.
+type LogTable [NQ + 1]float64
+
+// BuildLogTable computes the table with the host libm.
+func BuildLogTable() *LogTable {
+	var t LogTable
+	for i := 1; i <= NQ; i++ {
+		t[i] = math.Log10(float64(i))
+	}
+	return &t
+}
+
+// AdjustTable maps a per-coordinate stacked-observation count to the Phred
+// penalty subtracted from the quality score:
+//
+//	penalty[d] = round(10 * log10(1 + min(d, 63)))
+//
+// so the first observation at a read coordinate keeps its full quality and
+// each further stacked observation is damped — SOAPsnp's modelling of the
+// statistical dependency among reads that align the same cycle to the same
+// site. The table is derived from LogTable, keeping the CPU and GPU paths
+// bit-identical.
+type AdjustTable [NQ]uint8
+
+// BuildAdjustTable derives the penalty table from lt.
+func BuildAdjustTable(lt *LogTable) *AdjustTable {
+	var a AdjustTable
+	for d := 0; d < NQ; d++ {
+		a[d] = uint8(math.Round(10 * lt[d+1]))
+	}
+	return &a
+}
+
+// Adjust applies the stacked-observation penalty to score. depCount is the
+// number of observations already accumulated at the (strand, coordinate)
+// slot including the current one (Algorithm 1 line 10 / Algorithm 4 line
+// 12 call adjust after the increment).
+func (a *AdjustTable) Adjust(score dna.Quality, depCount uint16) dna.Quality {
+	d := int(depCount) - 1
+	if d < 0 {
+		d = 0
+	}
+	if d >= NQ {
+		d = NQ - 1
+	}
+	p := int(score) - int(a[d])
+	if p < 0 {
+		return 0
+	}
+	return dna.Quality(p)
+}
+
+// PMatrix is the calibrated score matrix: entry PMatrixIndex(q, coord,
+// allele, base) holds P(observed base | true allele, adjusted quality q,
+// read coordinate coord). It is the output of cal_p_matrix and an input of
+// the likelihood calculation (Algorithm 2).
+type PMatrix []float64
+
+// NewPMatrixFromPhred builds an analytic p_matrix directly from the Phred
+// error model, P(obs==allele) = 1-e(q) and e(q)/3 otherwise, independent of
+// the read coordinate. It is the calibration prior and a useful fixture.
+func NewPMatrixFromPhred() PMatrix {
+	p := make(PMatrix, PMatrixSize)
+	for q := dna.Quality(0); q < NQ; q++ {
+		e := q.ErrorProbability()
+		for coord := 0; coord < MaxReadLen; coord++ {
+			for allele := dna.Base(0); allele < dna.NBases; allele++ {
+				for base := dna.Base(0); base < dna.NBases; base++ {
+					v := e / 3
+					if base == allele {
+						v = 1 - e
+					}
+					if v < minProb {
+						v = minProb
+					}
+					p[PMatrixIndex(q, coord, allele, base)] = v
+				}
+			}
+		}
+	}
+	return p
+}
+
+// minProb floors matrix probabilities so their logarithms stay finite.
+const minProb = 1e-10
+
+// At reads the matrix with named coordinates.
+func (p PMatrix) At(q dna.Quality, coord int, allele, base dna.Base) float64 {
+	return p[PMatrixIndex(q, coord, allele, base)]
+}
+
+// NewPMatrix is the precomputed score table of Section IV-D: for every
+// (quality, coordinate, observed base) triple it stores the ten values
+//
+//	log10(0.5*P(base|allele1) + 0.5*P(base|allele2))
+//
+// for the ten unordered genotypes, in canonical genotype order. Likelihood
+// updates become a single table read (Algorithm 3), with no runtime
+// logarithms.
+type NewPMatrix []float64
+
+// BuildNewPMatrix expands p into the ten-genotype table. Like the paper, it
+// is computed once on the CPU so GPU and CPU consume identical values.
+func BuildNewPMatrix(p PMatrix) NewPMatrix {
+	np := make(NewPMatrix, NewPMatrixSize)
+	gs := dna.Genotypes()
+	for q := dna.Quality(0); q < NQ; q++ {
+		for coord := 0; coord < MaxReadLen; coord++ {
+			for base := dna.Base(0); base < dna.NBases; base++ {
+				for rank, g := range gs {
+					a1, a2 := g.Alleles()
+					v := 0.5*p.At(q, coord, a1, base) + 0.5*p.At(q, coord, a2, base)
+					np[NewPMatrixIndex(q, coord, base, rank)] = math.Log10(v)
+				}
+			}
+		}
+	}
+	return np
+}
+
+// At reads the table with named coordinates.
+func (np NewPMatrix) At(q dna.Quality, coord int, base dna.Base, genotypeRank int) float64 {
+	return np[NewPMatrixIndex(q, coord, base, genotypeRank)]
+}
+
+// LikelyUpdate is Algorithm 2: the dense pipeline's per-observation
+// likelihood contribution for genotype {allele1, allele2}, computed from
+// p_matrix with a runtime logarithm.
+func LikelyUpdate(p PMatrix, q dna.Quality, coord int, base, allele1, allele2 dna.Base) float64 {
+	p1 := p[PMatrixIndex(q, coord, allele1, base)]
+	p2 := p[PMatrixIndex(q, coord, allele2, base)]
+	return math.Log10(0.5*p1 + 0.5*p2)
+}
+
+// Tables bundles every precomputed table a pipeline needs. Building it
+// corresponds to the paper's load_table component.
+type Tables struct {
+	Log    *LogTable
+	Adjust *AdjustTable
+	P      PMatrix
+	NewP   NewPMatrix
+}
+
+// BuildTables assembles the table set from a calibrated p_matrix.
+func BuildTables(p PMatrix) *Tables {
+	lt := BuildLogTable()
+	return &Tables{
+		Log:    lt,
+		Adjust: BuildAdjustTable(lt),
+		P:      p,
+		NewP:   BuildNewPMatrix(p),
+	}
+}

@@ -1,0 +1,83 @@
+package compress
+
+import (
+	"testing"
+
+	"gsnp/internal/gpu"
+)
+
+func benchColumn(n int) []uint32 {
+	return qualityColumn(n, 42)
+}
+
+func BenchmarkRLEEncode(b *testing.B) {
+	vals := benchColumn(100000)
+	b.SetBytes(int64(len(vals) * 4))
+	for i := 0; i < b.N; i++ {
+		RLEEncode(vals)
+	}
+}
+
+func BenchmarkRLEDictEncode(b *testing.B) {
+	vals := benchColumn(100000)
+	b.SetBytes(int64(len(vals) * 4))
+	for i := 0; i < b.N; i++ {
+		RLEDictEncode(vals)
+	}
+}
+
+func BenchmarkRLEDictDecode(b *testing.B) {
+	vals := benchColumn(100000)
+	buf := RLEDictEncode(vals)
+	b.SetBytes(int64(len(vals) * 4))
+	for i := 0; i < b.N; i++ {
+		if _, _, err := RLEDictDecode(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRLEDictEncodeGPU(b *testing.B) {
+	d := gpu.NewDevice(gpu.M2050())
+	vals := benchColumn(100000)
+	b.SetBytes(int64(len(vals) * 4))
+	for i := 0; i < b.N; i++ {
+		RLEDictEncodeGPU(d, vals)
+	}
+}
+
+func BenchmarkGzipQualityColumn(b *testing.B) {
+	vals := benchColumn(100000)
+	raw := make([]byte, 0, len(vals)*3)
+	for _, v := range vals {
+		raw = append(raw, byte('0'+v/10), byte('0'+v%10), '\t')
+	}
+	b.SetBytes(int64(len(raw)))
+	for i := 0; i < b.N; i++ {
+		if _, err := Gzip(raw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSparseEncode(b *testing.B) {
+	vals := make([]uint32, 100000)
+	for i := 0; i < len(vals); i += 997 {
+		vals[i] = uint32(i)
+	}
+	b.SetBytes(int64(len(vals) * 4))
+	for i := 0; i < b.N; i++ {
+		SparseEncode(vals, 0)
+	}
+}
+
+func BenchmarkPack2Bit(b *testing.B) {
+	vals := make([]uint8, 100000)
+	for i := range vals {
+		vals[i] = uint8(i & 3)
+	}
+	b.SetBytes(int64(len(vals)))
+	for i := 0; i < b.N; i++ {
+		Pack2Bit(vals)
+	}
+}

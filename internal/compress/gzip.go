@@ -1,0 +1,31 @@
+package compress
+
+import (
+	"bytes"
+	"compress/gzip"
+	"io"
+)
+
+// Gzip compresses data with the standard library's gzip (the zlib
+// comparator of Figures 9 and 10).
+func Gzip(data []byte) ([]byte, error) {
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	if _, err := zw.Write(data); err != nil {
+		return nil, err
+	}
+	if err := zw.Close(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Gunzip decompresses a gzip stream.
+func Gunzip(data []byte) ([]byte, error) {
+	zr, err := gzip.NewReader(bytes.NewReader(data))
+	if err != nil {
+		return nil, err
+	}
+	defer zr.Close()
+	return io.ReadAll(zr)
+}

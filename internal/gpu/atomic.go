@@ -1,0 +1,8 @@
+package gpu
+
+import "sync/atomic"
+
+// atomicAddU32 adds delta to *p atomically and returns the previous value.
+func atomicAddU32(p *uint32, delta uint32) uint32 {
+	return atomic.AddUint32(p, delta) - delta
+}

@@ -1,0 +1,428 @@
+package gpu
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+)
+
+// Device is a simulated GPU. It is safe for concurrent use; launches and
+// copies serialise their accounting on an internal mutex while kernel
+// threads execute in parallel on the host.
+type Device struct {
+	cfg Config
+
+	mu        sync.Mutex
+	totals    Stats
+	simTime   float64
+	allocated int64
+	constUsed int
+	nextBufID int64
+	launches  []LaunchStats
+}
+
+// NewDevice creates a simulated device. Zero fields of cfg are filled with
+// M2050 defaults.
+func NewDevice(cfg Config) *Device {
+	return &Device{cfg: cfg.withDefaults()}
+}
+
+// Config returns the device configuration.
+func (d *Device) Config() Config { return d.cfg }
+
+// Stats returns a snapshot of the cumulative counters.
+func (d *Device) Stats() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	s := d.totals
+	s.SimSeconds = d.simTime
+	return s
+}
+
+// ResetStats zeroes the cumulative counters and the simulated clock.
+// Allocations are unaffected.
+func (d *Device) ResetStats() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.totals = Stats{}
+	d.simTime = 0
+	d.launches = nil
+}
+
+// SimTime returns the simulated device-clock time consumed so far, in
+// seconds.
+func (d *Device) SimTime() float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.simTime
+}
+
+// AllocatedBytes returns the current device-memory footprint.
+func (d *Device) AllocatedBytes() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.allocated
+}
+
+// Launches returns the per-launch records accumulated since the last
+// ResetStats, oldest first.
+func (d *Device) Launches() []LaunchStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]LaunchStats, len(d.launches))
+	copy(out, d.launches)
+	return out
+}
+
+// LaunchConfig describes the geometry and resources of one kernel launch.
+type LaunchConfig struct {
+	// Name labels the launch in profiler output.
+	Name string
+	// Grid is the number of blocks; Block the threads per block.
+	Grid, Block int
+	// SharedF64 and SharedU32 request per-block shared-memory arrays of
+	// the given element counts. Their combined byte size must fit in
+	// Config.SharedMemPerBlock.
+	SharedF64 int
+	SharedU32 int
+	// Sync must be set when the kernel calls Thread.Sync. Synchronous
+	// launches run each block's threads as goroutines joined by a cyclic
+	// barrier; asynchronous launches run them sequentially (much faster
+	// on the host).
+	Sync bool
+}
+
+// Kernel is the body executed once per simulated thread.
+type Kernel func(t *Thread)
+
+// Launch executes the kernel over cfg.Grid x cfg.Block threads, meters it,
+// advances the simulated clock and returns the per-launch statistics.
+func (d *Device) Launch(cfg LaunchConfig, kernel Kernel) (LaunchStats, error) {
+	if cfg.Grid <= 0 || cfg.Block <= 0 {
+		return LaunchStats{}, fmt.Errorf("gpu: launch %q: invalid geometry %dx%d", cfg.Name, cfg.Grid, cfg.Block)
+	}
+	if cfg.Block%d.cfg.WarpSize != 0 && cfg.Block > d.cfg.WarpSize {
+		// Allowed on real hardware but wasteful; we only require that a
+		// block is either a multiple of the warp size or smaller than one
+		// warp, which keeps the warp decomposition unambiguous.
+		return LaunchStats{}, fmt.Errorf("gpu: launch %q: block size %d is neither <= warp size nor a multiple of it", cfg.Name, cfg.Block)
+	}
+	if shBytes := cfg.SharedF64*8 + cfg.SharedU32*4; shBytes > d.cfg.SharedMemPerBlock {
+		return LaunchStats{}, fmt.Errorf("gpu: launch %q: %d B shared memory requested, %d B available", cfg.Name, shBytes, d.cfg.SharedMemPerBlock)
+	}
+
+	acc := &launchAccumulator{}
+	// Block 0 is the coalescing sample, as in a sampling profiler.
+	workers := runtime.GOMAXPROCS(0)
+	if workers > cfg.Grid {
+		workers = cfg.Grid
+	}
+	blockCh := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for bid := range blockCh {
+				func() {
+					// Kernel panics must surface on the launching
+					// goroutine, not kill an anonymous worker.
+					defer func() {
+						if r := recover(); r != nil {
+							acc.mu.Lock()
+							if acc.panicked == nil {
+								acc.panicked = r
+							}
+							acc.mu.Unlock()
+						}
+					}()
+					d.runBlock(cfg, kernel, bid, acc)
+				}()
+			}
+		}()
+	}
+	for bid := 0; bid < cfg.Grid; bid++ {
+		blockCh <- bid
+	}
+	close(blockCh)
+	wg.Wait()
+	if acc.panicked != nil {
+		panic(acc.panicked)
+	}
+
+	ls := d.finishLaunch(cfg, acc)
+	return ls, nil
+}
+
+// MustLaunch is Launch but panics on configuration errors; convenient for
+// kernels whose geometry is computed and known valid.
+func (d *Device) MustLaunch(cfg LaunchConfig, kernel Kernel) LaunchStats {
+	ls, err := d.Launch(cfg, kernel)
+	if err != nil {
+		panic(err)
+	}
+	return ls
+}
+
+// launchAccumulator gathers counters and the coalescing sample across
+// blocks of a single launch.
+type launchAccumulator struct {
+	mu           sync.Mutex
+	stats        Stats
+	sampleTrans  int64 // transactions observed in the sample block
+	sampleWarpMI int64 // warp memory instructions observed in the sample block
+	panicked     any   // first kernel panic, re-raised by Launch
+}
+
+func (a *launchAccumulator) add(s Stats, trans, warpMI int64) {
+	a.mu.Lock()
+	a.stats.Add(s)
+	a.sampleTrans += trans
+	a.sampleWarpMI += warpMI
+	a.mu.Unlock()
+}
+
+// runBlock executes one block of the launch.
+func (d *Device) runBlock(cfg LaunchConfig, kernel Kernel, bid int, acc *launchAccumulator) {
+	rt := &blockRT{
+		dev:       d,
+		sharedF64: make([]float64, cfg.SharedF64),
+		sharedU32: make([]uint32, cfg.SharedU32),
+	}
+	sampling := bid == 0
+	threads := make([]*Thread, cfg.Block)
+	for l := 0; l < cfg.Block; l++ {
+		t := &Thread{
+			Dev:      d,
+			Block:    bid,
+			Lane:     l,
+			BlockDim: cfg.Block,
+			GridDim:  cfg.Grid,
+			block:    rt,
+		}
+		if sampling {
+			t.sample = make([]int64, 0, 256)
+		}
+		threads[l] = t
+	}
+
+	if cfg.Sync {
+		rt.bar = newBarrier(cfg.Block)
+		var wg sync.WaitGroup
+		wg.Add(cfg.Block)
+		for _, t := range threads {
+			go func(t *Thread) {
+				defer wg.Done()
+				defer rt.bar.leave()
+				defer func() {
+					if r := recover(); r != nil {
+						acc.mu.Lock()
+						if acc.panicked == nil {
+							acc.panicked = r
+						}
+						acc.mu.Unlock()
+					}
+				}()
+				kernel(t)
+			}(t)
+		}
+		wg.Wait()
+	} else {
+		for _, t := range threads {
+			kernel(t)
+		}
+	}
+
+	var s Stats
+	for _, t := range threads {
+		s.Instructions += t.instr
+		s.GlobalLoads += t.gld
+		s.GlobalStores += t.gst
+		s.GlobalLoadBytes += t.gldB
+		s.GlobalStoreBytes += t.gstB
+		s.SharedLoads += t.sld
+		s.SharedStores += t.sst
+		s.ConstLoads += t.cld
+	}
+	// SIMT issue accounting: a warp occupies its issue slots for as long
+	// as its longest-running lane.
+	ws := d.cfg.WarpSize
+	for w0 := 0; w0 < len(threads); w0 += ws {
+		w1 := w0 + ws
+		if w1 > len(threads) {
+			w1 = len(threads)
+		}
+		var maxInstr int64
+		for _, t := range threads[w0:w1] {
+			if t.instr > maxInstr {
+				maxInstr = t.instr
+			}
+		}
+		s.WarpInstructions += maxInstr
+	}
+	var trans, warpMI int64
+	if sampling {
+		trans, warpMI = d.coalesce(threads)
+	}
+	acc.add(s, trans, warpMI)
+}
+
+// coalesce analyses the sampled global-access address streams of one block.
+// The k-th access of each lane in a warp forms one SIMT memory instruction;
+// its cost is the number of distinct SegmentBytes-sized segments touched.
+func (d *Device) coalesce(threads []*Thread) (transactions, warpMemInst int64) {
+	ws := d.cfg.WarpSize
+	seg := int64(d.cfg.SegmentBytes)
+	for w0 := 0; w0 < len(threads); w0 += ws {
+		w1 := w0 + ws
+		if w1 > len(threads) {
+			w1 = len(threads)
+		}
+		maxLen := 0
+		for _, t := range threads[w0:w1] {
+			if len(t.sample) > maxLen {
+				maxLen = len(t.sample)
+			}
+		}
+		var segs [64]int64 // distinct segments of one warp instruction
+		for k := 0; k < maxLen; k++ {
+			n := 0
+			for _, t := range threads[w0:w1] {
+				if k >= len(t.sample) {
+					continue
+				}
+				s := t.sample[k] / seg
+				dup := false
+				for i := 0; i < n; i++ {
+					if segs[i] == s {
+						dup = true
+						break
+					}
+				}
+				if !dup {
+					segs[n] = s
+					n++
+				}
+			}
+			if n > 0 {
+				transactions += int64(n)
+				warpMemInst++
+			}
+		}
+	}
+	return transactions, warpMemInst
+}
+
+// finishLaunch extrapolates the coalescing sample, applies the timing model
+// and commits the launch to the device totals.
+func (d *Device) finishLaunch(cfg LaunchConfig, acc *launchAccumulator) LaunchStats {
+	s := acc.stats
+	s.Kernels = 1
+	ws := float64(d.cfg.WarpSize)
+
+	accesses := s.GlobalLoads + s.GlobalStores
+	factor := 0.0
+	if accesses > 0 {
+		if acc.sampleWarpMI > 0 {
+			factor = float64(acc.sampleTrans) / float64(acc.sampleWarpMI)
+		} else {
+			// No sample (block 0 made no global accesses but others did):
+			// assume the worst case, full scatter.
+			factor = ws
+		}
+		s.GlobalTransactions = int64(math.Ceil(float64(accesses) / ws * factor))
+	}
+
+	// Compute leg: every SM issues one warp instruction per cycle, so the
+	// device retires SMs warp-instructions per cycle. For perfectly
+	// balanced warps this equals thread-instructions / total cores; for
+	// divergent or imbalanced warps it is correctly larger.
+	compute := float64(s.WarpInstructions) / (float64(d.cfg.SMs) * d.cfg.ClockHz)
+	memory := float64(s.GlobalTransactions) * float64(d.cfg.SegmentBytes) / d.cfg.PeakBandwidth
+	s.SimSeconds = math.Max(compute, memory) + d.cfg.LaunchOverhead
+
+	ls := LaunchStats{
+		Name:             cfg.Name,
+		Grid:             cfg.Grid,
+		Block:            cfg.Block,
+		Stats:            s,
+		CoalescingFactor: factor,
+		ComputeSeconds:   compute,
+		MemorySeconds:    memory,
+	}
+
+	d.mu.Lock()
+	d.totals.Add(s)
+	d.simTime += s.SimSeconds
+	d.launches = append(d.launches, ls)
+	d.mu.Unlock()
+	return ls
+}
+
+// advanceCopy accounts for a host<->device copy of n bytes.
+func (d *Device) advanceCopy(n int64, toDevice bool) {
+	t := float64(n) / d.cfg.PCIeBandwidth
+	d.mu.Lock()
+	if toDevice {
+		d.totals.H2DBytes += n
+	} else {
+		d.totals.D2HBytes += n
+	}
+	d.simTime += t
+	d.totals.SimSeconds += t
+	d.mu.Unlock()
+}
+
+// blockRT is the per-block runtime state: shared memory and the barrier.
+type blockRT struct {
+	dev       *Device
+	sharedF64 []float64
+	sharedU32 []uint32
+	bar       *barrier
+}
+
+// barrier is a cyclic barrier that tolerates threads exiting early (a
+// returning thread leaves the party set, as CUDA requires __syncthreads to
+// be reached by all *remaining* threads of the block in our relaxed model).
+type barrier struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	parties int
+	waiting int
+	gen     uint64
+}
+
+func newBarrier(parties int) *barrier {
+	b := &barrier{parties: parties}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *barrier) await() {
+	b.mu.Lock()
+	gen := b.gen
+	b.waiting++
+	if b.waiting >= b.parties {
+		b.waiting = 0
+		b.gen++
+		b.cond.Broadcast()
+		b.mu.Unlock()
+		return
+	}
+	for gen == b.gen {
+		b.cond.Wait()
+	}
+	b.mu.Unlock()
+}
+
+func (b *barrier) leave() {
+	b.mu.Lock()
+	b.parties--
+	if b.waiting >= b.parties && b.parties > 0 {
+		b.waiting = 0
+		b.gen++
+		b.cond.Broadcast()
+	}
+	b.mu.Unlock()
+}

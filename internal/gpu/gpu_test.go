@@ -1,0 +1,464 @@
+package gpu
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func testDevice() *Device { return NewDevice(M2050()) }
+
+func TestConfigDefaults(t *testing.T) {
+	d := NewDevice(Config{})
+	cfg := d.Config()
+	if cfg.SMs != 14 || cfg.CoresPerSM != 32 || cfg.WarpSize != 32 {
+		t.Errorf("defaults not applied: %+v", cfg)
+	}
+	if cfg.TotalCores() != 448 {
+		t.Errorf("TotalCores = %d, want 448", cfg.TotalCores())
+	}
+	if cfg.Name != "generic (simulated)" {
+		t.Errorf("Name = %q", cfg.Name)
+	}
+}
+
+func TestLaunchGeometryErrors(t *testing.T) {
+	d := testDevice()
+	if _, err := d.Launch(LaunchConfig{Grid: 0, Block: 32}, func(*Thread) {}); err == nil {
+		t.Error("zero grid accepted")
+	}
+	if _, err := d.Launch(LaunchConfig{Grid: 1, Block: 48}, func(*Thread) {}); err == nil {
+		t.Error("non-warp-multiple block of 48 accepted")
+	}
+	if _, err := d.Launch(LaunchConfig{Grid: 1, Block: 16}, func(*Thread) {}); err != nil {
+		t.Errorf("sub-warp block rejected: %v", err)
+	}
+	if _, err := d.Launch(LaunchConfig{Grid: 1, Block: 32, SharedF64: 1 << 20}, func(*Thread) {}); err == nil {
+		t.Error("oversized shared memory accepted")
+	}
+}
+
+func TestMustLaunchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustLaunch did not panic on bad geometry")
+		}
+	}()
+	testDevice().MustLaunch(LaunchConfig{Grid: 0, Block: 0}, func(*Thread) {})
+}
+
+func TestKernelComputesCorrectResult(t *testing.T) {
+	d := testDevice()
+	n := 1000
+	in := Alloc[uint32](d, n)
+	out := Alloc[uint32](d, n)
+	src := make([]uint32, n)
+	for i := range src {
+		src[i] = uint32(i)
+	}
+	in.CopyIn(src)
+	ls := d.MustLaunch(LaunchConfig{Name: "double", Grid: (n + 255) / 256, Block: 256}, func(t *Thread) {
+		i := t.GlobalID()
+		if i >= n {
+			return
+		}
+		v := Ld(t, in, i)
+		t.Exec(1)
+		St(t, out, i, 2*v)
+	})
+	got := make([]uint32, n)
+	out.CopyOut(got)
+	for i := range got {
+		if got[i] != uint32(2*i) {
+			t.Fatalf("out[%d] = %d, want %d", i, got[i], 2*i)
+		}
+	}
+	if ls.Stats.GlobalLoads != int64(n) || ls.Stats.GlobalStores != int64(n) {
+		t.Errorf("loads/stores = %d/%d, want %d/%d", ls.Stats.GlobalLoads, ls.Stats.GlobalStores, n, n)
+	}
+	if ls.Stats.Instructions < int64(3*n) {
+		t.Errorf("instructions = %d, want >= %d", ls.Stats.Instructions, 3*n)
+	}
+}
+
+func TestCoalescingDetection(t *testing.T) {
+	d := testDevice()
+	n := 4096
+	buf := Alloc[uint32](d, n*33)
+
+	// Fully coalesced: lane i reads element i.
+	ls := d.MustLaunch(LaunchConfig{Name: "coalesced", Grid: n / 256, Block: 256}, func(t *Thread) {
+		_ = Ld(t, buf, t.GlobalID())
+	})
+	if ls.CoalescingFactor > 1.01 {
+		t.Errorf("coalesced access factor = %v, want ~1", ls.CoalescingFactor)
+	}
+
+	// Fully scattered: lane i reads element 33*i (each in its own 128 B
+	// segment: 33*4 = 132 B stride).
+	ls = d.MustLaunch(LaunchConfig{Name: "scattered", Grid: n / 256, Block: 256}, func(t *Thread) {
+		_ = Ld(t, buf, 33*t.GlobalID())
+	})
+	if ls.CoalescingFactor < 31 {
+		t.Errorf("scattered access factor = %v, want ~32", ls.CoalescingFactor)
+	}
+	if ls.Stats.GlobalTransactions < int64(n)-10 {
+		t.Errorf("scattered transactions = %d, want ~%d", ls.Stats.GlobalTransactions, n)
+	}
+}
+
+func TestTimingModelBandwidth(t *testing.T) {
+	d := testDevice()
+	n := 1 << 20
+	buf := Alloc[uint32](d, n)
+	ls := d.MustLaunch(LaunchConfig{Name: "stream", Grid: n / 256, Block: 256}, func(t *Thread) {
+		_ = Ld(t, buf, t.GlobalID())
+	})
+	// 1 Mi coalesced 4-byte loads = 4 MiB moved; at 82 GB/s that is ~51 us.
+	wantMem := float64(n) * 4 / d.cfg.PeakBandwidth
+	if ls.MemorySeconds < wantMem*0.9 || ls.MemorySeconds > wantMem*1.5 {
+		t.Errorf("memory leg = %v, want ~%v", ls.MemorySeconds, wantMem)
+	}
+	if ls.Stats.SimSeconds < math.Max(ls.MemorySeconds, ls.ComputeSeconds) {
+		t.Error("SimSeconds below max(compute, memory)")
+	}
+}
+
+func TestSharedMemoryAndSync(t *testing.T) {
+	d := testDevice()
+	blocks, bs := 8, 128
+	out := Alloc[float64](d, blocks)
+	// Block-wide tree reduction over shared memory, requiring barriers.
+	d.MustLaunch(LaunchConfig{Name: "reduce", Grid: blocks, Block: bs, SharedF64: bs, Sync: true}, func(t *Thread) {
+		t.SetSharedF64(t.Lane, float64(t.Lane))
+		t.Sync()
+		for stride := bs / 2; stride > 0; stride /= 2 {
+			if t.Lane < stride {
+				t.AddSharedF64(t.Lane, t.SharedF64(t.Lane+stride))
+			}
+			t.Sync()
+		}
+		if t.Lane == 0 {
+			St(t, out, t.Block, t.SharedF64(0))
+		}
+	})
+	want := float64(bs*(bs-1)) / 2
+	for b := 0; b < blocks; b++ {
+		if out.Host()[b] != want {
+			t.Fatalf("block %d reduction = %v, want %v", b, out.Host()[b], want)
+		}
+	}
+}
+
+func TestSyncWithEarlyExit(t *testing.T) {
+	d := testDevice()
+	bs := 64
+	out := Alloc[uint32](d, bs)
+	// Half the threads return before the barrier; the rest must not hang.
+	done := make(chan struct{})
+	go func() {
+		d.MustLaunch(LaunchConfig{Name: "early-exit", Grid: 1, Block: bs, Sync: true}, func(t *Thread) {
+			if t.Lane%2 == 1 {
+				return
+			}
+			t.Sync()
+			St(t, out, t.Lane, 1)
+		})
+		close(done)
+	}()
+	<-done
+	for i := 0; i < bs; i += 2 {
+		if out.Host()[i] != 1 {
+			t.Fatalf("surviving lane %d did not pass the barrier", i)
+		}
+	}
+}
+
+func TestSyncPanicsWithoutSyncConfig(t *testing.T) {
+	d := testDevice()
+	defer func() {
+		if recover() == nil {
+			t.Error("Sync in async launch did not panic")
+		}
+	}()
+	d.MustLaunch(LaunchConfig{Grid: 1, Block: 32}, func(t *Thread) { t.Sync() })
+}
+
+func TestSharedU32(t *testing.T) {
+	d := testDevice()
+	out := Alloc[uint32](d, 32)
+	d.MustLaunch(LaunchConfig{Grid: 1, Block: 32, SharedU32: 32, Sync: true}, func(t *Thread) {
+		t.SetSharedU32(t.Lane, uint32(t.Lane*10))
+		t.Sync()
+		St(t, out, t.Lane, t.SharedU32(31-t.Lane))
+	})
+	for i := 0; i < 32; i++ {
+		if out.Host()[i] != uint32((31-i)*10) {
+			t.Fatalf("shared u32 exchange wrong at %d: %d", i, out.Host()[i])
+		}
+	}
+}
+
+func TestAtomicAddU32(t *testing.T) {
+	d := testDevice()
+	counter := Alloc[uint32](d, 1)
+	n := 64 * 256
+	d.MustLaunch(LaunchConfig{Grid: 64, Block: 256}, func(t *Thread) {
+		AtomicAddU32(t, counter, 0, 1)
+	})
+	if counter.Host()[0] != uint32(n) {
+		t.Errorf("atomic counter = %d, want %d", counter.Host()[0], n)
+	}
+}
+
+func TestConstBuffer(t *testing.T) {
+	d := testDevice()
+	tbl := []float64{1, 2, 3, 4}
+	cb, err := NewConst(d, tbl)
+	if err != nil {
+		t.Fatalf("NewConst: %v", err)
+	}
+	if cb.Len() != 4 {
+		t.Errorf("Len = %d", cb.Len())
+	}
+	out := Alloc[float64](d, 4)
+	ls := d.MustLaunch(LaunchConfig{Grid: 1, Block: 4}, func(t *Thread) {
+		St(t, out, t.Lane, CLd(t, cb, t.Lane)*10)
+	})
+	for i := range tbl {
+		if out.Host()[i] != tbl[i]*10 {
+			t.Fatalf("const load wrong at %d", i)
+		}
+	}
+	if ls.Stats.ConstLoads != 4 {
+		t.Errorf("ConstLoads = %d, want 4", ls.Stats.ConstLoads)
+	}
+	// Constant loads must not add global transactions beyond the stores.
+	if ls.Stats.GlobalLoads != 0 {
+		t.Errorf("const loads counted as global: %d", ls.Stats.GlobalLoads)
+	}
+	cb.Free()
+
+	if _, err := NewConst(d, make([]float64, 1<<20)); err == nil {
+		t.Error("oversized constant allocation accepted")
+	}
+}
+
+func TestAllocAccountingAndOOM(t *testing.T) {
+	d := NewDevice(Config{GlobalMemBytes: 1 << 20})
+	b := Alloc[uint32](d, 1024)
+	if d.AllocatedBytes() != 4096 {
+		t.Errorf("AllocatedBytes = %d, want 4096", d.AllocatedBytes())
+	}
+	b.Free()
+	if d.AllocatedBytes() != 0 {
+		t.Errorf("AllocatedBytes after Free = %d", d.AllocatedBytes())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("OOM allocation did not panic")
+		}
+	}()
+	Alloc[uint32](d, 1<<20)
+}
+
+func TestStatsAccumulationAndReset(t *testing.T) {
+	d := testDevice()
+	buf := Alloc[uint32](d, 256)
+	d.MustLaunch(LaunchConfig{Grid: 1, Block: 256}, func(t *Thread) { _ = Ld(t, buf, t.Lane) })
+	d.MustLaunch(LaunchConfig{Grid: 1, Block: 256}, func(t *Thread) { St(t, buf, t.Lane, 1) })
+	s := d.Stats()
+	if s.Kernels != 2 {
+		t.Errorf("Kernels = %d", s.Kernels)
+	}
+	if s.GlobalLoads != 256 || s.GlobalStores != 256 {
+		t.Errorf("loads/stores = %d/%d", s.GlobalLoads, s.GlobalStores)
+	}
+	if len(d.Launches()) != 2 {
+		t.Errorf("Launches len = %d", len(d.Launches()))
+	}
+	if d.SimTime() <= 0 {
+		t.Error("SimTime not advanced")
+	}
+	d.ResetStats()
+	if d.Stats().Kernels != 0 || d.SimTime() != 0 || len(d.Launches()) != 0 {
+		t.Error("ResetStats incomplete")
+	}
+}
+
+func TestStatsSubAndPerWarp(t *testing.T) {
+	a := Stats{Instructions: 6400, SharedLoads: 320, SharedStores: 64, GlobalLoads: 10}
+	b := Stats{Instructions: 400, SharedLoads: 20, GlobalLoads: 4}
+	diff := a.Sub(b)
+	if diff.Instructions != 6000 || diff.SharedLoads != 300 || diff.GlobalLoads != 6 {
+		t.Errorf("Sub wrong: %+v", diff)
+	}
+	if got := a.InstPerWarp(32); got != 200 {
+		t.Errorf("InstPerWarp = %v", got)
+	}
+	ld, st := a.SharedPerWarp(32)
+	if ld != 10 || st != 2 {
+		t.Errorf("SharedPerWarp = %v, %v", ld, st)
+	}
+	if a.InstPerWarp(0) != 200 {
+		t.Error("InstPerWarp(0) default warp size wrong")
+	}
+	if a.String() == "" {
+		t.Error("String empty")
+	}
+}
+
+func TestCopyAccounting(t *testing.T) {
+	d := testDevice()
+	b := Alloc[uint32](d, 1024)
+	src := make([]uint32, 1024)
+	b.CopyIn(src)
+	b.CopyOut(src)
+	s := d.Stats()
+	if s.H2DBytes != 4096 || s.D2HBytes != 4096 {
+		t.Errorf("copy bytes = %d/%d", s.H2DBytes, s.D2HBytes)
+	}
+	wantT := 2 * 4096 / d.cfg.PCIeBandwidth
+	if math.Abs(d.SimTime()-wantT) > wantT*0.01 {
+		t.Errorf("copy sim time = %v, want %v", d.SimTime(), wantT)
+	}
+}
+
+func TestFastMathDiffers(t *testing.T) {
+	exact := NewDevice(M2050())
+	cfgFast := M2050()
+	cfgFast.FastMath = true
+	fast := NewDevice(cfgFast)
+
+	diffs := 0
+	total := 0
+	run := func(d *Device) []float64 {
+		out := Alloc[float64](d, 4096)
+		d.MustLaunch(LaunchConfig{Grid: 16, Block: 256}, func(t *Thread) {
+			x := 1.0 + float64(t.GlobalID())*0.37
+			St(t, out, t.GlobalID(), t.Log10(x))
+		})
+		return out.Host()
+	}
+	a, b := run(exact), run(fast)
+	for i := range a {
+		total++
+		if a[i] != b[i] {
+			diffs++
+		}
+		if math.Abs(a[i]-b[i]) > 1e-12 {
+			t.Fatalf("fast math wildly off at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	if diffs == 0 {
+		t.Error("fast math produced bit-identical results; cannot demonstrate the Section IV-G inconsistency")
+	}
+	// The paper observed ~0.1% of *final results* differing; raw log calls
+	// differ more often. Just require it to be a minority-to-moderate
+	// fraction, not everything.
+	if diffs == total {
+		t.Logf("all %d values differ slightly (acceptable for raw calls)", total)
+	}
+	host := make([]float64, 10)
+	for i := range host {
+		if math.Log10(1.5+float64(i)) != host[i] && host[i] != 0 {
+			t.Fatal("unexpected host table state")
+		}
+	}
+}
+
+func TestConcurrentLaunches(t *testing.T) {
+	d := testDevice()
+	var wg sync.WaitGroup
+	for k := 0; k < 8; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			buf := Alloc[uint32](d, 512)
+			d.MustLaunch(LaunchConfig{Grid: 2, Block: 256}, func(t *Thread) {
+				St(t, buf, t.GlobalID(), uint32(t.GlobalID()))
+			})
+			buf.Free()
+		}()
+	}
+	wg.Wait()
+	if d.Stats().Kernels != 8 {
+		t.Errorf("Kernels = %d, want 8", d.Stats().Kernels)
+	}
+}
+
+func TestInstPerWarpMatchesManualCount(t *testing.T) {
+	d := testDevice()
+	ls := d.MustLaunch(LaunchConfig{Grid: 1, Block: 64}, func(t *Thread) {
+		t.Exec(10)
+	})
+	// 64 threads x 10 instructions / 32 lanes per warp = 20 per warp.
+	if got := ls.Stats.InstPerWarp(d.Config().WarpSize); got != 20 {
+		t.Errorf("InstPerWarp = %v, want 20", got)
+	}
+}
+
+func TestProfile(t *testing.T) {
+	d := testDevice()
+	buf := Alloc[uint32](d, 1024)
+	for k := 0; k < 3; k++ {
+		d.MustLaunch(LaunchConfig{Name: "alpha", Grid: 4, Block: 256}, func(t *Thread) {
+			_ = Ld(t, buf, t.GlobalID())
+		})
+	}
+	d.MustLaunch(LaunchConfig{Name: "beta", Grid: 1, Block: 32}, func(t *Thread) {
+		St(t, buf, t.Lane, 1)
+	})
+	prof := d.Profile()
+	if len(prof) != 2 {
+		t.Fatalf("profile has %d kernels", len(prof))
+	}
+	byName := map[string]KernelProfile{}
+	for _, p := range prof {
+		byName[p.Name] = p
+	}
+	a := byName["alpha"]
+	if a.Launches != 3 || a.GlobalLoads != 3*1024 || a.SimSeconds <= 0 {
+		t.Errorf("alpha profile wrong: %+v", a)
+	}
+	if a.AvgCoalescing < 0.9 || a.AvgCoalescing > 1.5 {
+		t.Errorf("alpha coalescing = %v, want ~1", a.AvgCoalescing)
+	}
+	bp := byName["beta"]
+	if bp.Launches != 1 || bp.GlobalStores != 32 {
+		t.Errorf("beta profile wrong: %+v", bp)
+	}
+	text := d.FormatProfile()
+	if !strings.Contains(text, "alpha") || !strings.Contains(text, "beta") {
+		t.Errorf("FormatProfile missing kernels:\n%s", text)
+	}
+}
+
+func TestWarpInstructionAccounting(t *testing.T) {
+	d := testDevice()
+	// Balanced: every lane executes 10 instructions -> warp max = 10.
+	ls := d.MustLaunch(LaunchConfig{Grid: 1, Block: 64}, func(t *Thread) { t.Exec(10) })
+	if ls.Stats.WarpInstructions != 20 {
+		t.Errorf("balanced warp instructions = %d, want 20 (2 warps x 10)", ls.Stats.WarpInstructions)
+	}
+	// Divergent: one lane per warp does all the work; the warp still pays
+	// its longest lane.
+	ls = d.MustLaunch(LaunchConfig{Grid: 1, Block: 64}, func(t *Thread) {
+		if t.Lane%32 == 0 {
+			t.Exec(100)
+		}
+	})
+	if ls.Stats.WarpInstructions != 200 {
+		t.Errorf("divergent warp instructions = %d, want 200", ls.Stats.WarpInstructions)
+	}
+	if ls.Stats.Instructions != 200 {
+		t.Errorf("thread instructions = %d, want 200", ls.Stats.Instructions)
+	}
+	// Divergence costs compute time: the divergent launch has the same
+	// thread-instruction count as a 2-lane balanced kernel but 32x the
+	// issue slots of a hypothetical packed layout.
+	if ls.ComputeSeconds <= 0 {
+		t.Error("compute leg empty")
+	}
+}

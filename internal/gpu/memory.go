@@ -1,0 +1,145 @@
+package gpu
+
+import (
+	"fmt"
+	"unsafe"
+)
+
+// Buffer is a device-resident typed array in simulated global memory.
+// Host code accesses the backing storage directly via Host (unmetered, like
+// reading memory you just copied back); kernels must go through Ld/St so the
+// access is metered and enters the coalescing sample.
+type Buffer[T any] struct {
+	dev      *Device
+	data     []T
+	id       int64
+	elemSize int64
+}
+
+// Alloc reserves an n-element device buffer. It panics if the device memory
+// capacity would be exceeded — the simulated analogue of cudaMalloc failing,
+// kept as a panic because allocations in this codebase are sized from
+// window configuration and exceeding 3 GB indicates a programming error.
+func Alloc[T any](dev *Device, n int) *Buffer[T] {
+	var zero T
+	es := int64(unsafe.Sizeof(zero))
+	bytes := es * int64(n)
+	dev.mu.Lock()
+	if dev.allocated+bytes > dev.cfg.GlobalMemBytes {
+		used := dev.allocated
+		dev.mu.Unlock()
+		panic(fmt.Sprintf("gpu: out of device memory: %d B requested, %d/%d B in use", bytes, used, dev.cfg.GlobalMemBytes))
+	}
+	dev.allocated += bytes
+	dev.nextBufID++
+	id := dev.nextBufID
+	dev.mu.Unlock()
+	return &Buffer[T]{dev: dev, data: make([]T, n), id: id, elemSize: es}
+}
+
+// Free releases the buffer's device memory accounting. Using the buffer
+// after Free is a programming error (the storage is cleared to surface it).
+func (b *Buffer[T]) Free() {
+	bytes := b.elemSize * int64(len(b.data))
+	b.dev.mu.Lock()
+	b.dev.allocated -= bytes
+	b.dev.mu.Unlock()
+	b.data = nil
+}
+
+// Len returns the element count.
+func (b *Buffer[T]) Len() int { return len(b.data) }
+
+// Host returns the backing storage for host-side access. Mutating it from
+// the host while a kernel runs is a race, as on real hardware.
+func (b *Buffer[T]) Host() []T { return b.data }
+
+// CopyIn copies src into the buffer (host-to-device), advancing the
+// simulated clock at PCIe bandwidth.
+func (b *Buffer[T]) CopyIn(src []T) {
+	n := copy(b.data, src)
+	b.dev.advanceCopy(int64(n)*b.elemSize, true)
+}
+
+// CopyOut copies the buffer into dst (device-to-host), advancing the
+// simulated clock at PCIe bandwidth.
+func (b *Buffer[T]) CopyOut(dst []T) {
+	n := copy(dst, b.data)
+	b.dev.advanceCopy(int64(n)*b.elemSize, false)
+}
+
+// addr returns the logical global-memory address of element i, unique
+// across buffers so the coalescing sampler can distinguish streams.
+func (b *Buffer[T]) addr(i int) int64 { return b.id<<40 + int64(i)*b.elemSize }
+
+// Ld performs a metered global-memory load of element i from within a
+// kernel.
+func Ld[T any](t *Thread, b *Buffer[T], i int) T {
+	t.recordGlobal(b.addr(i), b.elemSize, false)
+	return b.data[i]
+}
+
+// St performs a metered global-memory store of element i from within a
+// kernel.
+func St[T any](t *Thread, b *Buffer[T], i int, v T) {
+	t.recordGlobal(b.addr(i), b.elemSize, true)
+	b.data[i] = v
+}
+
+// AtomicAddU32 performs a metered atomic add on element i, returning the
+// old value. The simulator runs blocks concurrently on the host, so the
+// update itself must be host-atomic; the accounting charges one load and
+// one store, like the profiler's gld/gst counters do for atomics on Fermi.
+func AtomicAddU32(t *Thread, b *Buffer[uint32], i int, delta uint32) uint32 {
+	t.recordGlobal(b.addr(i), b.elemSize, false)
+	t.recordGlobal(b.addr(i), b.elemSize, true)
+	return atomicAddU32(&b.data[i], delta)
+}
+
+// ConstBuffer is a read-only array in simulated constant memory. Constant
+// memory is cached on-chip; loads are metered as instructions and constant
+// loads but never contribute global-memory transactions.
+type ConstBuffer[T any] struct {
+	dev  *Device
+	data []T
+}
+
+// NewConst uploads data to constant memory. It returns an error when the
+// device's constant-memory capacity would be exceeded — callers decide
+// whether to fall back to global memory, as GSNP's DICT dictionaries do.
+func NewConst[T any](dev *Device, data []T) (*ConstBuffer[T], error) {
+	var zero T
+	bytes := int(unsafe.Sizeof(zero)) * len(data)
+	dev.mu.Lock()
+	if dev.constUsed+bytes > dev.cfg.ConstMemBytes {
+		used := dev.constUsed
+		dev.mu.Unlock()
+		return nil, fmt.Errorf("gpu: constant memory exhausted: %d B requested, %d/%d B in use", bytes, used, dev.cfg.ConstMemBytes)
+	}
+	dev.constUsed += bytes
+	dev.mu.Unlock()
+	cp := make([]T, len(data))
+	copy(cp, data)
+	dev.advanceCopy(int64(bytes), true)
+	return &ConstBuffer[T]{dev: dev, data: cp}, nil
+}
+
+// FreeConst releases the constant-memory accounting of cb.
+func (cb *ConstBuffer[T]) Free() {
+	var zero T
+	bytes := int(unsafe.Sizeof(zero)) * len(cb.data)
+	cb.dev.mu.Lock()
+	cb.dev.constUsed -= bytes
+	cb.dev.mu.Unlock()
+	cb.data = nil
+}
+
+// Len returns the element count.
+func (cb *ConstBuffer[T]) Len() int { return len(cb.data) }
+
+// CLd performs a metered constant-memory load of element i from within a
+// kernel.
+func CLd[T any](t *Thread, cb *ConstBuffer[T], i int) T {
+	t.recordConst()
+	return cb.data[i]
+}

@@ -1,0 +1,273 @@
+package gpu
+
+import "math/bits"
+
+// This file provides the classic data-parallel primitives GSNP's
+// GPU compression path is built from (Section V-B of the paper): reduction,
+// exclusive prefix scan, device-wide bitonic sort, unique, and batched
+// binary search. They are written as kernels against the simulator so their
+// memory behaviour is metered like any other device code.
+
+// primBlock is the thread-block size used by the primitive kernels.
+const primBlock = 256
+
+// ReduceU32 sums the device buffer with a shared-memory tree reduction per
+// block followed by a host combine of the per-block partials, the standard
+// two-level GPU reduction.
+func ReduceU32(d *Device, in *Buffer[uint32]) uint64 {
+	n := in.Len()
+	if n == 0 {
+		return 0
+	}
+	grid := (n + primBlock - 1) / primBlock
+	partial := Alloc[uint32](d, grid)
+	defer partial.Free()
+	d.MustLaunch(LaunchConfig{Name: "reduce_u32", Grid: grid, Block: primBlock, SharedU32: primBlock, Sync: true}, func(t *Thread) {
+		i := t.GlobalID()
+		v := uint32(0)
+		if i < n {
+			v = Ld(t, in, i)
+		}
+		t.SetSharedU32(t.Lane, v)
+		t.Sync()
+		for stride := primBlock / 2; stride > 0; stride /= 2 {
+			if t.Lane < stride {
+				t.Exec(1)
+				t.SetSharedU32(t.Lane, t.SharedU32(t.Lane)+t.SharedU32(t.Lane+stride))
+			}
+			t.Sync()
+		}
+		if t.Lane == 0 {
+			St(t, partial, t.Block, t.SharedU32(0))
+		}
+	})
+	var sum uint64
+	for _, p := range partial.Host() {
+		sum += uint64(p)
+	}
+	return sum
+}
+
+// ExclusiveScanU32 computes the exclusive prefix sum of in into out
+// (out[0]=0, out[i]=sum(in[0..i-1])) and returns the grand total. It uses a
+// per-block Hillis-Steele scan in shared memory plus a host pass that
+// offsets each block by the preceding blocks' totals — the standard
+// scan-then-propagate scheme.
+func ExclusiveScanU32(d *Device, in, out *Buffer[uint32]) uint64 {
+	n := in.Len()
+	if out.Len() < n {
+		panic("gpu: ExclusiveScanU32: output shorter than input")
+	}
+	if n == 0 {
+		return 0
+	}
+	grid := (n + primBlock - 1) / primBlock
+	blockTotals := Alloc[uint32](d, grid)
+	defer blockTotals.Free()
+
+	d.MustLaunch(LaunchConfig{Name: "scan_u32", Grid: grid, Block: primBlock, SharedU32: 2 * primBlock, Sync: true}, func(t *Thread) {
+		i := t.GlobalID()
+		v := uint32(0)
+		if i < n {
+			v = Ld(t, in, i)
+		}
+		// Double-buffered inclusive Hillis-Steele scan.
+		cur, nxt := 0, primBlock
+		t.SetSharedU32(cur+t.Lane, v)
+		t.Sync()
+		for stride := 1; stride < primBlock; stride *= 2 {
+			x := t.SharedU32(cur + t.Lane)
+			if t.Lane >= stride {
+				t.Exec(1)
+				x += t.SharedU32(cur + t.Lane - stride)
+			}
+			t.SetSharedU32(nxt+t.Lane, x)
+			t.Sync()
+			cur, nxt = nxt, cur
+		}
+		incl := t.SharedU32(cur + t.Lane)
+		if i < n {
+			St(t, out, i, incl-v) // exclusive = inclusive - self
+		}
+		if t.Lane == primBlock-1 {
+			St(t, blockTotals, t.Block, incl)
+		}
+	})
+
+	// Host carry propagation across blocks (cheap: one value per block).
+	totals := blockTotals.Host()
+	var carry uint64
+	carries := make([]uint32, grid)
+	for b := 0; b < grid; b++ {
+		carries[b] = uint32(carry)
+		carry += uint64(totals[b])
+	}
+	carryBuf := Alloc[uint32](d, grid)
+	defer carryBuf.Free()
+	carryBuf.CopyIn(carries)
+	d.MustLaunch(LaunchConfig{Name: "scan_carry", Grid: grid, Block: primBlock}, func(t *Thread) {
+		i := t.GlobalID()
+		if i >= n {
+			return
+		}
+		c := Ld(t, carryBuf, t.Block)
+		t.Exec(1)
+		St(t, out, i, Ld(t, out, i)+c)
+	})
+	return carry
+}
+
+// SortU32 sorts the device buffer in place with a device-wide iterative
+// bitonic sorting network. Lengths that are not powers of two are handled
+// by padding with the maximum key. The network performs log^2(n) global
+// passes; each pass is one kernel launch, as on real hardware.
+func SortU32(d *Device, buf *Buffer[uint32]) {
+	n := buf.Len()
+	if n <= 1 {
+		return
+	}
+	pow := 1 << bits.Len(uint(n-1)) // next power of two >= n
+	var work *Buffer[uint32]
+	if pow != n {
+		work = Alloc[uint32](d, pow)
+		defer work.Free()
+		host := work.Host()
+		copy(host, buf.Host())
+		for i := n; i < pow; i++ {
+			host[i] = ^uint32(0)
+		}
+	} else {
+		work = buf
+	}
+
+	grid := (pow/2 + primBlock - 1) / primBlock
+	for k := 2; k <= pow; k *= 2 {
+		for j := k / 2; j > 0; j /= 2 {
+			kk, jj := k, j
+			d.MustLaunch(LaunchConfig{Name: "bitonic_global", Grid: grid, Block: primBlock}, func(t *Thread) {
+				id := t.GlobalID()
+				if id >= pow/2 {
+					return
+				}
+				// Map compare-exchange id to element index i with partner
+				// i^jj, processing each pair once.
+				i := 2*id - (id & (jj - 1))
+				t.Exec(4)
+				l := i ^ jj
+				a, b := Ld(t, work, i), Ld(t, work, l)
+				up := i&kk == 0
+				t.Exec(1)
+				if (a > b) == up {
+					St(t, work, i, b)
+					St(t, work, l, a)
+				}
+			})
+		}
+	}
+	if work != buf {
+		copy(buf.Host(), work.Host()[:n])
+	}
+}
+
+// UniqueU32 compacts consecutive duplicates out of a sorted device buffer:
+// it flags run heads, scans the flags for destinations and scatters. It
+// returns a new buffer holding the distinct values (caller frees).
+func UniqueU32(d *Device, in *Buffer[uint32]) *Buffer[uint32] {
+	n := in.Len()
+	if n == 0 {
+		return Alloc[uint32](d, 0)
+	}
+	flags := Alloc[uint32](d, n)
+	defer flags.Free()
+	d.MustLaunch(LaunchConfig{Name: "unique_flag", Grid: (n + primBlock - 1) / primBlock, Block: primBlock}, func(t *Thread) {
+		i := t.GlobalID()
+		if i >= n {
+			return
+		}
+		f := uint32(1)
+		if i > 0 {
+			t.Exec(1)
+			if Ld(t, in, i-1) == Ld(t, in, i) {
+				f = 0
+			}
+		}
+		St(t, flags, i, f)
+	})
+	dst := Alloc[uint32](d, n)
+	defer dst.Free()
+	total := ExclusiveScanU32(d, flags, dst)
+	out := Alloc[uint32](d, int(total))
+	d.MustLaunch(LaunchConfig{Name: "unique_scatter", Grid: (n + primBlock - 1) / primBlock, Block: primBlock}, func(t *Thread) {
+		i := t.GlobalID()
+		if i >= n {
+			return
+		}
+		if Ld(t, flags, i) == 1 {
+			St(t, out, int(Ld(t, dst, i)), Ld(t, in, i))
+		}
+	})
+	return out
+}
+
+// BatchBinarySearchU32 looks every key up in the sorted dictionary with one
+// thread per key and writes the found index (keys are guaranteed present in
+// GSNP's DICT encoder, which built the dictionary from the same data). The
+// dictionary is read from constant memory when it fits — the paper loads
+// the DICT dictionary into constant memory — and from global memory
+// otherwise.
+func BatchBinarySearchU32(d *Device, keys *Buffer[uint32], dict []uint32, out *Buffer[uint32]) {
+	n := keys.Len()
+	if out.Len() < n {
+		panic("gpu: BatchBinarySearchU32: output shorter than keys")
+	}
+	if n == 0 {
+		return
+	}
+	grid := (n + primBlock - 1) / primBlock
+
+	cb, err := NewConst(d, dict)
+	if err == nil {
+		defer cb.Free()
+		d.MustLaunch(LaunchConfig{Name: "dict_search_const", Grid: grid, Block: primBlock}, func(t *Thread) {
+			i := t.GlobalID()
+			if i >= n {
+				return
+			}
+			key := Ld(t, keys, i)
+			lo, hi := 0, cb.Len()
+			for lo < hi {
+				t.Exec(3)
+				mid := (lo + hi) / 2
+				if CLd(t, cb, mid) < key {
+					lo = mid + 1
+				} else {
+					hi = mid
+				}
+			}
+			St(t, out, i, uint32(lo))
+		})
+		return
+	}
+
+	gdict := Alloc[uint32](d, len(dict))
+	defer gdict.Free()
+	gdict.CopyIn(dict)
+	d.MustLaunch(LaunchConfig{Name: "dict_search_global", Grid: grid, Block: primBlock}, func(t *Thread) {
+		i := t.GlobalID()
+		if i >= n {
+			return
+		}
+		key := Ld(t, keys, i)
+		lo, hi := 0, len(dict)
+		for lo < hi {
+			t.Exec(3)
+			mid := (lo + hi) / 2
+			if Ld(t, gdict, mid) < key {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		St(t, out, i, uint32(lo))
+	})
+}

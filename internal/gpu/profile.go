@@ -1,0 +1,79 @@
+package gpu
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// KernelProfile aggregates the launches of one kernel name, the way a
+// profiler's summary view groups invocations.
+type KernelProfile struct {
+	// Name is the kernel's launch name.
+	Name string
+	// Launches is the number of invocations.
+	Launches int64
+	// SimSeconds is the total simulated execution time.
+	SimSeconds float64
+	// Instructions, GlobalLoads and GlobalStores total the counters.
+	Instructions int64
+	GlobalLoads  int64
+	GlobalStores int64
+	// AvgCoalescing is the launch-weighted mean transactions per warp
+	// memory instruction (1 = perfect, 32 = fully scattered).
+	AvgCoalescing float64
+}
+
+// Profile aggregates the device's per-launch records by kernel name,
+// ordered by descending simulated time.
+func (d *Device) Profile() []KernelProfile {
+	byName := map[string]*KernelProfile{}
+	weights := map[string]float64{}
+	for _, ls := range d.Launches() {
+		name := ls.Name
+		if name == "" {
+			name = "(unnamed)"
+		}
+		p := byName[name]
+		if p == nil {
+			p = &KernelProfile{Name: name}
+			byName[name] = p
+		}
+		p.Launches++
+		p.SimSeconds += ls.Stats.SimSeconds
+		p.Instructions += ls.Stats.Instructions
+		p.GlobalLoads += ls.Stats.GlobalLoads
+		p.GlobalStores += ls.Stats.GlobalStores
+		if ls.CoalescingFactor > 0 {
+			p.AvgCoalescing += ls.CoalescingFactor
+			weights[name]++
+		}
+	}
+	out := make([]KernelProfile, 0, len(byName))
+	for name, p := range byName {
+		if w := weights[name]; w > 0 {
+			p.AvgCoalescing /= w
+		}
+		out = append(out, *p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].SimSeconds > out[j].SimSeconds })
+	return out
+}
+
+// FormatProfile renders the profile as an aligned text table, the
+// simulator's equivalent of a CUDA Visual Profiler summary.
+func (d *Device) FormatProfile() string {
+	prof := d.Profile()
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-32s %8s %12s %12s %12s %12s %8s\n",
+		"kernel", "launches", "sim time", "inst", "g_load", "g_store", "coalesce")
+	sb.WriteString(strings.Repeat("-", 102))
+	sb.WriteByte('\n')
+	for _, p := range prof {
+		fmt.Fprintf(&sb, "%-32s %8d %11.3gs %12.3g %12.3g %12.3g %7.1fx\n",
+			p.Name, p.Launches, p.SimSeconds,
+			float64(p.Instructions), float64(p.GlobalLoads), float64(p.GlobalStores),
+			p.AvgCoalescing)
+	}
+	return sb.String()
+}

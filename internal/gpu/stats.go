@@ -1,0 +1,124 @@
+package gpu
+
+import "fmt"
+
+// Stats aggregates the hardware counters the simulator maintains. The
+// quantities mirror those CUDA Visual Profiler exposes and that the paper
+// reports in Table III: issued instructions, global loads and stores,
+// shared-memory loads and stores.
+type Stats struct {
+	// Kernels is the number of kernel launches.
+	Kernels int64
+	// Instructions counts thread-level instructions: one per declared
+	// arithmetic step (Thread.Exec) and one per memory access of any
+	// space.
+	Instructions int64
+	// WarpInstructions counts SIMT issue slots: each warp contributes the
+	// maximum instruction count over its lanes, so divergent or
+	// imbalanced warps cost their longest lane. This drives the compute
+	// leg of the timing model.
+	WarpInstructions int64
+	// GlobalLoads and GlobalStores count per-thread global-memory
+	// accesses; the *Bytes fields carry the payload sizes.
+	GlobalLoads      int64
+	GlobalStores     int64
+	GlobalLoadBytes  int64
+	GlobalStoreBytes int64
+	// SharedLoads and SharedStores count shared-memory accesses.
+	SharedLoads  int64
+	SharedStores int64
+	// ConstLoads counts constant-memory reads.
+	ConstLoads int64
+	// GlobalTransactions is the estimated number of memory transactions
+	// (SegmentBytes each) needed to service the global accesses, after
+	// per-warp coalescing.
+	GlobalTransactions int64
+	// H2DBytes and D2HBytes are the host->device and device->host copy
+	// volumes.
+	H2DBytes int64
+	D2HBytes int64
+	// SimSeconds is the simulated device-clock time consumed.
+	SimSeconds float64
+}
+
+// Add accumulates o into s.
+func (s *Stats) Add(o Stats) {
+	s.Kernels += o.Kernels
+	s.Instructions += o.Instructions
+	s.WarpInstructions += o.WarpInstructions
+	s.GlobalLoads += o.GlobalLoads
+	s.GlobalStores += o.GlobalStores
+	s.GlobalLoadBytes += o.GlobalLoadBytes
+	s.GlobalStoreBytes += o.GlobalStoreBytes
+	s.SharedLoads += o.SharedLoads
+	s.SharedStores += o.SharedStores
+	s.ConstLoads += o.ConstLoads
+	s.GlobalTransactions += o.GlobalTransactions
+	s.H2DBytes += o.H2DBytes
+	s.D2HBytes += o.D2HBytes
+	s.SimSeconds += o.SimSeconds
+}
+
+// Sub returns s minus o, useful for windowed measurements around a phase.
+func (s Stats) Sub(o Stats) Stats {
+	return Stats{
+		Kernels:            s.Kernels - o.Kernels,
+		Instructions:       s.Instructions - o.Instructions,
+		WarpInstructions:   s.WarpInstructions - o.WarpInstructions,
+		GlobalLoads:        s.GlobalLoads - o.GlobalLoads,
+		GlobalStores:       s.GlobalStores - o.GlobalStores,
+		GlobalLoadBytes:    s.GlobalLoadBytes - o.GlobalLoadBytes,
+		GlobalStoreBytes:   s.GlobalStoreBytes - o.GlobalStoreBytes,
+		SharedLoads:        s.SharedLoads - o.SharedLoads,
+		SharedStores:       s.SharedStores - o.SharedStores,
+		ConstLoads:         s.ConstLoads - o.ConstLoads,
+		GlobalTransactions: s.GlobalTransactions - o.GlobalTransactions,
+		H2DBytes:           s.H2DBytes - o.H2DBytes,
+		D2HBytes:           s.D2HBytes - o.D2HBytes,
+		SimSeconds:         s.SimSeconds - o.SimSeconds,
+	}
+}
+
+// InstPerWarp reports instructions normalised per warp, the "PW" unit of
+// Table III (a counter for one warp on a multiprocessor): total thread
+// instructions divided by the warp size.
+func (s Stats) InstPerWarp(warpSize int) float64 {
+	if warpSize <= 0 {
+		warpSize = 32
+	}
+	return float64(s.Instructions) / float64(warpSize)
+}
+
+// SharedPerWarp reports shared loads and stores normalised per warp.
+func (s Stats) SharedPerWarp(warpSize int) (loads, stores float64) {
+	if warpSize <= 0 {
+		warpSize = 32
+	}
+	return float64(s.SharedLoads) / float64(warpSize), float64(s.SharedStores) / float64(warpSize)
+}
+
+// String renders a compact single-line summary.
+func (s Stats) String() string {
+	return fmt.Sprintf("kernels=%d inst=%.3g gld=%.3g gst=%.3g sld=%.3g sst=%.3g trans=%.3g sim=%.3gs",
+		s.Kernels, float64(s.Instructions), float64(s.GlobalLoads), float64(s.GlobalStores),
+		float64(s.SharedLoads), float64(s.SharedStores), float64(s.GlobalTransactions), s.SimSeconds)
+}
+
+// LaunchStats describes one kernel launch.
+type LaunchStats struct {
+	// Name echoes LaunchConfig.Name.
+	Name string
+	// Grid and Block echo the launch geometry.
+	Grid, Block int
+	// Stats holds the counters for this launch only.
+	Stats Stats
+	// CoalescingFactor is the sampled average number of memory
+	// transactions per warp memory instruction (1 = perfectly coalesced,
+	// WarpSize = fully scattered). Zero when the launch performed no
+	// global accesses.
+	CoalescingFactor float64
+	// ComputeSeconds and MemorySeconds are the two legs of the timing
+	// model; Stats.SimSeconds = max of the two + launch overhead.
+	ComputeSeconds float64
+	MemorySeconds  float64
+}

@@ -1,0 +1,130 @@
+package gpu
+
+import "math"
+
+// Thread is the execution context passed to a kernel, one per simulated
+// thread. Its exported fields mirror the CUDA built-ins: Block is
+// blockIdx.x, Lane is threadIdx.x, BlockDim/GridDim the launch geometry.
+type Thread struct {
+	// Dev is the device running the kernel.
+	Dev *Device
+	// Block is the block index within the grid.
+	Block int
+	// Lane is the thread index within the block.
+	Lane int
+	// BlockDim is the number of threads per block.
+	BlockDim int
+	// GridDim is the number of blocks.
+	GridDim int
+
+	block  *blockRT
+	sample []int64 // sampled global-access addresses (block 0 only)
+
+	instr, gld, gst, gldB, gstB, sld, sst, cld int64
+}
+
+// GlobalID returns the flat thread id Block*BlockDim + Lane.
+func (t *Thread) GlobalID() int { return t.Block*t.BlockDim + t.Lane }
+
+// Warp returns the warp index of the thread within its block.
+func (t *Thread) Warp() int { return t.Lane / t.Dev.cfg.WarpSize }
+
+// Exec declares n arithmetic instructions. Kernels call it to account for
+// the compute work between memory operations, mirroring what a hardware
+// profiler's issued-instruction counter would observe.
+func (t *Thread) Exec(n int) { t.instr += int64(n) }
+
+// syncCost is the issue-slot cost charged per thread per barrier,
+// modelling the pipeline drain and re-convergence latency of
+// __syncthreads (roughly 16 cycles of lost issue on Fermi-class parts).
+const syncCost = 16
+
+// Sync is the block-wide barrier (__syncthreads). The launch must have been
+// configured with LaunchConfig.Sync; calling Sync in an asynchronous launch
+// panics, because sequential thread execution cannot honour a barrier.
+func (t *Thread) Sync() {
+	if t.block.bar == nil {
+		panic("gpu: Thread.Sync called in a launch without LaunchConfig.Sync")
+	}
+	t.instr += syncCost
+	t.block.bar.await()
+}
+
+// SharedF64 reads element i of the block's shared float64 array.
+func (t *Thread) SharedF64(i int) float64 {
+	t.instr++
+	t.sld++
+	return t.block.sharedF64[i]
+}
+
+// SetSharedF64 writes element i of the block's shared float64 array.
+func (t *Thread) SetSharedF64(i int, v float64) {
+	t.instr++
+	t.sst++
+	t.block.sharedF64[i] = v
+}
+
+// AddSharedF64 accumulates v into element i (one load + one store, as the
+// paper counts the ten read-modify-write updates of type_likely).
+func (t *Thread) AddSharedF64(i int, v float64) {
+	t.instr++
+	t.sld++
+	t.sst++
+	t.block.sharedF64[i] += v
+}
+
+// SharedU32 reads element i of the block's shared uint32 array.
+func (t *Thread) SharedU32(i int) uint32 {
+	t.instr++
+	t.sld++
+	return t.block.sharedU32[i]
+}
+
+// SetSharedU32 writes element i of the block's shared uint32 array.
+func (t *Thread) SetSharedU32(i int, v uint32) {
+	t.instr++
+	t.sst++
+	t.block.sharedU32[i] = v
+}
+
+// Log10 is the device base-10 logarithm. With Config.FastMath it emulates
+// the GPU's native implementation, which differs from the host libm in the
+// trailing bits — the source of the ~0.1% result mismatches Section IV-G
+// describes; otherwise it is bit-identical to math.Log10. Either way it
+// costs the equivalent of 8 arithmetic instructions.
+func (t *Thread) Log10(x float64) float64 {
+	t.instr += 8
+	if t.Dev.cfg.FastMath {
+		return fastLog10(x)
+	}
+	return math.Log10(x)
+}
+
+// fastLog10 emulates a less accurate device intrinsic: log2(x)/log2(10)
+// computed in a different association order than libm, producing last-ULP
+// differences for many inputs.
+func fastLog10(x float64) float64 {
+	return math.Log2(x) * (1 / math.Log2(10))
+}
+
+// recordGlobal meters one global access of size bytes at logical address
+// addr.
+func (t *Thread) recordGlobal(addr int64, size int64, store bool) {
+	t.instr++
+	if store {
+		t.gst++
+		t.gstB += size
+	} else {
+		t.gld++
+		t.gldB += size
+	}
+	if t.sample != nil && len(t.sample) < 1<<16 {
+		t.sample = append(t.sample, addr)
+	}
+}
+
+// recordConst meters one constant-memory load.
+func (t *Thread) recordConst() {
+	t.instr++
+	t.cld++
+}

@@ -1,0 +1,171 @@
+package gsnp
+
+import (
+	"time"
+
+	"gsnp/internal/bayes"
+	"gsnp/internal/dna"
+	"gsnp/internal/pipeline"
+	"gsnp/internal/sortnet"
+)
+
+// runWindowCPU executes components 3-7 of one window on the host: the
+// GSNP_CPU configuration of the paper's figures — the same sparse
+// algorithm and tables as the GPU path, sequential quicksort instead of
+// the batch bitonic network.
+func (e *Engine) runWindowCPU(w *window) error {
+	rep := e.rep
+
+	// Component 3: counting — pack the observations into per-site
+	// base_word segments (two-pass: count, then scatter) and accumulate
+	// the per-site summaries.
+	t0 := time.Now()
+	e.countCPU(w)
+	rep.Times.Count += time.Since(t0)
+
+	// Component 4a: likelihood_sort — restore the canonical order.
+	t0 = time.Now()
+	sortnet.ParallelQuicksort(&w.words, 1)
+	rep.Times.LikeliSort += time.Since(t0)
+	rep.SortStats.ElementsSorted += int64(len(w.words.Data))
+
+	// Component 4b: likelihood_comp — Algorithm 4 with the new score
+	// table.
+	t0 = time.Now()
+	e.likelihoodCompCPU(w)
+	rep.Times.LikeliComp += time.Since(t0)
+
+	// Component 5: posterior.
+	t0 = time.Now()
+	priors := e.buildPriors(w)
+	w.bestRank = make([]uint8, w.n)
+	w.secondRank = make([]uint8, w.n)
+	w.quality = make([]uint8, w.n)
+	for site := 0; site < w.n; site++ {
+		posteriorSite(w.typeLikely[site*dna.NGenotypes:(site+1)*dna.NGenotypes],
+			priors[site*dna.NGenotypes:(site+1)*dna.NGenotypes],
+			&w.bestRank[site], &w.secondRank[site], &w.quality[site])
+	}
+	rep.Times.Post += time.Since(t0)
+
+	// Component 6: output.
+	t0 = time.Now()
+	if err := e.output(w); err != nil {
+		return err
+	}
+	rep.Times.Output += time.Since(t0)
+
+	// Component 7: recycle — with the sparse representation only the
+	// window's slices are dropped; the tagged dep_count array needs no
+	// clearing at all.
+	t0 = time.Now()
+	w.obsSite, w.obsWord, w.obsQual, w.obsUniq = nil, nil, nil, nil
+	rep.Times.Recycle += time.Since(t0)
+	return nil
+}
+
+// countCPU builds the per-site base_word segments and summaries.
+func (e *Engine) countCPU(w *window) {
+	n := w.n
+	w.counts = make([]pipeline.SiteCounts, n)
+	sizes := make([]int32, n+1)
+	for _, s := range w.obsSite {
+		sizes[s+1]++
+	}
+	bounds := make([]int32, n+1)
+	for i := 0; i < n; i++ {
+		bounds[i+1] = bounds[i] + sizes[i+1]
+	}
+	data := make([]uint32, len(w.obsWord))
+	cursor := make([]int32, n)
+	for k, s := range w.obsSite {
+		data[bounds[s]+cursor[s]] = w.obsWord[k]
+		cursor[s]++
+		o := pipeline.Obs{
+			Base: dna.Base(w.obsWord[k] >> 15 & 3),
+			Qual: dna.Quality(w.obsQual[k]),
+			Uniq: w.obsUniq[k] == 1,
+		}
+		w.counts[s].Add(o)
+	}
+	w.words = sortnet.Batches{Data: data, Bounds: bounds}
+}
+
+// likelihoodCompCPU is the sparse likelihood computation (Algorithm 4) on
+// the host, using the new score table so no logarithms run at call time.
+// dep_count entries carry an epoch tag in the high half-word, so
+// re-initialisation per base group (lines 8-10 of Algorithm 4) is one
+// epoch increment instead of a memory sweep.
+func (e *Engine) likelihoodCompCPU(w *window) {
+	readLen := e.cfg.ReadLen
+	if len(e.depCount) < 2*readLen {
+		e.depCount = make([]uint32, 2*readLen)
+		e.depEpoch = 0
+	}
+	newP := e.tables.NewP
+	adj := e.tables.Adjust
+	w.typeLikely = make([]float64, w.n*dna.NGenotypes)
+
+	for site := 0; site < w.n; site++ {
+		seg := w.words.Array(site)
+		tl := w.typeLikely[site*dna.NGenotypes : (site+1)*dna.NGenotypes]
+		lastBase := -1
+		for _, word := range seg {
+			base := int(word >> 15 & 3)
+			score := int(dna.QMax - 1 - word>>9&(dna.QMax-1))
+			coord := int(word >> 1 & (bayes.MaxReadLen - 1))
+			strand := int(word & 1)
+			if base != lastBase {
+				e.depEpoch++
+				if e.depEpoch<<16 == 0 { // tag wrapped: flush stale entries
+					clear(e.depCount)
+					e.depEpoch = 1
+				}
+				lastBase = base
+			}
+			tag := e.depEpoch << 16
+			slot := strand*readLen + coord
+			entry := e.depCount[slot]
+			cnt := uint32(0)
+			if entry&0xFFFF0000 == tag {
+				cnt = entry & 0xFFFF
+			}
+			cnt++
+			e.depCount[slot] = tag | cnt
+			qadj := adj.Adjust(dna.Quality(score), uint16(cnt))
+			idx := bayes.NewPMatrixIndex(qadj, coord, dna.Base(base), 0)
+			for r := 0; r < dna.NGenotypes; r++ {
+				tl[r] += newP[idx+r]
+			}
+		}
+	}
+}
+
+// posteriorSite selects the best and second-best genotypes from the ten
+// log posteriors. The same comparison sequence runs in the GPU posterior
+// kernel, keeping results identical across engines; dense-engine parity is
+// guaranteed because bayes.Posterior performs the same loop.
+func posteriorSite(tl, priors []float64, best, second, quality *uint8) {
+	b, s := -1, -1
+	var lb, ls float64
+	for r := 0; r < dna.NGenotypes; r++ {
+		lp := tl[r] + priors[r]
+		switch {
+		case b < 0 || lp > lb:
+			s, ls = b, lb
+			b, lb = r, lp
+		case s < 0 || lp > ls:
+			s, ls = r, lp
+		}
+	}
+	*best = uint8(b)
+	*second = uint8(s)
+	q := 10 * (lb - ls)
+	if !(q >= 0) { // NaN or negative
+		q = 0
+	}
+	if q > 99 {
+		q = 99
+	}
+	*quality = uint8(q)
+}

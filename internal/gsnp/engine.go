@@ -1,0 +1,405 @@
+package gsnp
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"gsnp/internal/bayes"
+	"gsnp/internal/dna"
+	"gsnp/internal/gpu"
+	"gsnp/internal/pipeline"
+	"gsnp/internal/reads"
+	"gsnp/internal/snpio"
+	"gsnp/internal/sortnet"
+)
+
+// Engine executes the GSNP pipeline. Create one with New and invoke Run;
+// an Engine may be reused for several runs with the same configuration.
+type Engine struct {
+	cfg    Config
+	tables *bayes.Tables
+
+	// Device-resident tables (GPU mode), uploaded by load_table.
+	gNewP *gpu.Buffer[float64]
+	gP    *gpu.Buffer[float64]
+	cAdj  *gpu.ConstBuffer[uint8]
+
+	// novelPriors caches the log genotype priors of sites absent from the
+	// prior file, one vector per reference base.
+	novelPriors [dna.NBases][dna.NGenotypes]float64
+
+	// Window-persistent host state.
+	depEpoch uint32
+	depCount []uint32 // tagged dep_count entries (CPU mode)
+
+	// Window-persistent device state (GPU mode): the tagged dep_count
+	// buffer and its window epoch.
+	gDep     *gpu.Buffer[uint32]
+	winEpoch uint32
+
+	// Output sinks (exactly one non-nil during Run).
+	textOut  *snpio.ResultWriter
+	blockOut *snpio.BlockWriter
+
+	rep *Report
+}
+
+// New creates an engine. It returns an error for inconsistent
+// configurations (ModeGPU without a device, oversized read length).
+func New(cfg Config) (*Engine, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Mode == ModeGPU && cfg.Device == nil {
+		return nil, fmt.Errorf("gsnp: ModeGPU requires a Device")
+	}
+	if cfg.ReadLen > bayes.MaxReadLen {
+		return nil, fmt.Errorf("gsnp: read length %d exceeds the model maximum %d", cfg.ReadLen, bayes.MaxReadLen)
+	}
+	return &Engine{cfg: cfg}, nil
+}
+
+// Tables exposes the calibrated tables after a run.
+func (e *Engine) Tables() *bayes.Tables { return e.tables }
+
+// simSpan measures the simulated device time consumed by f.
+func (e *Engine) simSpan(f func()) time.Duration {
+	start := e.cfg.Device.SimTime()
+	f()
+	return time.Duration((e.cfg.Device.SimTime() - start) * float64(time.Second))
+}
+
+// Run executes the pipeline over src, writing results to w (plain text, or
+// the compressed container when Config.CompressOutput is set).
+func (e *Engine) Run(src pipeline.Source, w io.Writer) (*Report, error) {
+	cfg := e.cfg
+	rep := &Report{Sites: len(cfg.Ref), NonZeroHist: make([]int64, sparsityHistSize)}
+	e.rep = rep
+
+	cw := &countingWriter{w: w}
+
+	// Component 1: cal_p_matrix + load_table — one pass over the input to
+	// calibrate the score matrix, then build the log table, the adjust
+	// table and the new score table on the CPU (Section IV-G) and load
+	// them into device memory.
+	t0 := time.Now()
+	var tempPath string
+	var sink func(*reads.AlignedRead) error
+	var tw *snpio.TempWriter
+	if cfg.UseTempInput {
+		f, err := os.CreateTemp(cfg.TempDir, "gsnp-temp-*.bin")
+		if err != nil {
+			return nil, fmt.Errorf("gsnp: cal_p_matrix: %w", err)
+		}
+		tempPath = f.Name()
+		defer os.Remove(tempPath)
+		defer f.Close()
+		tw = snpio.NewTempWriter(f, cfg.Chr)
+		sink = tw.Write
+	}
+	cal, meanDepth, err := pipeline.CalibrationPass(src, cfg.Ref, sink)
+	if err != nil {
+		return nil, fmt.Errorf("gsnp: cal_p_matrix: %w", err)
+	}
+	if tw != nil {
+		if err := tw.Flush(); err != nil {
+			return nil, fmt.Errorf("gsnp: cal_p_matrix: temp input: %w", err)
+		}
+		// The windowed pass reads the compressed temporary file instead
+		// of the original input (Section V-A).
+		src = pipeline.FuncSource(func() (pipeline.ReadIter, error) {
+			f, err := os.Open(tempPath)
+			if err != nil {
+				return nil, err
+			}
+			return &tempIter{f: f, tr: snpio.NewTempReader(f)}, nil
+		})
+	}
+	rep.MeanDepth = meanDepth
+	rep.Observations = int64(cal.Observations())
+	e.tables = bayes.BuildTables(cal.Build())
+	for b := dna.Base(0); b < dna.NBases; b++ {
+		e.novelPriors[b] = cfg.Priors.LogPriors(b, nil)
+	}
+	if cfg.Mode == ModeGPU {
+		if err := e.loadTables(); err != nil {
+			return nil, err
+		}
+	}
+	rep.Times.CalP = time.Since(t0)
+
+	// Output sink.
+	if cfg.CompressOutput {
+		if cfg.Mode == ModeGPU {
+			e.blockOut = snpio.NewBlockWriterGPU(cw, cfg.Device)
+		} else {
+			e.blockOut = snpio.NewBlockWriter(cw)
+		}
+	} else {
+		e.textOut = snpio.NewResultWriter(cw)
+	}
+
+	// Pass two: windowed per-site computation.
+	it, err := src.Open()
+	if err != nil {
+		return nil, fmt.Errorf("gsnp: read_site: %w", err)
+	}
+	win := pipeline.NewWindower(it)
+	for start := 0; start < len(cfg.Ref); start += cfg.Window {
+		end := start + cfg.Window
+		if end > len(cfg.Ref) {
+			end = len(cfg.Ref)
+		}
+		if err := e.runWindow(win, start, end); err != nil {
+			return nil, err
+		}
+	}
+
+	t0 = time.Now()
+	if e.textOut != nil {
+		if err := e.textOut.Flush(); err != nil {
+			return nil, fmt.Errorf("gsnp: output: %w", err)
+		}
+	} else {
+		if err := e.blockOut.Flush(); err != nil {
+			return nil, fmt.Errorf("gsnp: output: %w", err)
+		}
+	}
+	rep.Times.Output += time.Since(t0)
+	rep.OutputBytes = cw.n
+
+	if cfg.Mode == ModeGPU {
+		if rep.PeakDeviceBytes < cfg.Device.AllocatedBytes() {
+			rep.PeakDeviceBytes = cfg.Device.AllocatedBytes()
+		}
+		e.unloadTables()
+	}
+	return rep, nil
+}
+
+// loadTables uploads the precomputed tables (load_table in Figure 2). The
+// small adjust table lives in constant memory; new_p_matrix (tens of MB)
+// and p_matrix go to global memory.
+func (e *Engine) loadTables() error {
+	d := e.cfg.Device
+	e.gNewP = gpu.Alloc[float64](d, len(e.tables.NewP))
+	e.gNewP.CopyIn(e.tables.NewP)
+	e.gP = gpu.Alloc[float64](d, len(e.tables.P))
+	e.gP.CopyIn(e.tables.P)
+	var err error
+	e.cAdj, err = gpu.NewConst(d, e.tables.Adjust[:])
+	if err != nil {
+		return fmt.Errorf("gsnp: load_table: %w", err)
+	}
+	return nil
+}
+
+// unloadTables releases device table memory.
+func (e *Engine) unloadTables() {
+	if e.gNewP != nil {
+		e.gNewP.Free()
+		e.gP.Free()
+		e.cAdj.Free()
+		e.gNewP, e.gP, e.cAdj = nil, nil, nil
+	}
+	if e.gDep != nil {
+		e.gDep.Free()
+		e.gDep = nil
+	}
+}
+
+// window holds the per-window working set.
+type window struct {
+	start, end int
+	n          int
+
+	// Flattened observations (read_site output).
+	obsSite []uint32
+	obsWord []uint32
+	obsQual []uint8 // raw quality per observation (for the counting stats)
+	obsUniq []uint8
+
+	// Counting output: per-site base_word segments and summaries.
+	words  sortnet.Batches
+	counts []pipeline.SiteCounts
+
+	// Likelihood output: ten genotype log-likelihoods per site.
+	typeLikely []float64
+
+	// Posterior output.
+	bestRank   []uint8
+	secondRank []uint8
+	quality    []uint8
+}
+
+// runWindow executes components 2-7 for one window.
+func (e *Engine) runWindow(win *pipeline.Windower, start, end int) error {
+	cfg := e.cfg
+	rep := e.rep
+	w := &window{start: start, end: end, n: end - start}
+
+	// Component 2: read_site — pull the window's reads.
+	t0 := time.Now()
+	rs, err := win.Reads(start, end)
+	if err != nil {
+		return fmt.Errorf("gsnp: read_site: %w", err)
+	}
+	rep.Times.Read += time.Since(t0)
+
+	// Counting, host leg: flatten the observations into parallel arrays
+	// (the per-aligned-base extraction the counting component performs).
+	t0 = time.Now()
+	for i := range rs {
+		r := &rs[i]
+		lo, hi := r.Pos, r.Pos+len(r.Bases)
+		if lo < start {
+			lo = start
+		}
+		if hi > end {
+			hi = end
+		}
+		for pos := lo; pos < hi; pos++ {
+			o, ok := pipeline.ObsOf(r, pos)
+			if !ok {
+				continue
+			}
+			w.obsSite = append(w.obsSite, uint32(pos-start))
+			w.obsWord = append(w.obsWord, PackWord(o))
+			w.obsQual = append(w.obsQual, uint8(o.Qual))
+			u := uint8(0)
+			if o.Uniq {
+				u = 1
+			}
+			w.obsUniq = append(w.obsUniq, u)
+		}
+	}
+	rep.Times.Count += time.Since(t0)
+
+	// Components 3-7.
+	if cfg.Mode == ModeGPU {
+		err = e.runWindowGPU(w)
+	} else {
+		err = e.runWindowCPU(w)
+	}
+	if err != nil {
+		return err
+	}
+
+	// Sparsity histogram (Figure 4(b)): base_word length per site.
+	for site := 0; site < w.n; site++ {
+		h := w.words.SizeOf(site)
+		if h >= sparsityHistSize {
+			h = sparsityHistSize - 1
+		}
+		rep.NonZeroHist[h]++
+	}
+	return nil
+}
+
+// buildPriors returns the per-site log prior vectors of the window.
+func (e *Engine) buildPriors(w *window) []float64 {
+	cfg := e.cfg
+	pri := make([]float64, w.n*dna.NGenotypes)
+	for site := 0; site < w.n; site++ {
+		ref := cfg.Ref[w.start+site]
+		if known := cfg.Known[w.start+site]; known != nil {
+			lp := cfg.Priors.LogPriors(ref, known)
+			copy(pri[site*dna.NGenotypes:], lp[:])
+		} else {
+			copy(pri[site*dna.NGenotypes:], e.novelPriors[ref][:])
+		}
+	}
+	return pri
+}
+
+// output runs component 6 on the host path: assemble rows and write them.
+func (e *Engine) output(w *window) error {
+	return e.writeRows(e.buildRows(w))
+}
+
+// buildRows assembles the window's result rows (host work): rank-sum
+// quality lists are rebuilt from the sorted base_word segments, whose
+// canonical order matches the dense engine's iteration order.
+func (e *Engine) buildRows(w *window) []snpio.Row {
+	cfg := e.cfg
+	rep := e.rep
+
+	rows := make([]snpio.Row, w.n)
+	var alleleQuals [dna.NBases][]float64
+	for site := 0; site < w.n; site++ {
+		call := bayes.Call{
+			Genotype: dna.GenotypeByRank(int(w.bestRank[site])),
+			Second:   dna.GenotypeByRank(int(w.secondRank[site])),
+			Quality:  int(w.quality[site]),
+		}
+		var aq *[dna.NBases][]float64
+		if !call.Genotype.IsHomozygous() {
+			for b := range alleleQuals {
+				alleleQuals[b] = alleleQuals[b][:0]
+			}
+			for _, word := range w.words.Array(site) {
+				o := UnpackWord(word)
+				alleleQuals[o.Base] = append(alleleQuals[o.Base], float64(o.Qual))
+			}
+			aq = &alleleQuals
+		}
+		rows[site] = pipeline.BuildRow(&pipeline.RowInputs{
+			Chr:         cfg.Chr,
+			Pos:         w.start + site,
+			Ref:         cfg.Ref[w.start+site],
+			Call:        call,
+			Counts:      &w.counts[site],
+			AlleleQuals: aq,
+			MeanDepth:   rep.MeanDepth,
+			Known:       cfg.Known[w.start+site],
+		})
+		if rows[site].IsSNP() {
+			rep.SNPs++
+		}
+	}
+	return rows
+}
+
+// writeRows pushes assembled rows to the configured sink; with compressed
+// output on the GPU engine this is where the device compression kernels
+// run.
+func (e *Engine) writeRows(rows []snpio.Row) error {
+	if e.textOut != nil {
+		for i := range rows {
+			if err := e.textOut.Write(&rows[i]); err != nil {
+				return fmt.Errorf("gsnp: output: %w", err)
+			}
+		}
+		return nil
+	}
+	if err := e.blockOut.WriteBlock(rows); err != nil {
+		return fmt.Errorf("gsnp: output: %w", err)
+	}
+	return nil
+}
+
+// tempIter streams the compressed temporary input file, closing it at EOF.
+type tempIter struct {
+	f  *os.File
+	tr *snpio.TempReader
+}
+
+func (it *tempIter) Next() (reads.AlignedRead, error) {
+	r, err := it.tr.Next()
+	if err == io.EOF {
+		it.f.Close()
+	}
+	return r, err
+}
+
+// countingWriter tracks bytes written to the sink.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}

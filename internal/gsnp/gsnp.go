@@ -1,0 +1,208 @@
+// Package gsnp implements the paper's system: the GPU-accelerated SNP
+// detection pipeline of Figure 2 with the sparse base_word representation
+// (Section IV-B), the multipass batch sorting of likelihood_sort (IV-C),
+// the precomputed new score table (IV-D), shared-memory type_likely (IV-E)
+// and GPU-compressed output (V). A CPU mode (GSNP_CPU in the paper's
+// figures) runs the identical sparse algorithm without the device.
+//
+// All modes and kernel variants produce result tables byte-identical to the
+// dense SOAPsnp baseline — the consistency requirement of Section IV-G —
+// because every engine consumes the same CPU-built tables and performs the
+// same floating-point operations in the same canonical order.
+package gsnp
+
+import (
+	"fmt"
+	"time"
+
+	"gsnp/internal/bayes"
+	"gsnp/internal/dna"
+	"gsnp/internal/gpu"
+	"gsnp/internal/pipeline"
+	"gsnp/internal/snpio"
+	"gsnp/internal/sortnet"
+)
+
+// Mode selects the execution engine.
+type Mode int
+
+const (
+	// ModeGPU runs counting, likelihood, posterior and output
+	// compression on the simulated device (GSNP in the paper).
+	ModeGPU Mode = iota
+	// ModeCPU runs the same sparse algorithm sequentially on the host
+	// (GSNP_CPU in the paper's figures).
+	ModeCPU
+)
+
+// Variant selects the likelihood_comp kernel implementation, the subject
+// of Figure 8 and Table III.
+type Variant int
+
+const (
+	// VariantOptimized uses shared-memory type_likely and the new score
+	// table (the shipping configuration).
+	VariantOptimized Variant = iota
+	// VariantBaseline uses global-memory type_likely and p_matrix with
+	// runtime logarithms.
+	VariantBaseline
+	// VariantShared uses shared-memory type_likely but keeps p_matrix.
+	VariantShared
+	// VariantNewTable uses the new score table but keeps type_likely in
+	// global memory.
+	VariantNewTable
+)
+
+func (v Variant) String() string {
+	switch v {
+	case VariantOptimized:
+		return "optimized"
+	case VariantBaseline:
+		return "baseline"
+	case VariantShared:
+		return "w/ shared"
+	case VariantNewTable:
+		return "w/ new table"
+	}
+	return fmt.Sprintf("Variant(%d)", int(v))
+}
+
+// SortMethod selects the likelihood_sort implementation (Figure 7(b)).
+type SortMethod int
+
+const (
+	// SortMultipass is the paper's six-pass size-classed batch bitonic.
+	SortMultipass SortMethod = iota
+	// SortSinglePass pads every array to the largest size.
+	SortSinglePass
+	// SortNonEq sorts different sizes directly with imbalanced blocks.
+	SortNonEq
+)
+
+// Config parameterises a run.
+type Config struct {
+	// Chr names the chromosome in output rows.
+	Chr string
+	// Ref is the reference sequence.
+	Ref dna.Sequence
+	// Known holds the prior-file records.
+	Known snpio.KnownSNPs
+	// Window is the number of sites per window; GSNP's default is
+	// 256,000 (Section VI-A).
+	Window int
+	// ReadLen is the maximum read length.
+	ReadLen int
+	// Priors configures the genotype prior model.
+	Priors bayes.Priors
+	// Mode selects GPU or CPU execution.
+	Mode Mode
+	// Device is the simulated GPU (required for ModeGPU).
+	Device *gpu.Device
+	// Variant selects the likelihood_comp kernel (GPU mode).
+	Variant Variant
+	// Sort selects the likelihood_sort implementation (GPU mode).
+	Sort SortMethod
+	// CompressOutput writes the GSNP compressed container instead of the
+	// plain result text.
+	CompressOutput bool
+	// UseTempInput makes cal_p_matrix write the compressed temporary
+	// input file during its pass and the windowed pass read it back
+	// (Section V-A: the second read costs roughly a third of the bytes).
+	UseTempInput bool
+	// TempDir locates the temporary input file (default os.TempDir()).
+	TempDir string
+}
+
+// DefaultWindow is GSNP's window size from the paper's setup.
+const DefaultWindow = 256000
+
+func (c Config) withDefaults() Config {
+	if c.Window == 0 {
+		c.Window = DefaultWindow
+	}
+	if c.ReadLen == 0 {
+		c.ReadLen = 100
+	}
+	if c.Priors == (bayes.Priors{}) {
+		c.Priors = bayes.DefaultPriors()
+	}
+	return c
+}
+
+// Times is the per-component breakdown of Table IV. GPU components combine
+// the simulated device time of their kernels and copies with the host time
+// of their host-side work.
+type Times struct {
+	CalP       time.Duration
+	Read       time.Duration
+	Count      time.Duration
+	LikeliSort time.Duration
+	LikeliComp time.Duration
+	Post       time.Duration
+	Output     time.Duration
+	Recycle    time.Duration
+}
+
+// Likeli is the combined likelihood component (sort + comp), comparable
+// with SOAPsnp's likelihood column.
+func (t Times) Likeli() time.Duration { return t.LikeliSort + t.LikeliComp }
+
+// Total sums the components.
+func (t Times) Total() time.Duration {
+	return t.CalP + t.Read + t.Count + t.LikeliSort + t.LikeliComp + t.Post + t.Output + t.Recycle
+}
+
+func (t Times) String() string {
+	return fmt.Sprintf("cal_p=%v read=%v count=%v likeli=%v(sort=%v,comp=%v) post=%v output=%v recycle=%v total=%v",
+		t.CalP.Round(time.Microsecond), t.Read.Round(time.Microsecond), t.Count.Round(time.Microsecond),
+		t.Likeli().Round(time.Microsecond), t.LikeliSort.Round(time.Microsecond), t.LikeliComp.Round(time.Microsecond),
+		t.Post.Round(time.Microsecond), t.Output.Round(time.Microsecond), t.Recycle.Round(time.Microsecond),
+		t.Total().Round(time.Microsecond))
+}
+
+// Report summarises a run.
+type Report struct {
+	// Times is the component breakdown.
+	Times Times
+	// Sites, SNPs, MeanDepth and Observations as in the SOAPsnp report.
+	Sites        int
+	SNPs         int64
+	MeanDepth    float64
+	Observations int64
+	// NonZeroHist is the Figure 4(b) sparsity histogram (length of the
+	// base_word array per site).
+	NonZeroHist []int64
+	// SortStats aggregates the likelihood_sort work (GPU mode).
+	SortStats sortnet.Stats
+	// LikeliStats aggregates the device counters of the likelihood_comp
+	// kernels only — the Table III measurement (GPU mode).
+	LikeliStats gpu.Stats
+	// OutputBytes is the number of result bytes written.
+	OutputBytes int64
+	// PeakDeviceBytes is the high-water device memory use (GPU mode).
+	PeakDeviceBytes int64
+}
+
+// sparsityHistSize caps the sparsity histogram domain.
+const sparsityHistSize = 257
+
+// PackWord encodes an observation as a 32-bit base_word. The quality field
+// stores 63-score so that sorting words ascending yields Algorithm 1's
+// canonical order: base ascending, score descending, coordinate ascending,
+// strand ascending.
+func PackWord(o pipeline.Obs) uint32 {
+	return uint32(o.Base)<<15 | uint32(dna.QMax-1-uint32(o.Qual))<<9 | uint32(o.Coord)<<1 | uint32(o.Strand)
+}
+
+// UnpackWord decodes a base_word.
+func UnpackWord(w uint32) pipeline.Obs {
+	return pipeline.Obs{
+		Base:   dna.Base(w >> 15 & 3),
+		Qual:   dna.Quality(dna.QMax - 1 - w>>9&(dna.QMax-1)),
+		Coord:  uint8(w >> 1 & (bayes.MaxReadLen - 1)),
+		Strand: uint8(w & 1),
+	}
+}
+
+// wordKeyBits is the width of a base_word key (2+6+8+1).
+const wordKeyBits = 17

@@ -1,0 +1,483 @@
+package gsnp
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"gsnp/internal/bayes"
+	"gsnp/internal/dna"
+	"gsnp/internal/gpu"
+	"gsnp/internal/pipeline"
+	"gsnp/internal/seqsim"
+	"gsnp/internal/snpio"
+	"gsnp/internal/soapsnp"
+)
+
+func testDataset(t *testing.T, sites int, depth float64, seed int64) *seqsim.Dataset {
+	t.Helper()
+	return seqsim.BuildDataset(seqsim.ChromosomeSpec{
+		Name: "chrT", Length: sites, Depth: depth, MaskFraction: 0.1, Seed: seed,
+	})
+}
+
+func knownFromDataset(ds *seqsim.Dataset) snpio.KnownSNPs {
+	known := snpio.KnownSNPs{}
+	for _, v := range ds.Diploid.Variants {
+		if !v.Known {
+			continue
+		}
+		a1, a2 := v.Genotype.Alleles()
+		rec := &bayes.KnownSNP{Validated: true}
+		rec.Freq[a1] += 0.5
+		rec.Freq[a2] += 0.5
+		known[v.Pos] = rec
+	}
+	return known
+}
+
+// runGSNP executes the engine and returns the report plus raw output.
+func runGSNP(t *testing.T, ds *seqsim.Dataset, cfg Config) (*Report, []byte) {
+	t.Helper()
+	cfg.Chr = ds.Spec.Name
+	cfg.Ref = ds.Ref.Seq
+	cfg.Known = knownFromDataset(ds)
+	eng, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	rep, err := eng.Run(pipeline.MemSource(ds.Reads), &buf)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return rep, buf.Bytes()
+}
+
+// soapsnpText runs the dense baseline and returns its text output.
+func soapsnpText(t *testing.T, ds *seqsim.Dataset, window int) []byte {
+	t.Helper()
+	eng := soapsnp.New(soapsnp.Config{
+		Chr:    ds.Spec.Name,
+		Ref:    ds.Ref.Seq,
+		Known:  knownFromDataset(ds),
+		Window: window,
+	})
+	var buf bytes.Buffer
+	if _, err := eng.Run(pipeline.MemSource(ds.Reads), &buf); err != nil {
+		t.Fatalf("soapsnp.Run: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func TestPackUnpackWord(t *testing.T) {
+	f := func(b, q, c, s uint8) bool {
+		o := pipeline.Obs{
+			Base:   dna.Base(b & 3),
+			Qual:   dna.Quality(q & 63),
+			Coord:  c,
+			Strand: s & 1,
+		}
+		got := UnpackWord(PackWord(o))
+		return got == o
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWordSortOrderIsCanonical(t *testing.T) {
+	// Ascending word order must equal (base asc, score desc, coord asc,
+	// strand asc) — Algorithm 1's loop order.
+	a := PackWord(pipeline.Obs{Base: dna.A, Qual: 50, Coord: 10, Strand: 0})
+	b := PackWord(pipeline.Obs{Base: dna.A, Qual: 20, Coord: 0, Strand: 0})
+	if a >= b {
+		t.Error("higher score must sort before lower score within a base")
+	}
+	c := PackWord(pipeline.Obs{Base: dna.C, Qual: 63, Coord: 0, Strand: 0})
+	if b >= c {
+		t.Error("base A must sort before base C regardless of score")
+	}
+	d1 := PackWord(pipeline.Obs{Base: dna.A, Qual: 20, Coord: 5, Strand: 0})
+	d2 := PackWord(pipeline.Obs{Base: dna.A, Qual: 20, Coord: 5, Strand: 1})
+	if d1 >= d2 {
+		t.Error("forward strand must sort before reverse at equal fields")
+	}
+}
+
+func TestGSNPCPUMatchesSOAPsnp(t *testing.T) {
+	// The headline consistency claim (Section IV-G): the sparse engine
+	// produces output byte-identical to the dense baseline.
+	ds := testDataset(t, 4000, 9, 101)
+	want := soapsnpText(t, ds, 1000)
+	_, got := runGSNP(t, ds, Config{Mode: ModeCPU, Window: 800})
+	if !bytes.Equal(got, want) {
+		t.Fatalf("GSNP_CPU output differs from SOAPsnp (lens %d vs %d)", len(got), len(want))
+	}
+}
+
+func TestGSNPGPUMatchesSOAPsnp(t *testing.T) {
+	ds := testDataset(t, 3000, 9, 102)
+	want := soapsnpText(t, ds, 700)
+	for _, variant := range []Variant{VariantOptimized, VariantBaseline, VariantShared, VariantNewTable} {
+		_, got := runGSNP(t, ds, Config{
+			Mode: ModeGPU, Device: gpu.NewDevice(gpu.M2050()),
+			Window: 640, Variant: variant,
+		})
+		if !bytes.Equal(got, want) {
+			t.Fatalf("variant %v: GPU output differs from SOAPsnp", variant)
+		}
+	}
+}
+
+func TestSortMethodsProduceIdenticalOutput(t *testing.T) {
+	ds := testDataset(t, 2000, 9, 103)
+	var ref []byte
+	for i, method := range []SortMethod{SortMultipass, SortSinglePass, SortNonEq} {
+		_, got := runGSNP(t, ds, Config{
+			Mode: ModeGPU, Device: gpu.NewDevice(gpu.M2050()),
+			Window: 512, Sort: method,
+		})
+		if i == 0 {
+			ref = got
+			continue
+		}
+		if !bytes.Equal(got, ref) {
+			t.Fatalf("sort method %d output differs", method)
+		}
+	}
+}
+
+func TestCompressedOutputDecodesToSameRows(t *testing.T) {
+	ds := testDataset(t, 2500, 8, 104)
+	_, text := runGSNP(t, ds, Config{Mode: ModeCPU, Window: 600})
+	wantRows, err := snpio.ReadResults(bytes.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, blob := runGSNP(t, ds, Config{
+		Mode: ModeGPU, Device: gpu.NewDevice(gpu.M2050()),
+		Window: 600, CompressOutput: true,
+	})
+	gotRows, err := snpio.ReadAllBlocks(bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotRows) != len(wantRows) {
+		t.Fatalf("row counts differ: %d vs %d", len(gotRows), len(wantRows))
+	}
+	for i := range wantRows {
+		if gotRows[i] != wantRows[i] {
+			t.Fatalf("row %d differs:\n got %+v\nwant %+v", i, gotRows[i], wantRows[i])
+		}
+	}
+	// Figure 9(a): the compressed container is much smaller than text.
+	if rep.OutputBytes*4 > int64(len(text)) {
+		t.Errorf("compressed output %d B not <= 1/4 of text %d B", rep.OutputBytes, len(text))
+	}
+}
+
+func TestWindowSizeInvariance(t *testing.T) {
+	ds := testDataset(t, 2200, 8, 105)
+	var ref []byte
+	for i, win := range []int{300, 1024, 2200} {
+		_, got := runGSNP(t, ds, Config{Mode: ModeCPU, Window: win})
+		if i == 0 {
+			ref = got
+			continue
+		}
+		if !bytes.Equal(got, ref) {
+			t.Fatalf("window %d output differs", win)
+		}
+	}
+}
+
+func TestReportContents(t *testing.T) {
+	ds := testDataset(t, 3000, 9.6, 106)
+	rep, _ := runGSNP(t, ds, Config{
+		Mode: ModeGPU, Device: gpu.NewDevice(gpu.M2050()), Window: 1000,
+	})
+	if rep.Sites != 3000 {
+		t.Errorf("Sites = %d", rep.Sites)
+	}
+	if rep.MeanDepth < 7 || rep.MeanDepth > 11 {
+		t.Errorf("MeanDepth = %v", rep.MeanDepth)
+	}
+	if rep.LikeliStats.Instructions == 0 || rep.LikeliStats.GlobalLoads == 0 {
+		t.Error("likelihood_comp counters empty")
+	}
+	if rep.SortStats.ElementsSorted == 0 {
+		t.Error("sort stats empty")
+	}
+	if rep.PeakDeviceBytes == 0 {
+		t.Error("peak device bytes empty")
+	}
+	var sites int64
+	for _, c := range rep.NonZeroHist {
+		sites += c
+	}
+	if sites != 3000 {
+		t.Errorf("sparsity histogram covers %d sites", sites)
+	}
+	if rep.Times.Total() <= 0 || rep.Times.String() == "" {
+		t.Error("times not populated")
+	}
+	if rep.Times.Likeli() != rep.Times.LikeliSort+rep.Times.LikeliComp {
+		t.Error("Likeli() inconsistent")
+	}
+}
+
+func TestTableIIICounterTrends(t *testing.T) {
+	// The hardware-counter trends of Table III: shared memory removes the
+	// global type_likely traffic; the new table removes instructions
+	// (logs) and p_matrix loads; optimized is lowest on both.
+	ds := testDataset(t, 2000, 9, 107)
+	stats := map[Variant]gpu.Stats{}
+	for _, v := range []Variant{VariantBaseline, VariantShared, VariantNewTable, VariantOptimized} {
+		rep, _ := runGSNP(t, ds, Config{
+			Mode: ModeGPU, Device: gpu.NewDevice(gpu.M2050()),
+			Window: 1000, Variant: v,
+		})
+		stats[v] = rep.LikeliStats
+	}
+	base, shared, table, opt := stats[VariantBaseline], stats[VariantShared], stats[VariantNewTable], stats[VariantOptimized]
+
+	if shared.SharedLoads == 0 || shared.SharedStores == 0 {
+		t.Error("shared variant has no shared-memory traffic")
+	}
+	if base.SharedLoads != 0 {
+		t.Error("baseline variant uses shared memory")
+	}
+	if !(shared.GlobalLoads < base.GlobalLoads) {
+		t.Errorf("shared gld %d not below baseline %d", shared.GlobalLoads, base.GlobalLoads)
+	}
+	if !(shared.GlobalStores < base.GlobalStores) {
+		t.Errorf("shared gst %d not below baseline %d", shared.GlobalStores, base.GlobalStores)
+	}
+	if !(table.Instructions < base.Instructions) {
+		t.Errorf("new-table instructions %d not below baseline %d", table.Instructions, base.Instructions)
+	}
+	if !(table.GlobalLoads < base.GlobalLoads) {
+		t.Errorf("new-table gld %d not below baseline %d", table.GlobalLoads, base.GlobalLoads)
+	}
+	if !(opt.GlobalLoads+opt.GlobalStores < base.GlobalLoads+base.GlobalStores) {
+		t.Error("optimized global accesses not below baseline")
+	}
+	if !(opt.Instructions < base.Instructions) {
+		t.Error("optimized instructions not below baseline")
+	}
+}
+
+func TestDenseGPULikelihoodMatchesSparse(t *testing.T) {
+	ds := testDataset(t, 300, 9, 108)
+	d := gpu.NewDevice(gpu.M2050())
+	cfg := Config{Mode: ModeGPU, Device: d, Window: 300}
+	cfg.Chr = ds.Spec.Name
+	cfg.Ref = ds.Ref.Seq
+	eng, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := eng.Run(pipeline.MemSource(ds.Reads), &buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// Rebuild the window's sorted words and compare dense vs sparse
+	// likelihood directly.
+	it, _ := pipeline.MemSource(ds.Reads).Open()
+	win := pipeline.NewWindower(it)
+	w := &window{start: 0, end: 300, n: 300}
+	rs, _ := win.Reads(0, 300)
+	for i := range rs {
+		r := &rs[i]
+		for pos := r.Pos; pos < r.Pos+len(r.Bases) && pos < 300; pos++ {
+			if pos < 0 {
+				continue
+			}
+			o, ok := pipeline.ObsOf(r, pos)
+			if !ok {
+				continue
+			}
+			w.obsSite = append(w.obsSite, uint32(pos))
+			w.obsWord = append(w.obsWord, PackWord(o))
+			w.obsQual = append(w.obsQual, uint8(o.Qual))
+			w.obsUniq = append(w.obsUniq, 1)
+		}
+	}
+	eng2, _ := New(cfg)
+	eng2.tables = eng.Tables()
+	eng2.rep = &Report{NonZeroHist: make([]int64, sparsityHistSize)}
+	if err := eng2.loadTables(); err != nil {
+		t.Fatal(err)
+	}
+	defer eng2.unloadTables()
+	eng2.countCPU(w)
+	sortWindowWords(w)
+	eng2.likelihoodCompCPU(w)
+	sparse := append([]float64(nil), w.typeLikely...)
+
+	dense := DenseGPULikelihood(d, eng.Tables(), 100, &w.words, eng2.gNewP, eng2.cAdj)
+	if len(dense) != len(sparse) {
+		t.Fatalf("length mismatch %d vs %d", len(dense), len(sparse))
+	}
+	for i := range dense {
+		if dense[i] != sparse[i] {
+			t.Fatalf("dense GPU likelihood differs at %d: %v vs %v", i, dense[i], sparse[i])
+		}
+	}
+}
+
+// sortWindowWords sorts each site's words on the host (test helper).
+func sortWindowWords(w *window) {
+	for site := 0; site < w.n; site++ {
+		arr := w.words.Array(site)
+		for i := 1; i < len(arr); i++ {
+			for k := i; k > 0 && arr[k-1] > arr[k]; k-- {
+				arr[k-1], arr[k] = arr[k], arr[k-1]
+			}
+		}
+	}
+}
+
+func TestVariantString(t *testing.T) {
+	names := map[Variant]string{
+		VariantOptimized: "optimized",
+		VariantBaseline:  "baseline",
+		VariantShared:    "w/ shared",
+		VariantNewTable:  "w/ new table",
+		Variant(99):      "Variant(99)",
+	}
+	for v, want := range names {
+		if v.String() != want {
+			t.Errorf("Variant(%d).String() = %q", int(v), v.String())
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{Mode: ModeGPU}); err == nil {
+		t.Error("ModeGPU without device accepted")
+	}
+	if _, err := New(Config{Mode: ModeCPU, ReadLen: 1000}); err == nil {
+		t.Error("oversized read length accepted")
+	}
+	if _, err := New(Config{Mode: ModeCPU}); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+func TestRecycleIsNegligible(t *testing.T) {
+	// The sparse representation makes recycle orders of magnitude cheaper
+	// than likelihood (Table IV: 3s vs 60s on the GPU; SOAPsnp: 8214s).
+	ds := testDataset(t, 5000, 9, 109)
+	rep, _ := runGSNP(t, ds, Config{
+		Mode: ModeGPU, Device: gpu.NewDevice(gpu.M2050()), Window: 1000,
+	})
+	if rep.Times.Recycle*10 > rep.Times.Likeli() {
+		t.Errorf("recycle %v not negligible vs likelihood %v", rep.Times.Recycle, rep.Times.Likeli())
+	}
+}
+
+func TestUseTempInputIdenticalOutput(t *testing.T) {
+	// The Section V-A flow: cal_p_matrix writes the compressed temporary
+	// input, the windowed pass reads it back — output must not change.
+	ds := testDataset(t, 2500, 9, 110)
+	_, want := runGSNP(t, ds, Config{Mode: ModeCPU, Window: 700})
+	_, got := runGSNP(t, ds, Config{Mode: ModeCPU, Window: 700, UseTempInput: true})
+	if !bytes.Equal(got, want) {
+		t.Fatal("temporary-input flow changed the output")
+	}
+	_, gotGPU := runGSNP(t, ds, Config{
+		Mode: ModeGPU, Device: gpu.NewDevice(gpu.M2050()),
+		Window: 700, UseTempInput: true,
+	})
+	if !bytes.Equal(gotGPU, want) {
+		t.Fatal("temporary-input flow on the GPU engine changed the output")
+	}
+}
+
+func TestGPUWindowSizeInvariance(t *testing.T) {
+	ds := testDataset(t, 1800, 8, 111)
+	var ref []byte
+	dev := gpu.NewDevice(gpu.M2050())
+	for i, win := range []int{256, 900, 1800} {
+		_, got := runGSNP(t, ds, Config{Mode: ModeGPU, Device: dev, Window: win})
+		if i == 0 {
+			ref = got
+			continue
+		}
+		if !bytes.Equal(got, ref) {
+			t.Fatalf("GPU window %d output differs", win)
+		}
+	}
+}
+
+func TestEngineReuseAcrossRuns(t *testing.T) {
+	// One engine, several runs: device table state must reset cleanly.
+	ds := testDataset(t, 1200, 8, 112)
+	cfg := Config{Mode: ModeGPU, Device: gpu.NewDevice(gpu.M2050()), Window: 400}
+	cfg.Chr = ds.Spec.Name
+	cfg.Ref = ds.Ref.Seq
+	eng, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var first []byte
+	for run := 0; run < 3; run++ {
+		var buf bytes.Buffer
+		if _, err := eng.Run(pipeline.MemSource(ds.Reads), &buf); err != nil {
+			t.Fatalf("run %d: %v", run, err)
+		}
+		if run == 0 {
+			first = buf.Bytes()
+			continue
+		}
+		if !bytes.Equal(buf.Bytes(), first) {
+			t.Fatalf("run %d output differs from run 0", run)
+		}
+	}
+	// Device memory must not leak across runs (tables/dep freed).
+	if ab := cfg.Device.AllocatedBytes(); ab != 0 {
+		t.Errorf("device memory leaked: %d bytes still allocated", ab)
+	}
+}
+
+func TestCountGPUMatchesCountCPU(t *testing.T) {
+	// The counting component's GPU kernels (count/scan/scatter + atomic
+	// per-base statistics) must agree with the host implementation, up to
+	// intra-site word order (restored by likelihood_sort).
+	ds := testDataset(t, 1500, 9, 113)
+	n := len(ds.Ref.Seq)
+
+	build := func() *window { return buildTestWindow(ds, n) }
+
+	cpuEng, _ := New(Config{Chr: "c", Ref: ds.Ref.Seq, Window: n, Mode: ModeCPU})
+	wc := build()
+	cpuEng.countCPU(wc)
+
+	gpuEng, _ := New(Config{Chr: "c", Ref: ds.Ref.Seq, Window: n, Mode: ModeGPU, Device: gpu.NewDevice(gpu.M2050())})
+	wg := build()
+	gpuEng.countGPU(wg)
+
+	if len(wc.words.Bounds) != len(wg.words.Bounds) {
+		t.Fatal("bounds lengths differ")
+	}
+	for i := range wc.words.Bounds {
+		if wc.words.Bounds[i] != wg.words.Bounds[i] {
+			t.Fatalf("bounds differ at %d: %d vs %d", i, wc.words.Bounds[i], wg.words.Bounds[i])
+		}
+	}
+	sortWindowWords(wc)
+	sortWindowWords(wg)
+	for i := range wc.words.Data {
+		if wc.words.Data[i] != wg.words.Data[i] {
+			t.Fatalf("sorted words differ at %d", i)
+		}
+	}
+	for site := 0; site < n; site++ {
+		if wc.counts[site] != wg.counts[site] {
+			t.Fatalf("site %d counts differ:\n cpu %+v\n gpu %+v", site, wc.counts[site], wg.counts[site])
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package harness
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestExtConsistencyAllYes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("extension experiments in -short mode")
+	}
+	s := NewSession(tinyScale())
+	res, err := s.Run("ext-consistency")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 6 {
+		t.Fatalf("expected 6 engine rows, got %d", len(res.Rows))
+	}
+	for _, row := range res.Rows[1:] {
+		if row[2] != "YES" {
+			t.Errorf("engine %q not byte-identical: %v", row[0], row)
+		}
+	}
+}
+
+func TestExtAccuracyMonotone(t *testing.T) {
+	if testing.Short() {
+		t.Skip("extension experiments in -short mode")
+	}
+	s := NewSession(tinyScale())
+	res, err := s.Run("ext-accuracy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("expected 4 depth rows, got %d", len(res.Rows))
+	}
+	parse := func(cell string) float64 {
+		v, err := strconv.ParseFloat(strings.TrimSuffix(cell, "%"), 64)
+		if err != nil {
+			t.Fatalf("bad percentage cell %q: %v", cell, err)
+		}
+		return v
+	}
+	// Sensitivity at 30X should comfortably exceed sensitivity at 5X.
+	low := parse(res.Rows[0][3])
+	high := parse(res.Rows[3][3])
+	if high <= low {
+		t.Errorf("sensitivity did not improve with depth: 5X=%v%% 30X=%v%%", low, high)
+	}
+	if high < 80 {
+		t.Errorf("30X sensitivity = %v%%, want >= 80%%", high)
+	}
+}
+
+func TestExtThreadsRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("extension experiments in -short mode")
+	}
+	s := NewSession(tinyScale())
+	res, err := s.Run("ext-threads")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 5 {
+		t.Fatalf("expected 5 thread rows, got %d", len(res.Rows))
+	}
+	if res.Rows[0][2] != "1.0x" {
+		t.Errorf("single-thread speedup cell = %q", res.Rows[0][2])
+	}
+}

@@ -1,0 +1,227 @@
+// Package harness drives the reproduction of every table and figure of the
+// paper's evaluation (Section VI). Each experiment builds its scaled
+// workload, runs the relevant engines and renders the same rows or series
+// the paper reports, with notes comparing the measured shape against the
+// published numbers.
+//
+// Data sets are scaled-down versions of the paper's 24-chromosome human
+// genome (Section VI-A); scale is expressed in simulated sites per real
+// megabase, so chr1 keeps its 247:47 size ratio to chr21. GPU work runs on
+// the simulator: GPU times are simulated device seconds, CPU times are
+// host wall-clock, and absolute magnitudes are therefore not comparable to
+// the paper's testbed — the reproduced quantity is the shape (who wins,
+// by roughly what factor, where crossovers fall).
+package harness
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"time"
+
+	"gsnp/internal/bayes"
+	"gsnp/internal/gpu"
+	"gsnp/internal/gsnp"
+	"gsnp/internal/pipeline"
+	"gsnp/internal/seqsim"
+	"gsnp/internal/snpio"
+	"gsnp/internal/soapsnp"
+)
+
+// Scale controls workload sizes.
+type Scale struct {
+	// SitesPerMb converts real chromosome megabases to simulated sites:
+	// chr1 gets 247*SitesPerMb sites.
+	SitesPerMb int
+	// Seed drives all data generation.
+	Seed int64
+}
+
+// DefaultScale is sized so the slowest experiment (the dense SOAPsnp
+// baseline on chr1) completes in tens of seconds on a development machine.
+func DefaultScale() Scale { return Scale{SitesPerMb: 250, Seed: 20110607} }
+
+// QuickScale is for smoke tests and benchmarks.
+func QuickScale() Scale { return Scale{SitesPerMb: 60, Seed: 20110607} }
+
+// Session caches datasets and baseline runs across the experiments of one
+// invocation, since several figures reuse the chr1/chr21 workloads.
+type Session struct {
+	Scale Scale
+
+	mu       sync.Mutex
+	datasets map[string]*seqsim.Dataset
+	soapRuns map[string]*soapRun
+}
+
+// soapRun caches a SOAPsnp execution.
+type soapRun struct {
+	report *soapsnp.Report
+	output []byte
+}
+
+// NewSession creates a session at the given scale.
+func NewSession(sc Scale) *Session {
+	if sc.SitesPerMb <= 0 {
+		sc = DefaultScale()
+	}
+	return &Session{
+		Scale:    sc,
+		datasets: map[string]*seqsim.Dataset{},
+		soapRuns: map[string]*soapRun{},
+	}
+}
+
+// Dataset builds (or returns the cached) chromosome workload. Valid names
+// are "chr1".."chr22", "chrX", "chrY".
+func (s *Session) Dataset(name string) *seqsim.Dataset {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if ds, ok := s.datasets[name]; ok {
+		return ds
+	}
+	for _, spec := range seqsim.ScaledHumanGenome(s.Scale.SitesPerMb, s.Scale.Seed) {
+		if spec.Name == name {
+			ds := seqsim.BuildDataset(spec)
+			s.datasets[name] = ds
+			return ds
+		}
+	}
+	panic(fmt.Sprintf("harness: unknown chromosome %q", name))
+}
+
+// datasetAt builds a chromosome at a non-session scale (uncached).
+func (s *Session) datasetAt(name string, sitesPerMb int) *seqsim.Dataset {
+	for _, spec := range seqsim.ScaledHumanGenome(sitesPerMb, s.Scale.Seed) {
+		if spec.Name == name {
+			return seqsim.BuildDataset(spec)
+		}
+	}
+	panic(fmt.Sprintf("harness: unknown chromosome %q", name))
+}
+
+// KnownSNPs derives the prior-file records of a dataset.
+func KnownSNPs(ds *seqsim.Dataset) snpio.KnownSNPs {
+	known := snpio.KnownSNPs{}
+	for _, v := range ds.Diploid.Variants {
+		if !v.Known {
+			continue
+		}
+		a1, a2 := v.Genotype.Alleles()
+		rec := &bayes.KnownSNP{Validated: true}
+		rec.Freq[a1] += 0.5
+		rec.Freq[a2] += 0.5
+		known[v.Pos] = rec
+	}
+	return known
+}
+
+// RunSOAPsnp executes (or returns the cached) dense baseline for a
+// dataset.
+func (s *Session) RunSOAPsnp(name string) (*soapsnp.Report, []byte) {
+	s.mu.Lock()
+	if r, ok := s.soapRuns[name]; ok {
+		s.mu.Unlock()
+		return r.report, r.output
+	}
+	s.mu.Unlock()
+
+	ds := s.Dataset(name)
+	eng := soapsnp.New(soapsnp.Config{
+		Chr:   ds.Spec.Name,
+		Ref:   ds.Ref.Seq,
+		Known: KnownSNPs(ds),
+	})
+	var buf bytes.Buffer
+	rep, err := eng.Run(pipeline.MemSource(ds.Reads), &buf)
+	if err != nil {
+		panic(fmt.Sprintf("harness: soapsnp run failed: %v", err))
+	}
+	s.mu.Lock()
+	s.soapRuns[name] = &soapRun{report: rep, output: buf.Bytes()}
+	s.mu.Unlock()
+	return rep, buf.Bytes()
+}
+
+// GSNPOptions tweaks a GSNP run.
+type GSNPOptions struct {
+	Mode     gsnp.Mode
+	Variant  gsnp.Variant
+	Sort     gsnp.SortMethod
+	Window   int
+	Compress bool
+	Device   *gpu.Device
+}
+
+// RunGSNP executes a GSNP run over a dataset.
+func (s *Session) RunGSNP(ds *seqsim.Dataset, opts GSNPOptions) (*gsnp.Report, []byte) {
+	dev := opts.Device
+	if opts.Mode == gsnp.ModeGPU && dev == nil {
+		dev = gpu.NewDevice(gpu.M2050())
+	}
+	eng, err := gsnp.New(gsnp.Config{
+		Chr:            ds.Spec.Name,
+		Ref:            ds.Ref.Seq,
+		Known:          KnownSNPs(ds),
+		Window:         opts.Window,
+		Mode:           opts.Mode,
+		Device:         dev,
+		Variant:        opts.Variant,
+		Sort:           opts.Sort,
+		CompressOutput: opts.Compress,
+	})
+	if err != nil {
+		panic(fmt.Sprintf("harness: gsnp config: %v", err))
+	}
+	var buf bytes.Buffer
+	rep, err := eng.Run(pipeline.MemSource(ds.Reads), &buf)
+	if err != nil {
+		panic(fmt.Sprintf("harness: gsnp run failed: %v", err))
+	}
+	return rep, buf.Bytes()
+}
+
+// MeasureCPUBandwidth estimates the host's sequential memory read
+// bandwidth in bytes/second (the B_cpu of Formula 1), by streaming over a
+// buffer several times larger than the last-level cache.
+func MeasureCPUBandwidth() float64 {
+	const size = 256 << 20
+	buf := make([]byte, size)
+	for i := range buf {
+		buf[i] = byte(i)
+	}
+	var sum uint64
+	start := time.Now()
+	const passes = 4
+	for p := 0; p < passes; p++ {
+		for i := 0; i < size; i += 8 {
+			sum += uint64(buf[i]) + uint64(buf[i+7])
+		}
+	}
+	elapsed := time.Since(start).Seconds()
+	if sum == 42 {
+		fmt.Print("") // defeat dead-code elimination
+	}
+	return float64(size*passes) / elapsed
+}
+
+// seconds renders a duration in seconds with sensible precision.
+func seconds(d time.Duration) string {
+	s := d.Seconds()
+	switch {
+	case s >= 100:
+		return fmt.Sprintf("%.0f", s)
+	case s >= 1:
+		return fmt.Sprintf("%.2f", s)
+	default:
+		return fmt.Sprintf("%.4f", s)
+	}
+}
+
+// ratio renders a speedup factor.
+func ratio(num, den float64) string {
+	if den == 0 {
+		return "inf"
+	}
+	return fmt.Sprintf("%.1fx", num/den)
+}

@@ -1,0 +1,78 @@
+package harness
+
+// Published numbers from the paper, used in the notes of each reproduced
+// result so EXPERIMENTS.md can record paper-vs-measured side by side.
+
+// PaperTable1 is Table I: SOAPsnp component times in seconds.
+var PaperTable1 = map[string]map[string]float64{
+	"chr1": {
+		"cal_p": 258, "read": 101, "count": 376, "likeli": 12267,
+		"post": 113, "output": 550, "recycle": 8214, "total": 21879,
+	},
+	"chr21": {
+		"cal_p": 31, "read": 12, "count": 55, "likeli": 1854,
+		"post": 17, "output": 103, "recycle": 1603, "total": 3675,
+	},
+}
+
+// PaperTable4 is Table IV: GSNP component times in seconds (with the
+// speedups over SOAPsnp the paper lists in parentheses).
+var PaperTable4 = map[string]map[string]float64{
+	"chr1": {
+		"cal_p": 297, "read": 20, "count": 87, "likeli": 60,
+		"post": 16, "output": 44, "recycle": 3, "total": 527,
+	},
+	"chr21": {
+		"cal_p": 37, "read": 3, "count": 14, "likeli": 8,
+		"post": 3, "output": 7, "recycle": 1, "total": 73,
+	},
+}
+
+// PaperTable4Speedups are the parenthesised per-component speedups of
+// Table IV.
+var PaperTable4Speedups = map[string]map[string]float64{
+	"chr1":  {"read": 5, "count": 4, "likeli": 204, "post": 7, "output": 13, "recycle": 2738, "total": 42},
+	"chr21": {"read": 4, "count": 4, "likeli": 231, "post": 6, "output": 15, "recycle": 1603, "total": 50},
+}
+
+// PaperTable3 is Table III: hardware counters for likelihood_comp on chr1
+// (PW = per warp on a multiprocessor).
+var PaperTable3 = map[string]map[string]float64{
+	"baseline":     {"inst_pw": 3.3e10, "g_load": 3.3e8, "g_store": 3.7e8, "s_load_pw": 0, "s_store_pw": 0},
+	"w/ shared":    {"inst_pw": 3.1e10, "g_load": 2.3e8, "g_store": 2.5e8, "s_load_pw": 1.1e8, "s_store_pw": 1.1e8},
+	"w/ new table": {"inst_pw": 2.4e10, "g_load": 2.1e8, "g_store": 3.6e8, "s_load_pw": 0, "s_store_pw": 0},
+	"optimized":    {"inst_pw": 2.3e10, "g_load": 1.2e8, "g_store": 2.4e8, "s_load_pw": 1.1e8, "s_store_pw": 1.1e8},
+}
+
+// Paper shape facts quoted in notes.
+const (
+	// PaperSparseCPUSpeedup: GSNP_CPU beats SOAPsnp by ~4-5x on
+	// likelihood (Figure 5).
+	PaperSparseCPUSpeedupLo, PaperSparseCPUSpeedupHi = 4, 5
+	// PaperDenseGPUSlowdown: GPU dense is 14-17x slower than GSNP
+	// (Figure 5).
+	PaperDenseGPUSlowdownLo, PaperDenseGPUSlowdownHi = 14, 17
+	// PaperMultipassSpeedup: multipass is ~5x faster than single pass
+	// (Figure 7b).
+	PaperMultipassSpeedup = 5
+	// PaperKernelOptSpeedup: optimized likelihood_comp is ~2.4x the
+	// baseline (Figure 8).
+	PaperKernelOptSpeedup = 2.4
+	// PaperOutputRatio: SOAPsnp output is 14-16x larger than GSNP's
+	// (Figure 9a); gzip is ~1.5x larger.
+	PaperOutputRatioLo, PaperOutputRatioHi = 14, 16
+	PaperGzipOutputRatio                   = 1.5
+	// PaperTempInputRatio: compressed temporary input is ~1/3 of the
+	// original (Figure 10b).
+	PaperTempInputRatio = 1.0 / 3
+	// PaperEndToEndSpeedup: GSNP is at least 40x faster end to end
+	// (Figure 12).
+	PaperEndToEndSpeedup = 40
+	// PaperLikelihoodShare: likelihood is ~56% of SOAPsnp's total time
+	// (Section III-A).
+	PaperLikelihoodShare = 0.56
+	// PaperMemAccessShareLikeli / Recycle: the estimated base_occ access
+	// time is 65-70% of likelihood and 89-92% of recycle (Figure 4a).
+	PaperMemAccessShareLikeliLo, PaperMemAccessShareLikeliHi   = 0.65, 0.70
+	PaperMemAccessShareRecycleLo, PaperMemAccessShareRecycleHi = 0.89, 0.92
+)

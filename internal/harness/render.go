@@ -1,0 +1,81 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Result is one reproduced table or figure: rows of cells plus notes
+// comparing the measured shape with the paper's published numbers.
+type Result struct {
+	// ID is the experiment identifier, e.g. "table1" or "fig7a".
+	ID string
+	// Title describes the experiment.
+	Title string
+	// Headers and Rows hold the rendered table.
+	Headers []string
+	Rows    [][]string
+	// Notes records shape observations and paper comparisons.
+	Notes []string
+}
+
+// AddRow appends a formatted row.
+func (r *Result) AddRow(cells ...string) {
+	r.Rows = append(r.Rows, cells)
+}
+
+// Notef appends a formatted note.
+func (r *Result) Notef(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// Format renders the result as aligned text.
+func (r *Result) Format() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s: %s ==\n", r.ID, r.Title)
+
+	widths := make([]int, len(r.Headers))
+	for i, h := range r.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range r.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			pad := 0
+			if i < len(widths) {
+				pad = widths[i] - len(c)
+			}
+			if i == 0 {
+				sb.WriteString(c)
+				sb.WriteString(strings.Repeat(" ", pad))
+			} else {
+				sb.WriteString(strings.Repeat(" ", pad))
+				sb.WriteString(c)
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(r.Headers)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	sb.WriteString(strings.Repeat("-", total))
+	sb.WriteByte('\n')
+	for _, row := range r.Rows {
+		writeRow(row)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&sb, "note: %s\n", n)
+	}
+	return sb.String()
+}

@@ -1,0 +1,154 @@
+// Package pipeline holds the machinery shared by the SOAPsnp baseline and
+// the GSNP engine: alignment sources that can be read twice (pass one for
+// cal_p_matrix, pass two for the windowed per-site computation), per-site
+// observation records and counts, and the construction of result rows from
+// genotype likelihoods. Both engines build rows through this package with
+// identical arithmetic, which is what makes their outputs byte-identical —
+// the consistency requirement of Section IV-G of the paper.
+package pipeline
+
+import (
+	"io"
+
+	"gsnp/internal/bayes"
+	"gsnp/internal/dna"
+	"gsnp/internal/reads"
+)
+
+// ReadIter streams position-sorted alignment records; Next returns io.EOF
+// at the end of the stream. snpio's SOAP and temp-input readers implement
+// it.
+type ReadIter interface {
+	Next() (reads.AlignedRead, error)
+}
+
+// Source provides the alignment input. SNP detection reads its input twice
+// (Section V-A: the score-matrix calculation needs all data before the
+// windowed pass begins), so a Source must be openable repeatedly.
+type Source interface {
+	Open() (ReadIter, error)
+}
+
+// MemSource serves reads from memory. It implements Source.
+type MemSource []reads.AlignedRead
+
+// Open returns an iterator over the slice.
+func (m MemSource) Open() (ReadIter, error) {
+	return &memIter{rs: m}, nil
+}
+
+type memIter struct {
+	rs []reads.AlignedRead
+	i  int
+}
+
+func (it *memIter) Next() (reads.AlignedRead, error) {
+	if it.i >= len(it.rs) {
+		return reads.AlignedRead{}, io.EOF
+	}
+	r := it.rs[it.i]
+	it.i++
+	return r, nil
+}
+
+// FuncSource adapts an open function to Source.
+type FuncSource func() (ReadIter, error)
+
+// Open invokes the function.
+func (f FuncSource) Open() (ReadIter, error) { return f() }
+
+// Obs is one aligned base over a site: the observation unit of the
+// likelihood model.
+type Obs struct {
+	// Base is the observed base (reference orientation).
+	Base dna.Base
+	// Qual is the clamped sequencing quality.
+	Qual dna.Quality
+	// Coord is the sequencing cycle (coordinate on the read as
+	// sequenced), < bayes.MaxReadLen.
+	Coord uint8
+	// Strand is the read strand.
+	Strand uint8
+	// Uniq marks observations from uniquely aligned reads.
+	Uniq bool
+}
+
+// ObsOf extracts the observation of read r over reference position pos.
+// ok is false when the read does not cover pos or the coordinate exceeds
+// the model's maximum read length.
+func ObsOf(r *reads.AlignedRead, pos int) (Obs, bool) {
+	off := pos - r.Pos
+	if off < 0 || off >= len(r.Bases) {
+		return Obs{}, false
+	}
+	cyc := r.Cycle(off)
+	if cyc >= bayes.MaxReadLen {
+		return Obs{}, false
+	}
+	return Obs{
+		Base:   r.Bases[off],
+		Qual:   r.Quals[off],
+		Coord:  uint8(cyc),
+		Strand: r.Strand,
+		Uniq:   r.Hits == 1,
+	}, true
+}
+
+// SiteCounts aggregates the counting component's per-site statistics, the
+// inputs of the count/quality columns of the result table.
+type SiteCounts struct {
+	// Depth is the total number of aligned bases.
+	Depth uint16
+	// Count, QualSum and Uniq are per observed base: occurrence count,
+	// sum of quality scores, and count from uniquely aligned reads.
+	Count   [dna.NBases]uint16
+	QualSum [dna.NBases]uint32
+	Uniq    [dna.NBases]uint16
+}
+
+// Add folds one observation into the counts.
+func (c *SiteCounts) Add(o Obs) {
+	c.Depth++
+	c.Count[o.Base]++
+	c.QualSum[o.Base] += uint32(o.Qual)
+	if o.Uniq {
+		c.Uniq[o.Base]++
+	}
+}
+
+// Reset zeroes the counts for window reuse.
+func (c *SiteCounts) Reset() { *c = SiteCounts{} }
+
+// BestSecond returns the most and second-most supported bases by count
+// (ties broken toward the smaller base code, deterministically). hasSecond
+// is false when fewer than two distinct bases were observed.
+func (c *SiteCounts) BestSecond() (best dna.Base, second dna.Base, hasBest, hasSecond bool) {
+	bi, si := -1, -1
+	for b := 0; b < dna.NBases; b++ {
+		if c.Count[b] == 0 {
+			continue
+		}
+		switch {
+		case bi < 0 || c.Count[b] > c.Count[bi]:
+			si = bi
+			bi = b
+		case si < 0 || c.Count[b] > c.Count[si]:
+			si = b
+		}
+	}
+	if bi >= 0 {
+		best, hasBest = dna.Base(bi), true
+	}
+	if si >= 0 {
+		second, hasSecond = dna.Base(si), true
+	}
+	return best, second, hasBest, hasSecond
+}
+
+// AvgQual returns the rounded average quality of base b's observations.
+func (c *SiteCounts) AvgQual(b dna.Base) uint8 {
+	if c.Count[b] == 0 {
+		return 0
+	}
+	return uint8((c.QualSum[b] + uint32(c.Count[b])/2) / uint32(c.Count[b]))
+}

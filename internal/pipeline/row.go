@@ -1,0 +1,128 @@
+package pipeline
+
+import (
+	"io"
+
+	"gsnp/internal/bayes"
+	"gsnp/internal/dna"
+	"gsnp/internal/reads"
+	"gsnp/internal/snpio"
+)
+
+// RowInputs carries everything the output component needs for one site.
+type RowInputs struct {
+	// Chr and Pos identify the site (Pos is zero-based; the row gets the
+	// 1-based position).
+	Chr string
+	Pos int
+	// Ref is the reference base.
+	Ref dna.Base
+	// Call is the posterior genotype call.
+	Call bayes.Call
+	// Counts is the counting component's summary.
+	Counts *SiteCounts
+	// AlleleQuals holds the quality scores supporting each base, in
+	// canonical observation order, for the rank-sum test.
+	AlleleQuals *[dna.NBases][]float64
+	// MeanDepth is the data set's average depth (from pass one), the
+	// denominator of the copy-number estimate.
+	MeanDepth float64
+	// Known is non-nil when the site appears in the prior file.
+	Known *bayes.KnownSNP
+}
+
+// BuildRow assembles the 17-column result row for one site. Both engines
+// call this with identical inputs, making their outputs byte-identical.
+func BuildRow(in *RowInputs) snpio.Row {
+	c := in.Counts
+	row := snpio.Row{
+		Chr:      in.Chr,
+		Pos:      int64(in.Pos) + 1,
+		Ref:      in.Ref.Byte(),
+		Genotype: in.Call.Genotype.IUPAC(),
+		Quality:  uint8(in.Call.Quality),
+		Depth:    c.Depth,
+		RankSumP: 1,
+		CopyNum:  0,
+	}
+
+	best, second, hasBest, hasSecond := c.BestSecond()
+	if hasBest {
+		row.BestBase = best.Byte()
+		row.AvgQualBest = c.AvgQual(best)
+		row.CountBest = c.Count[best]
+		row.CountUniqBest = c.Uniq[best]
+	} else {
+		// No coverage: the best base defaults to the reference.
+		row.BestBase = in.Ref.Byte()
+	}
+	if hasSecond {
+		row.SecondBase = second.Byte()
+		row.AvgQualSecond = c.AvgQual(second)
+		row.CountSecond = c.Count[second]
+		row.CountUniqSecond = c.Uniq[second]
+	} else {
+		row.SecondBase = 'N'
+	}
+
+	// Rank-sum strand/quality bias test for heterozygous calls: compare
+	// the quality distributions supporting the two alleles.
+	if !in.Call.Genotype.IsHomozygous() && in.AlleleQuals != nil {
+		a1, a2 := in.Call.Genotype.Alleles()
+		row.RankSumP = bayes.RankSum(in.AlleleQuals[a1], in.AlleleQuals[a2])
+	}
+
+	if in.MeanDepth > 0 {
+		row.CopyNum = float64(c.Depth) / in.MeanDepth
+	}
+	if in.Known != nil {
+		row.IsDbSNP = 1
+	}
+	snpio.QuantizeRow(&row)
+	return row
+}
+
+// CalibrationPass is the shared pass-one logic of cal_p_matrix: it streams
+// the whole input once, feeding every observation into the calibration
+// against the reference and counting aligned bases for the mean-depth
+// estimate. The caller may supply a sink that sees every read (GSNP uses it
+// to write the compressed temporary input during the same pass).
+func CalibrationPass(src Source, ref dna.Sequence, sink func(*reads.AlignedRead) error) (*bayes.Calibration, float64, error) {
+	it, err := src.Open()
+	if err != nil {
+		return nil, 0, err
+	}
+	cal := bayes.NewCalibration()
+	var bases int64
+	for {
+		r, err := it.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, 0, err
+		}
+		for off := range r.Bases {
+			pos := r.Pos + off
+			if pos < 0 || pos >= len(ref) {
+				continue
+			}
+			o, ok := ObsOf(&r, pos)
+			if !ok {
+				continue
+			}
+			cal.Observe(dna.ClampQuality(int(o.Qual)), int(o.Coord), ref[pos], o.Base)
+			bases++
+		}
+		if sink != nil {
+			if err := sink(&r); err != nil {
+				return nil, 0, err
+			}
+		}
+	}
+	mean := 0.0
+	if len(ref) > 0 {
+		mean = float64(bases) / float64(len(ref))
+	}
+	return cal, mean, nil
+}

@@ -1,0 +1,90 @@
+// Package reads defines the aligned short-read record shared by the read
+// simulator, the aligner, the I/O formats and both SNP-calling pipelines.
+package reads
+
+import (
+	"fmt"
+	"sort"
+
+	"gsnp/internal/dna"
+)
+
+// AlignedRead is a read placed on the reference, the unit of the
+// SOAP-format alignment input. Bases and quality scores are stored in
+// reference orientation; Strand records which strand was sequenced, and the
+// sequencing cycle of reference-offset i is i on the forward strand and
+// len-1-i on the reverse strand.
+type AlignedRead struct {
+	// ID is the read identifier.
+	ID int64
+	// Pos is the zero-based leftmost reference position.
+	Pos int
+	// Strand is 0 for forward, 1 for reverse.
+	Strand uint8
+	// Hits is the number of equally good alignment positions; 1 = unique.
+	Hits uint8
+	// Bases holds the read bases in reference orientation.
+	Bases dna.Sequence
+	// Quals holds the per-base quality scores, aligned with Bases.
+	Quals []dna.Quality
+}
+
+// Cycle returns the sequencing cycle (coordinate on the read as sequenced)
+// of reference-offset i.
+func (r *AlignedRead) Cycle(i int) int {
+	if r.Strand == 1 {
+		return len(r.Bases) - 1 - i
+	}
+	return i
+}
+
+// SortByPos sorts by position, tie-broken on ID for determinism — the
+// order the SNP-calling input file requires.
+func SortByPos(rs []AlignedRead) {
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].Pos != rs[j].Pos {
+			return rs[i].Pos < rs[j].Pos
+		}
+		return rs[i].ID < rs[j].ID
+	})
+}
+
+// CoverageStats summarises a read set the way the paper's Table II does.
+type CoverageStats struct {
+	Sites    int
+	Reads    int
+	Depth    float64
+	Coverage float64
+}
+
+// Stats computes the Table II characteristics of reads over a reference of
+// n sites.
+func Stats(rs []AlignedRead, n int) CoverageStats {
+	covered := make([]bool, n)
+	var bases int64
+	for i := range rs {
+		r := &rs[i]
+		bases += int64(len(r.Bases))
+		for j := range r.Bases {
+			if p := r.Pos + j; p >= 0 && p < n {
+				covered[p] = true
+			}
+		}
+	}
+	nc := 0
+	for _, c := range covered {
+		if c {
+			nc++
+		}
+	}
+	return CoverageStats{
+		Sites:    n,
+		Reads:    len(rs),
+		Depth:    float64(bases) / float64(n),
+		Coverage: float64(nc) / float64(n),
+	}
+}
+
+func (s CoverageStats) String() string {
+	return fmt.Sprintf("sites=%d reads=%d depth=%.1fX coverage=%.0f%%", s.Sites, s.Reads, s.Depth, 100*s.Coverage)
+}

@@ -1,0 +1,66 @@
+package reads
+
+import (
+	"testing"
+
+	"gsnp/internal/dna"
+)
+
+func TestCycle(t *testing.T) {
+	r := AlignedRead{Strand: 0, Bases: make(dna.Sequence, 10)}
+	for i := 0; i < 10; i++ {
+		if r.Cycle(i) != i {
+			t.Fatalf("forward Cycle(%d) = %d", i, r.Cycle(i))
+		}
+	}
+	r.Strand = 1
+	for i := 0; i < 10; i++ {
+		if r.Cycle(i) != 9-i {
+			t.Fatalf("reverse Cycle(%d) = %d", i, r.Cycle(i))
+		}
+	}
+}
+
+func TestSortByPos(t *testing.T) {
+	rs := []AlignedRead{
+		{ID: 2, Pos: 50},
+		{ID: 1, Pos: 10},
+		{ID: 4, Pos: 10},
+		{ID: 3, Pos: 5},
+	}
+	SortByPos(rs)
+	wantIDs := []int64{3, 1, 4, 2}
+	for i, w := range wantIDs {
+		if rs[i].ID != w {
+			t.Fatalf("order[%d] = id %d, want %d", i, rs[i].ID, w)
+		}
+	}
+}
+
+func TestStats(t *testing.T) {
+	rs := []AlignedRead{
+		{Pos: 0, Bases: make(dna.Sequence, 10)},
+		{Pos: 5, Bases: make(dna.Sequence, 10)},
+	}
+	st := Stats(rs, 20)
+	if st.Reads != 2 || st.Sites != 20 {
+		t.Errorf("reads/sites = %d/%d", st.Reads, st.Sites)
+	}
+	if st.Depth != 1.0 {
+		t.Errorf("depth = %v, want 1.0", st.Depth)
+	}
+	if st.Coverage != 0.75 { // sites 0..14 covered of 20
+		t.Errorf("coverage = %v, want 0.75", st.Coverage)
+	}
+	if st.String() == "" {
+		t.Error("String empty")
+	}
+}
+
+func TestStatsClipsOutOfRange(t *testing.T) {
+	rs := []AlignedRead{{Pos: 18, Bases: make(dna.Sequence, 10)}}
+	st := Stats(rs, 20)
+	if st.Coverage != 0.1 {
+		t.Errorf("coverage = %v, want 0.1", st.Coverage)
+	}
+}

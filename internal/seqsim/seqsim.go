@@ -1,0 +1,372 @@
+// Package seqsim synthesises second-generation sequencing workloads: a
+// reference genome, a diploid individual carrying SNPs, and short reads
+// sampled from the individual with realistic errors and quality strings.
+//
+// It substitutes for the operational BGI data sets of the paper's
+// evaluation (Section VI-A: ~500M reads of 100 bp over 24 chromosome
+// files). The generator reproduces the structural properties the paper's
+// experiments depend on: per-site aligned-base counts (the sparsity of
+// Figure 4b), quality scores that repeat in runs along reads (the RLE-DICT
+// compressibility of Section V-B), partial coverage from unmappable
+// regions, and ground-truth SNPs for accuracy checks.
+package seqsim
+
+import (
+	"math"
+	"math/rand"
+
+	"gsnp/internal/dna"
+	"gsnp/internal/reads"
+)
+
+// GenomeSpec configures reference generation.
+type GenomeSpec struct {
+	// Name is the chromosome name, e.g. "chr21".
+	Name string
+	// Length is the reference length in base pairs.
+	Length int
+	// GC is the genome GC content (0.41 for human when zero).
+	GC float64
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// Reference is a generated reference chromosome.
+type Reference struct {
+	Name string
+	Seq  dna.Sequence
+}
+
+// GenerateReference builds a random reference with first-order base
+// composition matching the GC target, plus occasional low-complexity
+// stretches as found in real genomes.
+func GenerateReference(spec GenomeSpec) *Reference {
+	gc := spec.GC
+	if gc == 0 {
+		gc = 0.41
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	seq := make(dna.Sequence, spec.Length)
+	i := 0
+	for i < spec.Length {
+		if rng.Float64() < 0.001 {
+			// Low-complexity repeat: copy a short motif a few times.
+			motifLen := 2 + rng.Intn(5)
+			reps := 3 + rng.Intn(8)
+			motif := make(dna.Sequence, motifLen)
+			for m := range motif {
+				motif[m] = randBase(rng, gc)
+			}
+			for r := 0; r < reps && i < spec.Length; r++ {
+				for m := 0; m < motifLen && i < spec.Length; m++ {
+					seq[i] = motif[m]
+					i++
+				}
+			}
+			continue
+		}
+		seq[i] = randBase(rng, gc)
+		i++
+	}
+	return &Reference{Name: spec.Name, Seq: seq}
+}
+
+// randBase draws a base with the given GC probability.
+func randBase(rng *rand.Rand, gc float64) dna.Base {
+	if rng.Float64() < gc {
+		if rng.Intn(2) == 0 {
+			return dna.C
+		}
+		return dna.G
+	}
+	if rng.Intn(2) == 0 {
+		return dna.A
+	}
+	return dna.T
+}
+
+// DiploidSpec configures the simulated individual.
+type DiploidSpec struct {
+	// HetRate is the per-site probability of a heterozygous SNP
+	// (human-typical ~1e-3).
+	HetRate float64
+	// HomRate is the per-site probability of a homozygous-alt SNP.
+	HomRate float64
+	// TiTv is the transition/transversion ratio of injected SNPs.
+	TiTv float64
+	// KnownFraction is the fraction of injected SNPs also present in the
+	// known-SNP (dbSNP-like) prior file.
+	KnownFraction float64
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// DefaultDiploidSpec matches human polymorphism rates.
+func DefaultDiploidSpec(seed int64) DiploidSpec {
+	return DiploidSpec{HetRate: 1e-3, HomRate: 5e-4, TiTv: 2.1, KnownFraction: 0.3, Seed: seed}
+}
+
+// Variant is an injected ground-truth SNP.
+type Variant struct {
+	// Pos is the zero-based reference position.
+	Pos int
+	// Ref is the reference base at Pos.
+	Ref dna.Base
+	// Genotype is the individual's true genotype at Pos.
+	Genotype dna.Genotype
+	// Known marks variants that appear in the prior file.
+	Known bool
+}
+
+// Diploid is a simulated individual: two haplotypes over a reference plus
+// the ground-truth variant list.
+type Diploid struct {
+	Ref      *Reference
+	Hap1     dna.Sequence
+	Hap2     dna.Sequence
+	Variants []Variant
+}
+
+// MakeDiploid injects SNPs into the reference according to spec.
+func MakeDiploid(ref *Reference, spec DiploidSpec) *Diploid {
+	rng := rand.New(rand.NewSource(spec.Seed))
+	d := &Diploid{
+		Ref:  ref,
+		Hap1: append(dna.Sequence(nil), ref.Seq...),
+		Hap2: append(dna.Sequence(nil), ref.Seq...),
+	}
+	for pos, refBase := range ref.Seq {
+		r := rng.Float64()
+		var g dna.Genotype
+		switch {
+		case r < spec.HetRate:
+			alt := mutate(rng, refBase, spec.TiTv)
+			g = dna.MakeGenotype(refBase, alt)
+			if rng.Intn(2) == 0 {
+				d.Hap1[pos] = alt
+			} else {
+				d.Hap2[pos] = alt
+			}
+		case r < spec.HetRate+spec.HomRate:
+			alt := mutate(rng, refBase, spec.TiTv)
+			g = dna.HomozygousGenotype(alt)
+			d.Hap1[pos] = alt
+			d.Hap2[pos] = alt
+		default:
+			continue
+		}
+		d.Variants = append(d.Variants, Variant{
+			Pos:      pos,
+			Ref:      refBase,
+			Genotype: g,
+			Known:    rng.Float64() < spec.KnownFraction,
+		})
+	}
+	return d
+}
+
+// mutate draws an alternative base with transition/transversion bias.
+func mutate(rng *rand.Rand, ref dna.Base, tiTv float64) dna.Base {
+	if tiTv <= 0 {
+		tiTv = 2
+	}
+	// One transition, two transversions.
+	pTi := tiTv / (tiTv + 2)
+	if rng.Float64() < pTi {
+		return ref ^ 2 // the transition partner under the 2-bit encoding
+	}
+	// Pick one of the two transversions.
+	alt := ref ^ 1
+	if rng.Intn(2) == 1 {
+		alt = ref ^ 3
+	}
+	return alt
+}
+
+// ReadSpec configures read sampling.
+type ReadSpec struct {
+	// Depth is the mean sequencing depth over unmasked regions.
+	Depth float64
+	// ReadLen is the read length in bp (100 in the paper's data).
+	ReadLen int
+	// MaskFraction is the fraction of the reference with no read
+	// coverage (unmappable regions), producing the partial coverage of
+	// Table II (88% for Ch.1, 68% for Ch.21).
+	MaskFraction float64
+	// QualityHigh is the plateau quality of early read cycles.
+	QualityHigh int
+	// QualityLow is the floor quality of late cycles.
+	QualityLow int
+	// SegmentLen is the length of constant-quality runs along a read;
+	// real base callers emit the same quality for stretches of cycles.
+	SegmentLen int
+	// MultiHitRate is the fraction of reads flagged as aligning to
+	// multiple positions (hits > 1), which SNP calling weighs via the
+	// count-uniq columns.
+	MultiHitRate float64
+	// HotspotRate is the expected number of pileup hotspots per site:
+	// repetitive regions attract excess alignments in real data,
+	// producing the deep per-site stacks (hundreds of aligned bases)
+	// that drive the largest size classes of the multipass sort.
+	HotspotRate float64
+	// HotspotBoost multiplies the local depth at a hotspot.
+	HotspotBoost float64
+	// Seed makes sampling deterministic.
+	Seed int64
+}
+
+// DefaultReadSpec mirrors the paper's 100 bp reads at the given depth.
+func DefaultReadSpec(depth float64, seed int64) ReadSpec {
+	return ReadSpec{
+		Depth:        depth,
+		ReadLen:      100,
+		MaskFraction: 0.12,
+		QualityHigh:  38,
+		QualityLow:   12,
+		SegmentLen:   16,
+		MultiHitRate: 0.08,
+		HotspotRate:  1.0 / 40000,
+		HotspotBoost: 8,
+		Seed:         seed,
+	}
+}
+
+// SampleReads draws reads from the diploid individual. Reads are returned
+// sorted by position (the SNP-calling input order). The returned mask
+// reports which reference positions were eligible for coverage.
+func SampleReads(d *Diploid, spec ReadSpec) ([]reads.AlignedRead, []bool) {
+	rng := rand.New(rand.NewSource(spec.Seed))
+	n := len(d.Ref.Seq)
+	mask := buildMask(rng, n, spec.MaskFraction)
+
+	if spec.ReadLen > n {
+		spec.ReadLen = n
+	}
+	numReads := int(math.Round(spec.Depth * float64(n) / float64(spec.ReadLen)))
+	rs := make([]reads.AlignedRead, 0, numReads)
+
+	// Sample candidate start positions uniformly; reject reads that
+	// overlap masked territory so masked regions stay uncovered.
+	maxStart := n - spec.ReadLen
+	for attempt := int64(0); len(rs) < numReads; attempt++ {
+		if attempt > int64(numReads)*20 {
+			break // degenerate mask; avoid an unbounded loop
+		}
+		start := rng.Intn(maxStart + 1)
+		if !mask[start] || !mask[start+spec.ReadLen-1] {
+			continue
+		}
+		rs = append(rs, sampleOneRead(d, spec, rng, int64(len(rs)), start))
+	}
+
+	// Pileup hotspots: repetitive regions accumulate excess alignments,
+	// giving a few sites per chromosome stacks of hundreds of aligned
+	// bases (dominated by multi-hit reads).
+	nHot := int(float64(n) * spec.HotspotRate)
+	extra := int(spec.Depth * spec.HotspotBoost)
+	for h := 0; h < nHot; h++ {
+		center := rng.Intn(maxStart + 1)
+		if !mask[center] || !mask[center+spec.ReadLen-1] {
+			continue
+		}
+		lo := center - spec.ReadLen + 1
+		if lo < 0 {
+			lo = 0
+		}
+		for k := 0; k < extra; k++ {
+			start := lo + rng.Intn(center-lo+1)
+			if !mask[start] || start+spec.ReadLen > n || !mask[start+spec.ReadLen-1] {
+				continue
+			}
+			r := sampleOneRead(d, spec, rng, int64(len(rs)), start)
+			r.Hits = uint8(2 + rng.Intn(200)) // repeat-region alignments
+			rs = append(rs, r)
+		}
+	}
+
+	reads.SortByPos(rs)
+	return rs, mask
+}
+
+// buildMask marks ~maskFraction of the genome unmappable in contiguous
+// blocks.
+func buildMask(rng *rand.Rand, n int, frac float64) []bool {
+	mask := make([]bool, n)
+	for i := range mask {
+		mask[i] = true
+	}
+	if frac <= 0 {
+		return mask
+	}
+	masked := 0
+	target := int(float64(n) * frac)
+	for masked < target {
+		blockLen := 500 + rng.Intn(4500)
+		if blockLen > target-masked+499 {
+			blockLen = target - masked + 1
+		}
+		start := rng.Intn(n)
+		for i := start; i < start+blockLen && i < n; i++ {
+			if mask[i] {
+				mask[i] = false
+				masked++
+			}
+		}
+	}
+	return mask
+}
+
+// sampleOneRead sequences one read from a random haplotype and strand.
+func sampleOneRead(d *Diploid, spec ReadSpec, rng *rand.Rand, id int64, start int) reads.AlignedRead {
+	hap := d.Hap1
+	if rng.Intn(2) == 1 {
+		hap = d.Hap2
+	}
+	strand := uint8(rng.Intn(2))
+	r := reads.AlignedRead{
+		ID:     id,
+		Pos:    start,
+		Strand: strand,
+		Hits:   1,
+		Bases:  make(dna.Sequence, spec.ReadLen),
+		Quals:  make([]dna.Quality, spec.ReadLen),
+	}
+	if rng.Float64() < spec.MultiHitRate {
+		r.Hits = uint8(2 + rng.Intn(3))
+	}
+
+	// Quality string: a declining staircase of constant-quality segments
+	// over sequencing cycles, with read-to-read jitter.
+	segLen := spec.SegmentLen
+	if segLen <= 0 {
+		segLen = 16
+	}
+	offset := rng.Intn(7) - 3
+	for cyc := 0; cyc < spec.ReadLen; cyc++ {
+		seg := cyc / segLen
+		frac := float64(seg*segLen) / float64(spec.ReadLen)
+		q := float64(spec.QualityHigh) - frac*float64(spec.QualityHigh-spec.QualityLow)
+		r.Quals[refOffset(strand, spec.ReadLen, cyc)] = dna.ClampQuality(int(q) + offset)
+	}
+
+	// Bases: haplotype truth with Phred-governed miscalls.
+	for i := 0; i < spec.ReadLen; i++ {
+		truth := hap[start+i]
+		q := r.Quals[i]
+		if rng.Float64() < q.ErrorProbability() {
+			// Uniform among the three wrong bases.
+			truth = dna.Base((int(truth) + 1 + rng.Intn(3))) & 3
+		}
+		r.Bases[i] = truth
+	}
+	return r
+}
+
+// refOffset converts a sequencing cycle to a reference offset for the given
+// strand.
+func refOffset(strand uint8, readLen, cycle int) int {
+	if strand == 1 {
+		return readLen - 1 - cycle
+	}
+	return cycle
+}

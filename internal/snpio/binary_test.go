@@ -1,0 +1,295 @@
+package snpio
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"testing"
+
+	"gsnp/internal/gpu"
+)
+
+// makeRows builds a realistic window of result rows: mostly hom-ref with
+// occasional SNPs, run-structured quality columns.
+func makeRows(chr string, start int64, n int, seed int64) []Row {
+	rng := rand.New(rand.NewSource(seed))
+	rows := make([]Row, n)
+	letters := []byte{'A', 'C', 'G', 'T'}
+	depth := uint16(9)
+	qual := uint8(40)
+	for i := range rows {
+		if i%13 == 0 {
+			depth = uint16(5 + rng.Intn(10))
+		}
+		if i%17 == 0 {
+			qual = uint8(20 + rng.Intn(40))
+		}
+		ref := letters[rng.Intn(4)]
+		r := Row{
+			Chr: chr, Pos: start + int64(i), Ref: ref, Genotype: ref,
+			Quality: qual, BestBase: ref, AvgQualBest: qual - 5,
+			CountBest: depth, CountUniqBest: depth - 1,
+			SecondBase: 'N', Depth: depth, RankSumP: 1, CopyNum: 1.001,
+		}
+		if rng.Float64() < 0.002 {
+			// A het SNP row exercising the sparse columns.
+			r.Genotype = 'R'
+			r.SecondBase = 'G'
+			r.AvgQualSecond = 30
+			r.CountSecond = depth / 2
+			r.CountUniqSecond = depth / 2
+			r.RankSumP = 0.4321
+			r.IsDbSNP = 1
+		}
+		QuantizeRow(&r)
+		rows[i] = r
+	}
+	return rows
+}
+
+func TestBlockRoundTrip(t *testing.T) {
+	rows := makeRows("chr21", 1, 5000, 3)
+	var buf bytes.Buffer
+	w := NewBlockWriter(&buf)
+	if err := w.WriteBlock(rows[:2500]); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteBlock(rows[2500:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Blocks() != 2 {
+		t.Errorf("Blocks = %d", w.Blocks())
+	}
+	got, err := ReadAllBlocks(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(rows) {
+		t.Fatalf("decoded %d rows, want %d", len(got), len(rows))
+	}
+	for i := range rows {
+		if got[i] != rows[i] {
+			t.Fatalf("row %d corrupted:\n got %+v\nwant %+v", i, got[i], rows[i])
+		}
+	}
+}
+
+func TestBlockCompressionRatio(t *testing.T) {
+	rows := makeRows("chr1", 1, 20000, 5)
+	var bin bytes.Buffer
+	w := NewBlockWriter(&bin)
+	if err := w.WriteBlock(rows); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	var text bytes.Buffer
+	rw := NewResultWriter(&text)
+	for i := range rows {
+		if err := rw.Write(&rows[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := rw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(text.Len()) / float64(bin.Len())
+	// The paper reports plain output 14-16x larger than GSNP's.
+	if ratio < 8 {
+		t.Errorf("compression ratio = %.1f, want >= 8 (paper: 14-16)", ratio)
+	}
+	t.Logf("text %d B, compressed %d B, ratio %.1fx", text.Len(), bin.Len(), ratio)
+}
+
+func TestBlockWriterGPUByteIdentical(t *testing.T) {
+	rows := makeRows("chr21", 100, 4000, 9)
+	var cpu, dev bytes.Buffer
+	w := NewBlockWriter(&cpu)
+	if err := w.WriteBlock(rows); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	g := NewBlockWriterGPU(&dev, gpu.NewDevice(gpu.M2050()))
+	if err := g.WriteBlock(rows); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(cpu.Bytes(), dev.Bytes()) {
+		t.Error("GPU-compressed container differs from CPU-compressed container")
+	}
+}
+
+func TestBlockWriterValidation(t *testing.T) {
+	w := NewBlockWriter(&bytes.Buffer{})
+	rows := makeRows("a", 1, 10, 1)
+	rows[5].Chr = "b"
+	if err := w.WriteBlock(rows); err == nil {
+		t.Error("mixed-chromosome block accepted")
+	}
+	rows = makeRows("a", 1, 10, 1)
+	rows[5].Pos = 999
+	if err := w.WriteBlock(rows); err == nil {
+		t.Error("non-consecutive block accepted")
+	}
+	if err := w.WriteBlock(nil); err != nil {
+		t.Errorf("empty block rejected: %v", err)
+	}
+}
+
+func TestBlockReaderErrors(t *testing.T) {
+	if _, err := ReadAllBlocks(bytes.NewReader([]byte("WRONGMAG"))); err == nil {
+		t.Error("bad magic accepted")
+	}
+	// Truncated block body.
+	rows := makeRows("c", 1, 100, 2)
+	var buf bytes.Buffer
+	w := NewBlockWriter(&buf)
+	if err := w.WriteBlock(rows); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-10]
+	if _, err := ReadAllBlocks(bytes.NewReader(trunc)); err == nil {
+		t.Error("truncated container accepted")
+	}
+}
+
+func TestQuantizeRow(t *testing.T) {
+	r := Row{RankSumP: 0.123456789, CopyNum: 1.23456}
+	QuantizeRow(&r)
+	if r.RankSumP != 0.12346 {
+		t.Errorf("RankSumP = %v", r.RankSumP)
+	}
+	if r.CopyNum != 1.235 {
+		t.Errorf("CopyNum = %v", r.CopyNum)
+	}
+}
+
+func TestTempInputRoundTrip(t *testing.T) {
+	rs := makeReads(t)
+	var buf bytes.Buffer
+	tw := NewTempWriter(&buf, "chrT")
+	for i := range rs {
+		if err := tw.Write(&rs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if tw.Count() != int64(len(rs)) {
+		t.Errorf("Count = %d", tw.Count())
+	}
+
+	tr := NewTempReader(&buf)
+	for i := range rs {
+		got, err := tr.Next()
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		want := &rs[i]
+		if got.ID != want.ID || got.Pos != want.Pos || got.Strand != want.Strand || got.Hits != want.Hits {
+			t.Fatalf("read %d metadata corrupted", i)
+		}
+		if got.Bases.String() != want.Bases.String() {
+			t.Fatalf("read %d bases corrupted", i)
+		}
+		for j := range want.Quals {
+			if got.Quals[j] != want.Quals[j] {
+				t.Fatalf("read %d quals corrupted at %d", i, j)
+			}
+		}
+	}
+	if _, err := tr.Next(); err != io.EOF {
+		t.Errorf("expected EOF, got %v", err)
+	}
+	if tr.Chromosome() != "chrT" {
+		t.Errorf("chromosome = %q", tr.Chromosome())
+	}
+}
+
+func TestTempInputSmallerThanText(t *testing.T) {
+	rs := makeReads(t)
+	var text, bin bytes.Buffer
+	if err := WriteSOAP(&text, "chrT", rs); err != nil {
+		t.Fatal(err)
+	}
+	tw := NewTempWriter(&bin, "chrT")
+	for i := range rs {
+		if err := tw.Write(&rs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(bin.Len()) / float64(text.Len())
+	// Figure 10(b): compressed input around one third of the original.
+	if ratio > 0.45 {
+		t.Errorf("temp input is %.0f%% of text size, want <= 45%% (paper ~33%%)", 100*ratio)
+	}
+	t.Logf("text %d B, temp %d B (%.0f%%)", text.Len(), bin.Len(), 100*ratio)
+}
+
+func TestTempReaderBadMagic(t *testing.T) {
+	tr := NewTempReader(bytes.NewReader([]byte("NOTMAGIC")))
+	if _, err := tr.Next(); err == nil {
+		t.Error("bad magic accepted")
+	}
+}
+
+func TestBlockReaderStreamsBlockByBlock(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewBlockWriter(&buf)
+	for blk := 0; blk < 4; blk++ {
+		rows := makeRows("chrS", int64(1+1000*blk), 1000, int64(blk))
+		if err := w.WriteBlock(rows); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	br := NewBlockReader(&buf)
+	blocks := 0
+	for {
+		blk, err := br.NextBlock()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(blk) != 1000 {
+			t.Fatalf("block %d has %d rows", blocks, len(blk))
+		}
+		if blk[0].Pos != int64(1+1000*blocks) {
+			t.Fatalf("block %d starts at %d", blocks, blk[0].Pos)
+		}
+		blocks++
+	}
+	if blocks != 4 {
+		t.Errorf("streamed %d blocks, want 4", blocks)
+	}
+}
+
+func TestTempWriterEmptyFlush(t *testing.T) {
+	var buf bytes.Buffer
+	tw := NewTempWriter(&buf, "c")
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("empty temp writer produced %d bytes", buf.Len())
+	}
+}

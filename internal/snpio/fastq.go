@@ -1,0 +1,94 @@
+package snpio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"gsnp/internal/align"
+	"gsnp/internal/dna"
+)
+
+// FASTQ support for raw (pre-alignment) reads: the sequencer's output
+// format, consumed by the aligner stage.
+
+// WriteFASTQ writes raw reads in FASTQ format (Phred+33 qualities).
+func WriteFASTQ(w io.Writer, raws []align.RawRead) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	for i := range raws {
+		r := &raws[i]
+		qs := make([]byte, len(r.Quals))
+		for j, q := range r.Quals {
+			qs[j] = byte(q) + qualOffset
+		}
+		if _, err := fmt.Fprintf(bw, "@read_%d\n%s\n+\n%s\n", r.ID, r.Seq.String(), qs); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadFASTQ parses a FASTQ stream.
+func ReadFASTQ(r io.Reader) ([]align.RawRead, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var raws []align.RawRead
+	line := 0
+	next := func() (string, bool) {
+		if !sc.Scan() {
+			return "", false
+		}
+		line++
+		return sc.Text(), true
+	}
+	for {
+		head, ok := next()
+		if !ok {
+			break
+		}
+		if strings.TrimSpace(head) == "" {
+			continue
+		}
+		if !strings.HasPrefix(head, "@") {
+			return nil, fmt.Errorf("snpio: FASTQ line %d: expected @header, got %q", line, head)
+		}
+		seqLine, ok := next()
+		if !ok {
+			return nil, fmt.Errorf("snpio: FASTQ line %d: truncated record", line)
+		}
+		plus, ok := next()
+		if !ok || !strings.HasPrefix(plus, "+") {
+			return nil, fmt.Errorf("snpio: FASTQ line %d: expected '+' separator", line)
+		}
+		qualLine, ok := next()
+		if !ok {
+			return nil, fmt.Errorf("snpio: FASTQ line %d: missing quality line", line)
+		}
+		if len(qualLine) != len(seqLine) {
+			return nil, fmt.Errorf("snpio: FASTQ line %d: quality length %d != sequence length %d", line, len(qualLine), len(seqLine))
+		}
+		var raw align.RawRead
+		idStr := strings.TrimPrefix(strings.Fields(head[1:])[0], "read_")
+		if id, err := strconv.ParseInt(idStr, 10, 64); err == nil {
+			raw.ID = id
+		} else {
+			raw.ID = int64(len(raws))
+		}
+		raw.Seq, _ = dna.ParseSequence(seqLine) // Ns tolerated as A
+		raw.Quals = make([]dna.Quality, len(qualLine))
+		for j := 0; j < len(qualLine); j++ {
+			c := qualLine[j]
+			if c < qualOffset {
+				return nil, fmt.Errorf("snpio: FASTQ line %d: bad quality character %q", line, c)
+			}
+			raw.Quals[j] = dna.ClampQuality(int(c) - qualOffset)
+		}
+		raws = append(raws, raw)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return raws, nil
+}

@@ -1,0 +1,83 @@
+package snpio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"gsnp/internal/align"
+	"gsnp/internal/dna"
+)
+
+func sampleRaws(t *testing.T) []align.RawRead {
+	t.Helper()
+	seq1, _ := dna.ParseSequence("ACGTACGTAC")
+	seq2, _ := dna.ParseSequence("TTGGCCAATT")
+	return []align.RawRead{
+		{ID: 0, Seq: seq1, Quals: []dna.Quality{30, 31, 32, 33, 34, 35, 36, 37, 38, 39}},
+		{ID: 7, Seq: seq2, Quals: []dna.Quality{5, 5, 5, 5, 5, 20, 20, 20, 20, 20}},
+	}
+}
+
+func TestFASTQRoundTrip(t *testing.T) {
+	raws := sampleRaws(t)
+	var buf bytes.Buffer
+	if err := WriteFASTQ(&buf, raws); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFASTQ(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(raws) {
+		t.Fatalf("got %d reads", len(got))
+	}
+	for i := range raws {
+		if got[i].ID != raws[i].ID {
+			t.Errorf("read %d id = %d", i, got[i].ID)
+		}
+		if got[i].Seq.String() != raws[i].Seq.String() {
+			t.Errorf("read %d sequence corrupted", i)
+		}
+		for j := range raws[i].Quals {
+			if got[i].Quals[j] != raws[i].Quals[j] {
+				t.Errorf("read %d quality corrupted at %d", i, j)
+			}
+		}
+	}
+}
+
+func TestFASTQFormat(t *testing.T) {
+	raws := sampleRaws(t)[:1]
+	var buf bytes.Buffer
+	if err := WriteFASTQ(&buf, raws); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("FASTQ record has %d lines", len(lines))
+	}
+	if lines[0] != "@read_0" || lines[1] != "ACGTACGTAC" || lines[2] != "+" {
+		t.Errorf("unexpected record: %v", lines)
+	}
+}
+
+func TestFASTQErrors(t *testing.T) {
+	bad := []string{
+		"read_1\nACGT\n+\n!!!!\n",     // missing @
+		"@read_1\nACGT\n-\n!!!!\n",    // bad separator
+		"@read_1\nACGT\n+\n!!!\n",     // quality length mismatch
+		"@read_1\nACGT\n+\n!!\x01!\n", // bad quality char
+		"@read_1\nACGT\n",             // truncated
+	}
+	for _, b := range bad {
+		if _, err := ReadFASTQ(strings.NewReader(b)); err == nil {
+			t.Errorf("malformed FASTQ accepted: %q", b)
+		}
+	}
+	// Unparseable ids fall back to ordinal numbering.
+	got, err := ReadFASTQ(strings.NewReader("@weird header\nAC\n+\nII\n"))
+	if err != nil || len(got) != 1 || got[0].ID != 0 {
+		t.Errorf("header fallback wrong: %v %v", got, err)
+	}
+}

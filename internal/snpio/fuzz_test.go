@@ -1,0 +1,110 @@
+package snpio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"gsnp/internal/dna"
+	"gsnp/internal/reads"
+)
+
+func FuzzParseRow(f *testing.F) {
+	r := sampleRow()
+	f.Add(string(r.appendText(nil)))
+	f.Add("")
+	f.Add("a\tb\tc")
+	f.Fuzz(func(t *testing.T, line string) {
+		row, err := ParseRow(line)
+		if err != nil {
+			return
+		}
+		// Serialisation must be canonical: one serialise/parse pass
+		// reaches a fixed point. (Exact row equality needs QuantizeRow,
+		// which the pipeline applies; arbitrary parsed floats may lose
+		// sub-quantum precision on the first pass.)
+		text1 := string(row.appendText(nil))
+		row2, err := ParseRow(text1)
+		if err != nil {
+			t.Fatalf("round-trip parse failed: %v", err)
+		}
+		text2 := string(row2.appendText(nil))
+		if text1 != text2 {
+			t.Fatalf("serialisation not canonical:\n %q\n %q", text1, text2)
+		}
+	})
+}
+
+func FuzzSOAPReader(f *testing.F) {
+	f.Add("read_1\tACGT\tIIII\t1\t4\t+\tc\t1\n")
+	f.Add("")
+	f.Add("garbage line\n")
+	f.Fuzz(func(t *testing.T, data string) {
+		// Must never panic; errors are fine.
+		_, _, _ = ReadSOAP(strings.NewReader(data))
+	})
+}
+
+func FuzzSAMReader(f *testing.F) {
+	f.Add("@HD\tVN:1.6\nread_1\t0\tchr1\t10\t60\t4M\t*\t0\t0\tACGT\tIIII\n")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, data string) {
+		sr := NewSAMReader(strings.NewReader(data))
+		for i := 0; i < 100; i++ {
+			if _, err := sr.Next(); err != nil {
+				return
+			}
+		}
+	})
+}
+
+func FuzzBlockReader(f *testing.F) {
+	var buf bytes.Buffer
+	w := NewBlockWriter(&buf)
+	_ = w.WriteBlock(makeRows("c", 1, 50, 1))
+	_ = w.Flush()
+	f.Add(buf.Bytes())
+	f.Add([]byte("GSNPv1\n"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Must never panic on corrupted containers.
+		_, _ = ReadAllBlocks(bytes.NewReader(data))
+	})
+}
+
+func FuzzTempReader(f *testing.F) {
+	var buf bytes.Buffer
+	tw := NewTempWriter(&buf, "c")
+	rs := makeReadsForFuzz()
+	for i := range rs {
+		_ = tw.Write(&rs[i])
+	}
+	_ = tw.Flush()
+	f.Add(buf.Bytes())
+	f.Add([]byte("GSNPTMP1"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr := NewTempReader(bytes.NewReader(data))
+		for i := 0; i < 10000; i++ {
+			if _, err := tr.Next(); err != nil {
+				return
+			}
+		}
+	})
+}
+
+// makeReadsForFuzz builds a tiny deterministic read set without testing.T.
+func makeReadsForFuzz() []reads.AlignedRead {
+	var rs []reads.AlignedRead
+	for i := 0; i < 5; i++ {
+		n := 20
+		r := reads.AlignedRead{ID: int64(i), Pos: i * 7, Hits: 1}
+		r.Bases = make(dna.Sequence, n)
+		r.Quals = make([]dna.Quality, n)
+		for k := 0; k < n; k++ {
+			r.Bases[k] = dna.Base((i + k) & 3)
+			r.Quals[k] = dna.Quality(20 + (k/8)*5)
+		}
+		rs = append(rs, r)
+	}
+	return rs
+}

@@ -1,0 +1,101 @@
+package snpio
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestSAMRoundTrip(t *testing.T) {
+	rs := makeReads(t)
+	var buf bytes.Buffer
+	if err := WriteSAM(&buf, "chrT", 5000, rs); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "@HD") {
+		t.Error("missing SAM header")
+	}
+	sr := NewSAMReader(bytes.NewReader(buf.Bytes()))
+	for i := range rs {
+		got, err := sr.Next()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		want := &rs[i]
+		if got.ID != want.ID || got.Pos != want.Pos || got.Strand != want.Strand || got.Hits != want.Hits {
+			t.Fatalf("record %d metadata corrupted: %+v vs %+v", i, got, *want)
+		}
+		if got.Bases.String() != want.Bases.String() {
+			t.Fatalf("record %d bases corrupted", i)
+		}
+		for j := range want.Quals {
+			if got.Quals[j] != want.Quals[j] {
+				t.Fatalf("record %d quality corrupted at %d", i, j)
+			}
+		}
+	}
+	if _, err := sr.Next(); err != io.EOF {
+		t.Errorf("want EOF, got %v", err)
+	}
+	if sr.Chromosome() != "chrT" {
+		t.Errorf("chromosome = %q", sr.Chromosome())
+	}
+	if sr.Skipped() != 0 {
+		t.Errorf("skipped = %d", sr.Skipped())
+	}
+}
+
+func TestSAMReaderSkipsUnusableRecords(t *testing.T) {
+	sam := strings.Join([]string{
+		"@HD\tVN:1.6",
+		"read_1\t4\t*\t0\t0\t*\t*\t0\t0\tACGT\tIIII",           // unmapped
+		"read_2\t0\tchr1\t10\t60\t2M1I1M\t*\t0\t0\tACGT\tIIII", // indel CIGAR
+		"read_3\t0\tchr1\t20\t60\t4M\t*\t0\t0\t*\t*",           // no sequence
+		"read_4\t0\tchr1\t30\t60\t4M\t*\t0\t0\tACGT\tIIII",     // usable
+	}, "\n") + "\n"
+	sr := NewSAMReader(strings.NewReader(sam))
+	r, err := sr.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ID != 4 || r.Pos != 29 {
+		t.Errorf("usable record wrong: %+v", r)
+	}
+	if _, err := sr.Next(); err != io.EOF {
+		t.Errorf("want EOF, got %v", err)
+	}
+	if sr.Skipped() != 3 {
+		t.Errorf("skipped = %d, want 3", sr.Skipped())
+	}
+}
+
+func TestSAMReaderErrors(t *testing.T) {
+	bad := []string{
+		"read_1\t0\tchr1\t10",                                 // too few fields
+		"read_1\tx\tchr1\t10\t60\t4M\t*\t0\t0\tACGT\tIIII",    // bad flag
+		"read_1\t0\tchr1\t0\t60\t4M\t*\t0\t0\tACGT\tIIII",     // bad pos
+		"read_1\t0\tchr1\t10\t60\t4M\t*\t0\t0\tACGT\tII\x01I", // bad qual
+	}
+	for _, b := range bad {
+		sr := NewSAMReader(strings.NewReader(b + "\n"))
+		if _, err := sr.Next(); err == nil || err == io.EOF {
+			t.Errorf("malformed SAM accepted: %q", b)
+		}
+	}
+}
+
+func TestSAMNHTag(t *testing.T) {
+	sam := "read_9\t16\tchr2\t100\t60\t4M\t*\t0\t0\tACGT\tIIII\tNH:i:7\n"
+	sr := NewSAMReader(strings.NewReader(sam))
+	r, err := sr.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Hits != 7 {
+		t.Errorf("Hits = %d, want 7", r.Hits)
+	}
+	if r.Strand != 1 {
+		t.Errorf("Strand = %d, want reverse", r.Strand)
+	}
+}

@@ -1,0 +1,189 @@
+package snpio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"gsnp/internal/dna"
+	"gsnp/internal/reads"
+)
+
+// The SOAP alignment text format: one read per line, tab-separated —
+//
+//	id  sequence  quality  hits  length  strand  chromosome  position
+//
+// Sequence and quality are written in sequencing orientation (the reverse
+// complement of the reference orientation for '-' strand reads), position
+// is 1-based leftmost reference coordinate, quality is Phred+33 ASCII.
+// This mirrors the relevant columns of the format emitted by the SOAP
+// aligner that SOAPsnp consumes, with alignment-type columns the SNP caller
+// ignores omitted.
+
+// qualOffset is the Phred ASCII offset.
+const qualOffset = 33
+
+// SOAPWriter streams alignment records to text.
+type SOAPWriter struct {
+	bw  *bufio.Writer
+	chr string
+	n   int64
+}
+
+// NewSOAPWriter creates a writer emitting records for chromosome chr.
+func NewSOAPWriter(w io.Writer, chr string) *SOAPWriter {
+	return &SOAPWriter{bw: bufio.NewWriterSize(w, 1<<20), chr: chr}
+}
+
+// Write emits one alignment record.
+func (sw *SOAPWriter) Write(r *reads.AlignedRead) error {
+	bases := r.Bases
+	quals := r.Quals
+	strand := byte('+')
+	if r.Strand == 1 {
+		strand = '-'
+		bases = bases.ReverseComplement()
+		rq := make([]dna.Quality, len(quals))
+		for i, q := range quals {
+			rq[len(quals)-1-i] = q
+		}
+		quals = rq
+	}
+	qs := make([]byte, len(quals))
+	for i, q := range quals {
+		qs[i] = byte(q) + qualOffset
+	}
+	_, err := fmt.Fprintf(sw.bw, "read_%d\t%s\t%s\t%d\t%d\t%c\t%s\t%d\n",
+		r.ID, bases.String(), qs, r.Hits, len(bases), strand, sw.chr, r.Pos+1)
+	if err == nil {
+		sw.n++
+	}
+	return err
+}
+
+// Flush completes the stream.
+func (sw *SOAPWriter) Flush() error { return sw.bw.Flush() }
+
+// Count returns the number of records written.
+func (sw *SOAPWriter) Count() int64 { return sw.n }
+
+// WriteSOAP writes a whole read set.
+func WriteSOAP(w io.Writer, chr string, rs []reads.AlignedRead) error {
+	sw := NewSOAPWriter(w, chr)
+	for i := range rs {
+		if err := sw.Write(&rs[i]); err != nil {
+			return err
+		}
+	}
+	return sw.Flush()
+}
+
+// SOAPReader streams alignment records from text.
+type SOAPReader struct {
+	sc   *bufio.Scanner
+	line int
+	chr  string
+}
+
+// NewSOAPReader wraps r.
+func NewSOAPReader(r io.Reader) *SOAPReader {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	return &SOAPReader{sc: sc}
+}
+
+// Chromosome returns the chromosome name of the last record read.
+func (sr *SOAPReader) Chromosome() string { return sr.chr }
+
+// Next parses the next record. It returns io.EOF at end of stream.
+func (sr *SOAPReader) Next() (reads.AlignedRead, error) {
+	for {
+		if !sr.sc.Scan() {
+			if err := sr.sc.Err(); err != nil {
+				return reads.AlignedRead{}, err
+			}
+			return reads.AlignedRead{}, io.EOF
+		}
+		sr.line++
+		text := strings.TrimSpace(sr.sc.Text())
+		if text == "" {
+			continue
+		}
+		return sr.parse(text)
+	}
+}
+
+func (sr *SOAPReader) parse(text string) (reads.AlignedRead, error) {
+	f := strings.Split(text, "\t")
+	if len(f) != 8 {
+		return reads.AlignedRead{}, fmt.Errorf("snpio: line %d: %d fields, want 8", sr.line, len(f))
+	}
+	var r reads.AlignedRead
+	idStr := strings.TrimPrefix(f[0], "read_")
+	id, err := strconv.ParseInt(idStr, 10, 64)
+	if err != nil {
+		return r, fmt.Errorf("snpio: line %d: bad read id %q", sr.line, f[0])
+	}
+	r.ID = id
+	seq, _ := dna.ParseSequence(f[1])
+	hits, err := strconv.Atoi(f[3])
+	if err != nil || hits < 1 || hits > 255 {
+		return r, fmt.Errorf("snpio: line %d: bad hit count %q", sr.line, f[3])
+	}
+	r.Hits = uint8(hits)
+	length, err := strconv.Atoi(f[4])
+	if err != nil || length != len(seq) || length != len(f[2]) {
+		return r, fmt.Errorf("snpio: line %d: length %q inconsistent with sequence", sr.line, f[4])
+	}
+	switch f[5] {
+	case "+":
+		r.Strand = 0
+	case "-":
+		r.Strand = 1
+	default:
+		return r, fmt.Errorf("snpio: line %d: bad strand %q", sr.line, f[5])
+	}
+	sr.chr = f[6]
+	pos, err := strconv.Atoi(f[7])
+	if err != nil || pos < 1 {
+		return r, fmt.Errorf("snpio: line %d: bad position %q", sr.line, f[7])
+	}
+	r.Pos = pos - 1
+
+	quals := make([]dna.Quality, length)
+	for i := 0; i < length; i++ {
+		c := f[2][i]
+		if c < qualOffset {
+			return r, fmt.Errorf("snpio: line %d: bad quality character %q", sr.line, c)
+		}
+		quals[i] = dna.ClampQuality(int(c) - qualOffset)
+	}
+	if r.Strand == 1 {
+		seq = seq.ReverseComplement()
+		for i, j := 0, len(quals)-1; i < j; i, j = i+1, j-1 {
+			quals[i], quals[j] = quals[j], quals[i]
+		}
+	}
+	r.Bases = seq
+	r.Quals = quals
+	return r, nil
+}
+
+// ReadSOAP reads a whole alignment stream, returning the records and the
+// chromosome name.
+func ReadSOAP(r io.Reader) ([]reads.AlignedRead, string, error) {
+	sr := NewSOAPReader(r)
+	var rs []reads.AlignedRead
+	for {
+		rec, err := sr.Next()
+		if err == io.EOF {
+			return rs, sr.Chromosome(), nil
+		}
+		if err != nil {
+			return nil, "", err
+		}
+		rs = append(rs, rec)
+	}
+}

@@ -1,0 +1,136 @@
+package snpio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"gsnp/internal/dna"
+)
+
+// VCF export for downstream consumers: the result table predates VCF's
+// dominance (GSNP emits SOAPsnp's consensus format), but modern toolchains
+// expect VCFv4, so the dump tool can convert SNP rows.
+
+// vcfHeader is the fixed VCFv4.2 preamble.
+const vcfHeader = `##fileformat=VCFv4.2
+##source=gsnp
+##INFO=<ID=DP,Number=1,Type=Integer,Description="Raw read depth">
+##INFO=<ID=RSP,Number=1,Type=Float,Description="Rank-sum test p-value">
+##INFO=<ID=CN,Number=1,Type=Float,Description="Estimated copy number">
+##INFO=<ID=DB,Number=0,Type=Flag,Description="Known SNP (prior file)">
+##FORMAT=<ID=GT,Number=1,Type=String,Description="Genotype">
+##FORMAT=<ID=GQ,Number=1,Type=Integer,Description="Genotype quality">
+#CHROM	POS	ID	REF	ALT	QUAL	FILTER	INFO	FORMAT	SAMPLE
+`
+
+// VCFWriter converts SNP rows to VCF records. Homozygous-reference rows
+// are skipped (VCF records variants).
+type VCFWriter struct {
+	bw     *bufio.Writer
+	header bool
+	n      int64
+}
+
+// NewVCFWriter wraps w.
+func NewVCFWriter(w io.Writer) *VCFWriter {
+	return &VCFWriter{bw: bufio.NewWriterSize(w, 1<<20)}
+}
+
+// iupacAlleles maps a genotype code to its allele pair.
+func iupacAlleles(code byte) (dna.Genotype, bool) {
+	for rank := 0; rank < dna.NGenotypes; rank++ {
+		g := dna.GenotypeByRank(rank)
+		if g.IUPAC() == code {
+			return g, true
+		}
+	}
+	return 0, false
+}
+
+// Write converts one result row; non-SNP rows are ignored and return nil.
+func (vw *VCFWriter) Write(r *Row) error {
+	if !r.IsSNP() {
+		return nil
+	}
+	if !vw.header {
+		if _, err := vw.bw.WriteString(vcfHeader); err != nil {
+			return err
+		}
+		vw.header = true
+	}
+	ref, ok := dna.ParseBase(r.Ref)
+	if !ok {
+		return fmt.Errorf("snpio: vcf: bad reference base %q at %s:%d", r.Ref, r.Chr, r.Pos)
+	}
+	g, ok := iupacAlleles(r.Genotype)
+	if !ok {
+		return fmt.Errorf("snpio: vcf: bad genotype code %q at %s:%d", r.Genotype, r.Chr, r.Pos)
+	}
+	a1, a2 := g.Alleles()
+
+	// ALT alleles: the genotype's non-reference alleles, deduplicated.
+	var alts []dna.Base
+	for _, a := range []dna.Base{a1, a2} {
+		if a == ref {
+			continue
+		}
+		dup := false
+		for _, seen := range alts {
+			if seen == a {
+				dup = true
+			}
+		}
+		if !dup {
+			alts = append(alts, a)
+		}
+	}
+	if len(alts) == 0 {
+		return nil // defensive; IsSNP should have filtered this
+	}
+	altStr := alts[0].String()
+	if len(alts) == 2 {
+		altStr += "," + alts[1].String()
+	}
+
+	// GT indexes into [REF, ALT...].
+	idx := func(a dna.Base) int {
+		if a == ref {
+			return 0
+		}
+		for i, alt := range alts {
+			if alt == a {
+				return i + 1
+			}
+		}
+		return 0
+	}
+	gt := fmt.Sprintf("%d/%d", idx(a1), idx(a2))
+
+	id := "."
+	info := fmt.Sprintf("DP=%d;RSP=%.5f;CN=%.3f", r.Depth, r.RankSumP, r.CopyNum)
+	if r.IsDbSNP == 1 {
+		info += ";DB"
+	}
+	if _, err := fmt.Fprintf(vw.bw, "%s\t%d\t%s\t%c\t%s\t%d\tPASS\t%s\tGT:GQ\t%s:%d\n",
+		r.Chr, r.Pos, id, r.Ref, altStr, r.Quality, info, gt, r.Quality); err != nil {
+		return err
+	}
+	vw.n++
+	return nil
+}
+
+// Flush completes the stream (writing the header even when no variants
+// were seen, so the output is always a valid VCF).
+func (vw *VCFWriter) Flush() error {
+	if !vw.header {
+		if _, err := vw.bw.WriteString(vcfHeader); err != nil {
+			return err
+		}
+		vw.header = true
+	}
+	return vw.bw.Flush()
+}
+
+// Count returns the number of variant records written.
+func (vw *VCFWriter) Count() int64 { return vw.n }

@@ -1,0 +1,123 @@
+package snpio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestVCFWriterHetTransition(t *testing.T) {
+	var buf bytes.Buffer
+	vw := NewVCFWriter(&buf)
+	row := sampleRow() // A ref, genotype R (A/G), dbSNP
+	if err := vw.Write(&row); err != nil {
+		t.Fatal(err)
+	}
+	if err := vw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if vw.Count() != 1 {
+		t.Errorf("Count = %d", vw.Count())
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "##fileformat=VCFv4.2") {
+		t.Error("missing VCF header")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	rec := lines[len(lines)-1]
+	f := strings.Split(rec, "\t")
+	if len(f) != 10 {
+		t.Fatalf("record has %d fields: %q", len(f), rec)
+	}
+	if f[0] != "chr21" || f[1] != "12345" || f[3] != "A" || f[4] != "G" {
+		t.Errorf("CHROM/POS/REF/ALT wrong: %v", f[:5])
+	}
+	if f[5] != "37" || f[6] != "PASS" {
+		t.Errorf("QUAL/FILTER wrong: %v", f[5:7])
+	}
+	if !strings.Contains(f[7], "DP=10") || !strings.Contains(f[7], ";DB") {
+		t.Errorf("INFO wrong: %q", f[7])
+	}
+	if f[9] != "0/1:37" {
+		t.Errorf("sample column = %q, want 0/1:37", f[9])
+	}
+}
+
+func TestVCFWriterHomAlt(t *testing.T) {
+	var buf bytes.Buffer
+	vw := NewVCFWriter(&buf)
+	row := sampleRow()
+	row.Genotype = 'G' // hom G over A ref
+	row.IsDbSNP = 0
+	if err := vw.Write(&row); err != nil {
+		t.Fatal(err)
+	}
+	if err := vw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	f := strings.Split(lines[len(lines)-1], "\t")
+	if f[4] != "G" || f[9] != "1/1:37" {
+		t.Errorf("hom-alt record wrong: ALT=%q sample=%q", f[4], f[9])
+	}
+	if strings.Contains(f[7], "DB") {
+		t.Error("DB flag present without dbSNP")
+	}
+}
+
+func TestVCFWriterDoubleNonRefHet(t *testing.T) {
+	var buf bytes.Buffer
+	vw := NewVCFWriter(&buf)
+	row := sampleRow()
+	row.Genotype = 'S' // C/G over A ref: two ALT alleles
+	if err := vw.Write(&row); err != nil {
+		t.Fatal(err)
+	}
+	if err := vw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	f := strings.Split(lines[len(lines)-1], "\t")
+	if f[4] != "C,G" {
+		t.Errorf("ALT = %q, want C,G", f[4])
+	}
+	if f[9] != "1/2:37" {
+		t.Errorf("sample = %q, want 1/2:37", f[9])
+	}
+}
+
+func TestVCFWriterSkipsHomRef(t *testing.T) {
+	var buf bytes.Buffer
+	vw := NewVCFWriter(&buf)
+	row := sampleRow()
+	row.Genotype = 'A' // hom ref
+	if err := vw.Write(&row); err != nil {
+		t.Fatal(err)
+	}
+	if err := vw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if vw.Count() != 0 {
+		t.Error("hom-ref row emitted")
+	}
+	// Still a valid VCF: header only.
+	if !strings.Contains(buf.String(), "#CHROM") {
+		t.Error("header missing from empty VCF")
+	}
+}
+
+func TestVCFWriterBadRows(t *testing.T) {
+	vw := NewVCFWriter(&bytes.Buffer{})
+	row := sampleRow()
+	row.Ref = 'N'
+	row.Genotype = 'R'
+	// N reference: IsSNP is false, so the row is skipped silently.
+	if err := vw.Write(&row); err != nil {
+		t.Errorf("N-ref row errored: %v", err)
+	}
+	row = sampleRow()
+	row.Genotype = 'Z'
+	if err := vw.Write(&row); err == nil {
+		t.Error("bad genotype code accepted")
+	}
+}

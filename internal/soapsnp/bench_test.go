@@ -1,0 +1,47 @@
+package soapsnp
+
+import (
+	"testing"
+
+	"gsnp/internal/bayes"
+	"gsnp/internal/dna"
+)
+
+// BenchmarkDenseLikelihoodSparseSite measures Algorithm 1 on a site with a
+// realistic ~11 observations: the dense-scan cost dominating Table I.
+func BenchmarkDenseLikelihoodSparseSite(b *testing.B) {
+	tables := bayes.BuildTables(bayes.NewPMatrixFromPhred())
+	baseOcc := make([]uint8, bayes.BaseOccSize)
+	for k := 0; k < 11; k++ {
+		baseOcc[bayes.BaseOccIndex(dna.Base(k&3), dna.Quality(20+k*3), 5+k*7, k&1)] = 1
+	}
+	dep := make([]uint16, 200)
+	var tl [bayes.TypeLikelySize]float64
+	b.SetBytes(bayes.BaseOccSize)
+	for i := 0; i < b.N; i++ {
+		DenseLikelihood(baseOcc, tables, 100, dep, &tl)
+	}
+}
+
+// BenchmarkDenseLikelihoodEmptySite is the pure matrix-sweep floor (the
+// Formula-1 regime).
+func BenchmarkDenseLikelihoodEmptySite(b *testing.B) {
+	tables := bayes.BuildTables(bayes.NewPMatrixFromPhred())
+	baseOcc := make([]uint8, bayes.BaseOccSize)
+	dep := make([]uint16, 200)
+	var tl [bayes.TypeLikelySize]float64
+	b.SetBytes(bayes.BaseOccSize)
+	for i := 0; i < b.N; i++ {
+		DenseLikelihood(baseOcc, tables, 100, dep, &tl)
+	}
+}
+
+// BenchmarkRecycle measures the dense representation's window re-zeroing,
+// Table I's second-most expensive component.
+func BenchmarkRecycle(b *testing.B) {
+	buf := make([]uint8, 512*bayes.BaseOccSize) // a 512-site slab
+	b.SetBytes(int64(len(buf)))
+	for i := 0; i < b.N; i++ {
+		clear(buf)
+	}
+}

@@ -1,0 +1,424 @@
+// Package soapsnp is a from-scratch implementation of the CPU-based
+// SOAPsnp baseline the paper compares against: the seven-component pipeline
+// of Figure 1 (cal_p_matrix, read_site, counting, likelihood, posterior,
+// output, recycle) with the dense per-site aligned-base matrix base_occ and
+// the likelihood computation of Algorithms 1-2, processed window by window
+// with a default window of 4,000 sites.
+//
+// The engine instruments each component with wall-clock timers, producing
+// the Table I breakdown, and reports the base_occ sparsity histogram of
+// Figure 4(b).
+package soapsnp
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"gsnp/internal/bayes"
+	"gsnp/internal/dna"
+	"gsnp/internal/pipeline"
+	"gsnp/internal/snpio"
+)
+
+// Config parameterises a run.
+type Config struct {
+	// Chr names the chromosome in output rows.
+	Chr string
+	// Ref is the reference sequence.
+	Ref dna.Sequence
+	// Known holds the prior file records (nil for none).
+	Known snpio.KnownSNPs
+	// Window is the number of sites per window; SOAPsnp's default is
+	// 4,000 (Section VI-A).
+	Window int
+	// ReadLen is the maximum read length (<= bayes.MaxReadLen).
+	ReadLen int
+	// Priors configures the genotype prior model.
+	Priors bayes.Priors
+	// Threads parallelises the likelihood calculation across the sites
+	// of a window. The shipped SOAPsnp is single-threaded (the paper's
+	// baseline); the paper's authors report that their 16-thread port
+	// gained only 3-4x because the dense scan is bound by memory
+	// bandwidth (Section VI-A). Zero or one selects the single-threaded
+	// baseline.
+	Threads int
+}
+
+// DefaultWindow is SOAPsnp's window size from the paper's setup.
+const DefaultWindow = 4000
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.Window == 0 {
+		c.Window = DefaultWindow
+	}
+	if c.ReadLen == 0 {
+		c.ReadLen = 100
+	}
+	if c.Priors == (bayes.Priors{}) {
+		c.Priors = bayes.DefaultPriors()
+	}
+	return c
+}
+
+// Times is the per-component wall-clock breakdown of Table I.
+type Times struct {
+	CalP    time.Duration
+	Read    time.Duration
+	Count   time.Duration
+	Likeli  time.Duration
+	Post    time.Duration
+	Output  time.Duration
+	Recycle time.Duration
+}
+
+// Total sums the components.
+func (t Times) Total() time.Duration {
+	return t.CalP + t.Read + t.Count + t.Likeli + t.Post + t.Output + t.Recycle
+}
+
+func (t Times) String() string {
+	return fmt.Sprintf("cal_p=%v read=%v count=%v likeli=%v post=%v output=%v recycle=%v total=%v",
+		t.CalP.Round(time.Millisecond), t.Read.Round(time.Millisecond),
+		t.Count.Round(time.Millisecond), t.Likeli.Round(time.Millisecond),
+		t.Post.Round(time.Millisecond), t.Output.Round(time.Millisecond),
+		t.Recycle.Round(time.Millisecond), t.Total().Round(time.Millisecond))
+}
+
+// Report summarises a run.
+type Report struct {
+	// Times is the component breakdown.
+	Times Times
+	// Sites is the number of sites processed (= len(Ref)).
+	Sites int
+	// SNPs is the number of non-reference calls emitted.
+	SNPs int64
+	// MeanDepth is the pass-one average depth.
+	MeanDepth float64
+	// NonZeroHist[k] counts sites whose base_occ held k non-zero
+	// elements (k capped at len-1) — the sparsity data of Figure 4(b).
+	NonZeroHist []int64
+	// Observations is the total number of aligned bases processed.
+	Observations int64
+}
+
+// sparsityHistSize caps the non-zero histogram domain.
+const sparsityHistSize = 257
+
+// Engine runs the dense pipeline. One Engine may be reused for several
+// runs; it owns the large window buffers.
+type Engine struct {
+	cfg    Config
+	tables *bayes.Tables
+
+	// Window state, allocated once in Run.
+	baseOcc  []uint8
+	counts   []pipeline.SiteCounts
+	quals    [][dna.NBases][]float64
+	likely   [][bayes.TypeLikelySize]float64
+	depCount []uint16
+}
+
+// New creates an engine.
+func New(cfg Config) *Engine {
+	return &Engine{cfg: cfg.withDefaults()}
+}
+
+// Tables exposes the calibrated tables after a run (for tests and the
+// consistency checks).
+func (e *Engine) Tables() *bayes.Tables { return e.tables }
+
+// Run executes the seven-component pipeline over src, writing the result
+// table as text to w.
+func (e *Engine) Run(src pipeline.Source, w io.Writer) (*Report, error) {
+	cfg := e.cfg
+	rep := &Report{Sites: len(cfg.Ref), NonZeroHist: make([]int64, sparsityHistSize)}
+
+	// Component 1: cal_p_matrix — read everything once, calibrate the
+	// score matrix, derive the log/adjust tables.
+	t0 := time.Now()
+	cal, meanDepth, err := pipeline.CalibrationPass(src, cfg.Ref, nil)
+	if err != nil {
+		return nil, fmt.Errorf("soapsnp: cal_p_matrix: %w", err)
+	}
+	rep.MeanDepth = meanDepth
+	rep.Observations = int64(cal.Observations())
+	lt := bayes.BuildLogTable()
+	e.tables = &bayes.Tables{
+		Log:    lt,
+		Adjust: bayes.BuildAdjustTable(lt),
+		P:      cal.Build(),
+	}
+	rep.Times.CalP = time.Since(t0)
+
+	// Pass two: windowed per-site computation.
+	it, err := src.Open()
+	if err != nil {
+		return nil, fmt.Errorf("soapsnp: read_site: %w", err)
+	}
+	win := pipeline.NewWindower(it)
+	e.allocWindow()
+	out := snpio.NewResultWriter(w)
+
+	for start := 0; start < len(cfg.Ref); start += cfg.Window {
+		end := start + cfg.Window
+		if end > len(cfg.Ref) {
+			end = len(cfg.Ref)
+		}
+		if err := e.runWindow(win, start, end, out, rep); err != nil {
+			return nil, err
+		}
+	}
+
+	t0 = time.Now()
+	if err := out.Flush(); err != nil {
+		return nil, fmt.Errorf("soapsnp: output: %w", err)
+	}
+	rep.Times.Output += time.Since(t0)
+	return rep, nil
+}
+
+// allocWindow sizes the per-window buffers.
+func (e *Engine) allocWindow() {
+	n := e.cfg.Window
+	if len(e.baseOcc) != n*bayes.BaseOccSize {
+		e.baseOcc = make([]uint8, n*bayes.BaseOccSize)
+		e.counts = make([]pipeline.SiteCounts, n)
+		e.quals = make([][dna.NBases][]float64, n)
+		e.likely = make([][bayes.TypeLikelySize]float64, n)
+	}
+	if len(e.depCount) != 2*e.cfg.ReadLen {
+		e.depCount = make([]uint16, 2*e.cfg.ReadLen)
+	}
+}
+
+// runWindow executes components 2-7 for one window [start, end).
+func (e *Engine) runWindow(win *pipeline.Windower, start, end int, out *snpio.ResultWriter, rep *Report) error {
+	cfg := e.cfg
+	n := end - start
+
+	// Component 2: read_site.
+	t0 := time.Now()
+	rs, err := win.Reads(start, end)
+	if err != nil {
+		return fmt.Errorf("soapsnp: read_site: %w", err)
+	}
+	rep.Times.Read += time.Since(t0)
+
+	// Component 3: counting — scatter every aligned base into the dense
+	// base_occ matrix and the per-site summaries.
+	t0 = time.Now()
+	for i := range rs {
+		r := &rs[i]
+		lo, hi := r.Pos, r.Pos+len(r.Bases)
+		if lo < start {
+			lo = start
+		}
+		if hi > end {
+			hi = end
+		}
+		for pos := lo; pos < hi; pos++ {
+			o, ok := pipeline.ObsOf(r, pos)
+			if !ok {
+				continue
+			}
+			site := pos - start
+			idx := site*bayes.BaseOccSize + bayes.BaseOccIndex(o.Base, o.Qual, int(o.Coord), int(o.Strand))
+			if e.baseOcc[idx] < 255 {
+				e.baseOcc[idx]++
+			}
+			e.counts[site].Add(o)
+			e.quals[site][o.Base] = append(e.quals[site][o.Base], float64(o.Qual))
+		}
+	}
+	rep.Times.Count += time.Since(t0)
+
+	// Component 4: likelihood — Algorithm 1 over the dense matrix,
+	// optionally parallelised across sites (the paper's multi-threaded
+	// SOAPsnp port, which saturates on memory bandwidth).
+	t0 = time.Now()
+	if cfg.Threads > 1 {
+		e.likelihoodParallel(n, rep)
+	} else {
+		for site := 0; site < n; site++ {
+			nz := DenseLikelihood(e.baseOcc[site*bayes.BaseOccSize:(site+1)*bayes.BaseOccSize],
+				e.tables, cfg.ReadLen, e.depCount, &e.likely[site])
+			h := nz
+			if h >= sparsityHistSize {
+				h = sparsityHistSize - 1
+			}
+			rep.NonZeroHist[h]++
+		}
+	}
+	rep.Times.Likeli += time.Since(t0)
+
+	// Component 5: posterior.
+	t0 = time.Now()
+	calls := make([]bayes.Call, n)
+	for site := 0; site < n; site++ {
+		ref := cfg.Ref[start+site]
+		known := cfg.Known[start+site]
+		lp := cfg.Priors.LogPriors(ref, known)
+		calls[site] = bayes.Posterior(&e.likely[site], &lp)
+	}
+	rep.Times.Post += time.Since(t0)
+
+	// Component 6: output.
+	t0 = time.Now()
+	for site := 0; site < n; site++ {
+		row := pipeline.BuildRow(&pipeline.RowInputs{
+			Chr:         cfg.Chr,
+			Pos:         start + site,
+			Ref:         cfg.Ref[start+site],
+			Call:        calls[site],
+			Counts:      &e.counts[site],
+			AlleleQuals: &e.quals[site],
+			MeanDepth:   rep.MeanDepth,
+			Known:       cfg.Known[start+site],
+		})
+		if row.IsSNP() {
+			rep.SNPs++
+		}
+		if err := out.Write(&row); err != nil {
+			return fmt.Errorf("soapsnp: output: %w", err)
+		}
+	}
+	rep.Times.Output += time.Since(t0)
+
+	// Component 7: recycle — reinitialise the dense matrices for the next
+	// window; with the dense representation this touches every byte, the
+	// second-most expensive component of Table I.
+	t0 = time.Now()
+	clear(e.baseOcc[:n*bayes.BaseOccSize])
+	for site := 0; site < n; site++ {
+		e.counts[site].Reset()
+		for b := range e.quals[site] {
+			e.quals[site][b] = e.quals[site][b][:0]
+		}
+	}
+	rep.Times.Recycle += time.Since(t0)
+	return nil
+}
+
+// DenseLikelihood is Algorithm 1: the likelihood calculation for one site
+// over the dense base_occ matrix, accessing all 131,072 elements in the
+// canonical base / score (descending) / coordinate / strand order. The
+// scan reads eight counters per load so that, like the original SOAPsnp,
+// its cost is the sequential memory bandwidth of sweeping the matrix
+// (Formula 1 / Figure 4a) rather than per-byte branch overhead. It returns
+// the number of non-zero elements encountered (the sparsity datum of
+// Figure 4(b)). depCount must hold 2*readLen entries and is reset
+// internally.
+func DenseLikelihood(baseOcc []uint8, t *bayes.Tables, readLen int, depCount []uint16, tl *[bayes.TypeLikelySize]float64) (nonZero int) {
+	for i := range tl {
+		tl[i] = 0
+	}
+	// Each (base, score) row spans 512 consecutive bytes (coord x strand,
+	// strand in the lowest bit). The matrix sweep itself runs forward in
+	// memory — eight counters per load, prefetch-friendly, so its cost is
+	// the sequential read bandwidth of Formula 1 — while the sparse
+	// non-zero groups it finds are then processed in the canonical
+	// base / score-descending / coord / strand order of Algorithm 1.
+	const rowBytes = 2 * bayes.MaxReadLen
+	const baseBytes = bayes.NQ * rowBytes
+	var nz []int32 // offsets (within a base's block) of non-zero words
+	for base := dna.Base(0); base < dna.NBases; base++ {
+		clear(depCount)
+		blk := int(base) * baseBytes
+		nz = nz[:0]
+		for off := 0; off < baseBytes; off += 8 {
+			if binary.LittleEndian.Uint64(baseOcc[blk+off:]) != 0 {
+				nz = append(nz, int32(off))
+			}
+		}
+		// nz is ascending in memory = ascending score; walk score rows in
+		// descending order, ascending within each row.
+		hi := len(nz)
+		for hi > 0 {
+			rowStart := int(nz[hi-1]) &^ (rowBytes - 1)
+			lo := hi - 1
+			for lo > 0 && int(nz[lo-1]) >= rowStart {
+				lo--
+			}
+			score := rowStart / rowBytes
+			for _, off32 := range nz[lo:hi] {
+				off := int(off32)
+				end := off + 8
+				if max := rowStart + 2*readLen; end > max {
+					end = max
+				}
+				for i := off; i < end; i++ {
+					occ := baseOcc[blk+i]
+					if occ == 0 {
+						continue
+					}
+					nonZero++
+					coord := (i - rowStart) >> 1
+					strand := i & 1
+					for k := uint8(0); k < occ; k++ {
+						dc := depCount[strand*readLen+coord] + 1
+						depCount[strand*readLen+coord] = dc
+						qadj := t.Adjust.Adjust(dna.Quality(score), dc)
+						for a1 := dna.Base(0); a1 < dna.NBases; a1++ {
+							for a2 := a1; a2 < dna.NBases; a2++ {
+								tl[a1<<2|a2] += bayes.LikelyUpdate(t.P, qadj, coord, base, a1, a2)
+							}
+						}
+					}
+				}
+			}
+			hi = lo
+		}
+	}
+	return nonZero
+}
+
+// likelihoodParallel fans the window's dense likelihood scans across
+// Config.Threads workers. Each worker owns a dep_count array; histogram
+// updates merge at the end. Since every worker streams a disjoint slice of
+// the same base_occ buffer, the aggregate rate is capped by the machine's
+// memory bandwidth — the reason the paper's 16-thread port only reached
+// 3-4x.
+func (e *Engine) likelihoodParallel(n int, rep *Report) {
+	workers := e.cfg.Threads
+	if workers > n {
+		workers = n
+	}
+	hists := make([][]int64, workers)
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for wkr := 0; wkr < workers; wkr++ {
+		lo := wkr * chunk
+		if lo >= n {
+			break
+		}
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(wkr, lo, hi int) {
+			defer wg.Done()
+			dep := make([]uint16, 2*e.cfg.ReadLen)
+			hist := make([]int64, sparsityHistSize)
+			for site := lo; site < hi; site++ {
+				nz := DenseLikelihood(e.baseOcc[site*bayes.BaseOccSize:(site+1)*bayes.BaseOccSize],
+					e.tables, e.cfg.ReadLen, dep, &e.likely[site])
+				if nz >= sparsityHistSize {
+					nz = sparsityHistSize - 1
+				}
+				hist[nz]++
+			}
+			hists[wkr] = hist
+		}(wkr, lo, hi)
+	}
+	wg.Wait()
+	for _, hist := range hists {
+		for k, c := range hist {
+			rep.NonZeroHist[k] += c
+		}
+	}
+}

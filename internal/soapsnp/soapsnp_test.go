@@ -1,0 +1,318 @@
+package soapsnp
+
+import (
+	"bytes"
+	"testing"
+
+	"gsnp/internal/bayes"
+	"gsnp/internal/dna"
+	"gsnp/internal/pipeline"
+	"gsnp/internal/seqsim"
+	"gsnp/internal/snpio"
+)
+
+// testDataset builds a small deterministic workload.
+func testDataset(t *testing.T, sites int, depth float64, seed int64) *seqsim.Dataset {
+	t.Helper()
+	return seqsim.BuildDataset(seqsim.ChromosomeSpec{
+		Name: "chrT", Length: sites, Depth: depth, MaskFraction: 0.1, Seed: seed,
+	})
+}
+
+// knownFromDataset builds the prior-file records for a dataset's known
+// variants.
+func knownFromDataset(ds *seqsim.Dataset) snpio.KnownSNPs {
+	known := snpio.KnownSNPs{}
+	for _, v := range ds.Diploid.Variants {
+		if !v.Known {
+			continue
+		}
+		a1, a2 := v.Genotype.Alleles()
+		rec := &bayes.KnownSNP{Validated: true}
+		rec.Freq[a1] += 0.5
+		rec.Freq[a2] += 0.5
+		known[v.Pos] = rec
+	}
+	return known
+}
+
+func runEngine(t *testing.T, ds *seqsim.Dataset, window int) (*Report, []snpio.Row, *Engine) {
+	t.Helper()
+	eng := New(Config{
+		Chr:    ds.Spec.Name,
+		Ref:    ds.Ref.Seq,
+		Known:  knownFromDataset(ds),
+		Window: window,
+	})
+	var buf bytes.Buffer
+	rep, err := eng.Run(pipeline.MemSource(ds.Reads), &buf)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	rows, err := snpio.ReadResults(&buf)
+	if err != nil {
+		t.Fatalf("ReadResults: %v", err)
+	}
+	return rep, rows, eng
+}
+
+func TestRunProducesRowPerSite(t *testing.T) {
+	ds := testDataset(t, 3000, 8, 11)
+	rep, rows, _ := runEngine(t, ds, 512)
+	if len(rows) != 3000 {
+		t.Fatalf("rows = %d, want 3000", len(rows))
+	}
+	if rep.Sites != 3000 {
+		t.Errorf("Sites = %d", rep.Sites)
+	}
+	for i, r := range rows {
+		if r.Pos != int64(i)+1 {
+			t.Fatalf("row %d has position %d", i, r.Pos)
+		}
+		if r.Chr != "chrT" {
+			t.Fatalf("row %d chromosome %q", i, r.Chr)
+		}
+		if want := ds.Ref.Seq[i].Byte(); r.Ref != want {
+			t.Fatalf("row %d reference %c, want %c", i, r.Ref, want)
+		}
+	}
+}
+
+func TestCallAccuracy(t *testing.T) {
+	ds := testDataset(t, 20000, 12, 21)
+	_, rows, _ := runEngine(t, ds, 4000)
+
+	truth := map[int]dna.Genotype{}
+	for _, v := range ds.Diploid.Variants {
+		truth[v.Pos] = v.Genotype
+	}
+	covered := func(pos int) bool {
+		// Only judge sites with usable coverage.
+		return rows[pos].Depth >= 4
+	}
+
+	var tp, fn, fp int
+	for pos, g := range truth {
+		if !covered(pos) {
+			continue
+		}
+		if rows[pos].Genotype == g.IUPAC() {
+			tp++
+		} else {
+			fn++
+		}
+	}
+	for i := range rows {
+		if !rows[i].IsSNP() {
+			continue
+		}
+		if _, ok := truth[i]; !ok && covered(i) {
+			fp++
+		}
+	}
+	if tp == 0 {
+		t.Fatal("no true variants recovered")
+	}
+	sens := float64(tp) / float64(tp+fn)
+	if sens < 0.75 {
+		t.Errorf("sensitivity = %.2f (tp=%d fn=%d), want >= 0.75", sens, tp, fn)
+	}
+	// False positives should be rare relative to genome size.
+	if fp > len(rows)/500 {
+		t.Errorf("false positives = %d over %d sites", fp, len(rows))
+	}
+	t.Logf("tp=%d fn=%d fp=%d sensitivity=%.2f", tp, fn, fp, sens)
+}
+
+func TestWindowSizeInvariance(t *testing.T) {
+	// The output must not depend on the window size.
+	ds := testDataset(t, 2500, 7, 31)
+	_, rows1, _ := runEngine(t, ds, 250)
+	_, rows2, _ := runEngine(t, ds, 2500)
+	_, rows3, _ := runEngine(t, ds, 333)
+	if len(rows1) != len(rows2) || len(rows1) != len(rows3) {
+		t.Fatal("row counts differ across window sizes")
+	}
+	for i := range rows1 {
+		if rows1[i] != rows2[i] || rows1[i] != rows3[i] {
+			t.Fatalf("row %d differs across window sizes:\n%+v\n%+v\n%+v", i, rows1[i], rows2[i], rows3[i])
+		}
+	}
+}
+
+func TestTimesPopulated(t *testing.T) {
+	ds := testDataset(t, 2000, 8, 41)
+	rep, _, _ := runEngine(t, ds, 500)
+	tm := rep.Times
+	if tm.Likeli <= 0 || tm.Recycle <= 0 || tm.CalP <= 0 || tm.Output <= 0 {
+		t.Errorf("component times missing: %v", tm)
+	}
+	if tm.Total() <= 0 {
+		t.Error("total time non-positive")
+	}
+	if tm.String() == "" {
+		t.Error("Times.String empty")
+	}
+	// The dense design makes likelihood the dominant component (Table I).
+	if tm.Likeli < tm.Post {
+		t.Errorf("likelihood (%v) not dominating posterior (%v)", tm.Likeli, tm.Post)
+	}
+}
+
+func TestSparsityHistogram(t *testing.T) {
+	ds := testDataset(t, 4000, 9.6, 51)
+	rep, _, _ := runEngine(t, ds, 1000)
+	var sites, weighted int64
+	for k, c := range rep.NonZeroHist {
+		sites += c
+		weighted += int64(k) * c
+	}
+	if sites != 4000 {
+		t.Fatalf("histogram covers %d sites, want 4000", sites)
+	}
+	mean := float64(weighted) / float64(sites)
+	// Depth 9.6 with ~90% coverage: mean non-zero count near the depth and
+	// far below |base_occ| (the ~0.08% sparsity of Section IV-B).
+	if mean < 3 || mean > 15 {
+		t.Errorf("mean non-zero count = %.1f, want ~9", mean)
+	}
+	frac := mean / float64(bayes.BaseOccSize)
+	if frac > 0.001 {
+		t.Errorf("non-zero fraction %.5f%% too high", 100*frac)
+	}
+}
+
+func TestDenseLikelihoodMatchesDirectComputation(t *testing.T) {
+	// Single-observation site: the likelihood must equal one direct
+	// Algorithm 2 evaluation per genotype.
+	tables := bayes.BuildTables(bayes.NewPMatrixFromPhred())
+	baseOcc := make([]uint8, bayes.BaseOccSize)
+	obsBase, obsScore, obsCoord, obsStrand := dna.G, dna.Quality(37), 12, 1
+	baseOcc[bayes.BaseOccIndex(obsBase, obsScore, obsCoord, obsStrand)] = 1
+
+	depCount := make([]uint16, 200)
+	var tl [bayes.TypeLikelySize]float64
+	nz := DenseLikelihood(baseOcc, tables, 100, depCount, &tl)
+	if nz != 1 {
+		t.Fatalf("non-zero count = %d, want 1", nz)
+	}
+	qadj := tables.Adjust.Adjust(obsScore, 1)
+	for a1 := dna.Base(0); a1 < 4; a1++ {
+		for a2 := a1; a2 < 4; a2++ {
+			want := bayes.LikelyUpdate(tables.P, qadj, obsCoord, obsBase, a1, a2)
+			if got := tl[a1<<2|a2]; got != want {
+				t.Errorf("tl[%v%v] = %v, want %v", a1, a2, got, want)
+			}
+		}
+	}
+}
+
+func TestDenseLikelihoodDepthAdjustment(t *testing.T) {
+	// Two observations at the same coordinate: the second must be damped
+	// by the adjust table (dep count 2).
+	tables := bayes.BuildTables(bayes.NewPMatrixFromPhred())
+	baseOcc := make([]uint8, bayes.BaseOccSize)
+	baseOcc[bayes.BaseOccIndex(dna.A, 40, 5, 0)] = 2
+
+	depCount := make([]uint16, 200)
+	var tl [bayes.TypeLikelySize]float64
+	DenseLikelihood(baseOcc, tables, 100, depCount, &tl)
+
+	q1 := tables.Adjust.Adjust(40, 1)
+	q2 := tables.Adjust.Adjust(40, 2)
+	if q1 == q2 {
+		t.Fatal("adjust table did not damp the stacked observation")
+	}
+	want := bayes.LikelyUpdate(tables.P, q1, 5, dna.A, dna.A, dna.A) +
+		bayes.LikelyUpdate(tables.P, q2, 5, dna.A, dna.A, dna.A)
+	if got := tl[dna.HomozygousGenotype(dna.A)]; got != want {
+		t.Errorf("stacked likelihood = %v, want %v", got, want)
+	}
+}
+
+func TestDenseLikelihoodCanonicalOrder(t *testing.T) {
+	// Higher scores are consumed before lower ones (descending score
+	// loop): with two observations of the same base at the same
+	// coordinate but different scores, the higher score must see dep
+	// count 1.
+	tables := bayes.BuildTables(bayes.NewPMatrixFromPhred())
+	baseOcc := make([]uint8, bayes.BaseOccSize)
+	baseOcc[bayes.BaseOccIndex(dna.C, 50, 8, 0)] = 1
+	baseOcc[bayes.BaseOccIndex(dna.C, 20, 8, 0)] = 1
+
+	depCount := make([]uint16, 200)
+	var tl [bayes.TypeLikelySize]float64
+	DenseLikelihood(baseOcc, tables, 100, depCount, &tl)
+
+	want := bayes.LikelyUpdate(tables.P, tables.Adjust.Adjust(50, 1), 8, dna.C, dna.C, dna.C) +
+		bayes.LikelyUpdate(tables.P, tables.Adjust.Adjust(20, 2), 8, dna.C, dna.C, dna.C)
+	if got := tl[dna.HomozygousGenotype(dna.C)]; got != want {
+		t.Errorf("order-dependent likelihood = %v, want %v", got, want)
+	}
+}
+
+func TestNoCoverageRowsAreHomRef(t *testing.T) {
+	ds := testDataset(t, 2000, 5, 61)
+	_, rows, _ := runEngine(t, ds, 400)
+	zero := 0
+	for i, r := range rows {
+		if r.Depth == 0 {
+			zero++
+			if r.IsSNP() {
+				t.Fatalf("zero-coverage site %d called as SNP", i)
+			}
+		}
+	}
+	if zero == 0 {
+		t.Skip("mask produced no zero-coverage sites")
+	}
+}
+
+func TestDbSNPColumn(t *testing.T) {
+	ds := testDataset(t, 5000, 8, 71)
+	known := knownFromDataset(ds)
+	if len(known) == 0 {
+		t.Skip("no known variants in dataset")
+	}
+	_, rows, _ := runEngine(t, ds, 1000)
+	for pos := range known {
+		if rows[pos].IsDbSNP != 1 {
+			t.Fatalf("known site %d missing dbSNP flag", pos)
+		}
+	}
+}
+
+func TestMultithreadedLikelihoodIdenticalOutput(t *testing.T) {
+	// The paper's multi-threaded SOAPsnp port must call exactly the same
+	// genotypes as the single-threaded baseline.
+	ds := testDataset(t, 4000, 9, 81)
+	_, want, _ := runEngine(t, ds, 900)
+	eng := New(Config{
+		Chr: ds.Spec.Name, Ref: ds.Ref.Seq, Known: knownFromDataset(ds),
+		Window: 900, Threads: 8,
+	})
+	var buf bytes.Buffer
+	rep, err := eng.Run(pipeline.MemSource(ds.Reads), &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := snpio.ReadResults(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("row counts differ: %d vs %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("row %d differs under Threads=8", i)
+		}
+	}
+	var sites int64
+	for _, c := range rep.NonZeroHist {
+		sites += c
+	}
+	if sites != 4000 {
+		t.Errorf("parallel histogram covers %d sites", sites)
+	}
+}

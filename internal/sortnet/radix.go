@@ -1,0 +1,90 @@
+package sortnet
+
+import "gsnp/internal/gpu"
+
+// RadixSortU32 sorts a device buffer ascending with an LSD radix sort,
+// one bit per pass (the classic split primitive: flag, scan, scatter).
+// keyBits bounds the key width; pass 32 for arbitrary values or 17 for
+// base_word keys. This is the kind of device-wide sort Thrust provides;
+// GSNP's sorting study uses it per array as the sorts-arrays-sequentially
+// baseline of Figure 7(a).
+func RadixSortU32(d *gpu.Device, buf *gpu.Buffer[uint32], keyBits int) {
+	n := buf.Len()
+	if n <= 1 {
+		return
+	}
+	if keyBits <= 0 || keyBits > 32 {
+		keyBits = 32
+	}
+	flags := gpu.Alloc[uint32](d, n)
+	defer flags.Free()
+	pos0 := gpu.Alloc[uint32](d, n)
+	defer pos0.Free()
+	tmp := gpu.Alloc[uint32](d, n)
+	defer tmp.Free()
+
+	src, dst := buf, tmp
+	block := 256
+	grid := (n + block - 1) / block
+	for bit := 0; bit < keyBits; bit++ {
+		shift := uint(bit)
+		s := src
+		d.MustLaunch(gpu.LaunchConfig{Name: "radix_flag", Grid: grid, Block: block}, func(t *gpu.Thread) {
+			i := t.GlobalID()
+			if i >= n {
+				return
+			}
+			t.Exec(2)
+			gpu.St(t, flags, i, 1-(gpu.Ld(t, s, i)>>shift&1))
+		})
+		zeros := gpu.ExclusiveScanU32(d, flags, pos0)
+		z := uint32(zeros)
+		dd := dst
+		d.MustLaunch(gpu.LaunchConfig{Name: "radix_scatter", Grid: grid, Block: block}, func(t *gpu.Thread) {
+			i := t.GlobalID()
+			if i >= n {
+				return
+			}
+			v := gpu.Ld(t, s, i)
+			p0 := gpu.Ld(t, pos0, i)
+			t.Exec(3)
+			var idx uint32
+			if v>>shift&1 == 0 {
+				idx = p0
+			} else {
+				// Ones before i = i - zeros-before-i.
+				idx = z + uint32(i) - p0
+			}
+			gpu.St(t, dd, int(idx), v)
+		})
+		src, dst = dst, src
+	}
+	if src != buf {
+		copy(buf.Host(), src.Host())
+	}
+}
+
+// SequentialRadixGPU sorts each sub-array with a full device radix sort,
+// one array at a time. Each tiny sort underutilises the hardware and pays
+// dozens of kernel launches, reproducing the very low throughput of the
+// per-array radix baseline in Figure 7(a).
+func SequentialRadixGPU(d *gpu.Device, b *Batches, keyBits int) Stats {
+	var st Stats
+	start := d.Stats()
+	for i := 0; i < b.NumArrays(); i++ {
+		arr := b.Array(i)
+		if len(arr) <= 1 {
+			continue
+		}
+		buf := gpu.Alloc[uint32](d, len(arr))
+		buf.CopyIn(arr)
+		RadixSortU32(d, buf, keyBits)
+		buf.CopyOut(arr)
+		buf.Free()
+		st.ElementsSorted += int64(len(arr))
+	}
+	end := d.Stats()
+	st.SimSeconds = end.Sub(start).SimSeconds
+	st.Launches = end.Kernels - start.Kernels
+	return st
+}

@@ -1,0 +1,378 @@
+// Package sortnet implements the sorting machinery of GSNP's
+// likelihood_sort step and the sorting study of the paper's Section IV-C /
+// Figure 7: a batch bitonic sort primitive for many equal-sized small
+// arrays on the GPU, the multipass scheme that buckets variable-sized
+// arrays into size classes, the single-pass and non-equal-size baselines, a
+// parallel CPU quicksort, and a per-array GPU radix sort (the
+// sorts-arrays-sequentially baseline).
+package sortnet
+
+import (
+	"math/bits"
+	"runtime"
+	"sync"
+
+	"gsnp/internal/gpu"
+)
+
+// Batches is a collection of independent small arrays stored back to back:
+// array i occupies Data[Bounds[i]:Bounds[i+1]]. It is the layout of the
+// per-site base_word arrays of a window.
+type Batches struct {
+	Data   []uint32
+	Bounds []int32
+}
+
+// NumArrays returns the number of sub-arrays.
+func (b *Batches) NumArrays() int { return len(b.Bounds) - 1 }
+
+// SizeOf returns the length of sub-array i.
+func (b *Batches) SizeOf(i int) int { return int(b.Bounds[i+1] - b.Bounds[i]) }
+
+// Array returns sub-array i.
+func (b *Batches) Array(i int) []uint32 { return b.Data[b.Bounds[i]:b.Bounds[i+1]] }
+
+// MaxSize returns the largest sub-array length.
+func (b *Batches) MaxSize() int {
+	m := 0
+	for i := 0; i < b.NumArrays(); i++ {
+		if s := b.SizeOf(i); s > m {
+			m = s
+		}
+	}
+	return m
+}
+
+// Stats describes one batch-sorting operation on the simulated device.
+type Stats struct {
+	// Launches is the number of kernel launches issued.
+	Launches int64
+	// SimSeconds is the simulated device time consumed.
+	SimSeconds float64
+	// ElementsSorted counts elements pushed through sorting networks,
+	// including padding (the single-pass waste of Figure 7(b) shows up
+	// here).
+	ElementsSorted int64
+}
+
+// padValue fills batch slots beyond an array's real length; it sorts last.
+const padValue = ^uint32(0)
+
+// maxClassSize is the largest batch array size the shared-memory kernel
+// handles; longer arrays (rare at realistic sequencing depths) are sorted
+// on the host.
+const maxClassSize = 256
+
+// multipassClasses are the size-class upper bounds of the paper's
+// six-pass scheme: [0,1], (1,8], (8,16], (16,32], (32,64], >64.
+var multipassClasses = []int{1, 8, 16, 32, 64, maxClassSize}
+
+// MultipassBitonic sorts every sub-array ascending using the paper's
+// multipass scheme: arrays are bucketed by size class and each class is
+// sorted with the equal-size batch bitonic primitive, so threads within a
+// pass do balanced work.
+func MultipassBitonic(d *gpu.Device, b *Batches) Stats {
+	var st Stats
+	start := d.Stats()
+	for ci, class := range multipassClasses {
+		lo := 1
+		if ci > 0 {
+			lo = multipassClasses[ci-1] + 1
+		}
+		var members []int
+		for i := 0; i < b.NumArrays(); i++ {
+			if s := b.SizeOf(i); s >= lo && s <= class {
+				members = append(members, i)
+			}
+		}
+		if class == 1 {
+			continue // single-element arrays are already sorted
+		}
+		sortClass(d, b, members, class, &st)
+	}
+	sortOversized(b)
+	st.SimSeconds = d.Stats().Sub(start).SimSeconds
+	return st
+}
+
+// SinglePassBitonic sorts every sub-array using one batch size: the
+// largest array length rounded up to a power of two. Small arrays are
+// padded all the way up, the wasted work the multipass scheme eliminates
+// (Figure 7(b) measures bitonic SP at ~5x slower).
+func SinglePassBitonic(d *gpu.Device, b *Batches) Stats {
+	var st Stats
+	start := d.Stats()
+	max := b.MaxSize()
+	if max <= 1 {
+		return st
+	}
+	class := ceilPow2(max)
+	if class > maxClassSize {
+		class = maxClassSize
+	}
+	var members []int
+	for i := 0; i < b.NumArrays(); i++ {
+		if s := b.SizeOf(i); s > 1 && s <= class {
+			members = append(members, i)
+		}
+	}
+	sortClass(d, b, members, class, &st)
+	sortOversized(b)
+	st.SimSeconds = d.Stats().Sub(start).SimSeconds
+	return st
+}
+
+// NonEqBitonic sorts arrays of different sizes directly in one launch:
+// each block handles one array padded to its own power of two. Workloads
+// are imbalanced across blocks (the bitonic noneq baseline of Figure
+// 7(b)).
+func NonEqBitonic(d *gpu.Device, b *Batches) Stats {
+	var st Stats
+	start := d.Stats()
+	var members []int
+	for i := 0; i < b.NumArrays(); i++ {
+		if s := b.SizeOf(i); s > 1 && s <= maxClassSize {
+			members = append(members, i)
+		}
+	}
+	if len(members) == 0 {
+		sortOversized(b)
+		return st
+	}
+
+	// One launch; every block sorts one array padded to its own power of
+	// two inside a fixed 256-slot shared buffer. Threads beyond the
+	// array's padded size idle through the barriers — the imbalance.
+	n := len(members)
+	bounds := gpu.Alloc[uint32](d, 2*n)
+	defer bounds.Free()
+	hostBounds := bounds.Host()
+	var maxPadTotal int64
+	for k, ai := range members {
+		hostBounds[2*k] = uint32(b.Bounds[ai])
+		hostBounds[2*k+1] = uint32(b.SizeOf(ai))
+		maxPadTotal += int64(ceilPow2(b.SizeOf(ai)))
+	}
+	data := gpu.Alloc[uint32](d, len(b.Data))
+	defer data.Free()
+	data.CopyIn(b.Data)
+
+	d.MustLaunch(gpu.LaunchConfig{
+		Name: "bitonic_noneq", Grid: n, Block: maxClassSize,
+		SharedU32: maxClassSize + 2, Sync: true,
+	}, func(t *gpu.Thread) {
+		// Lane 0 stages the block's array descriptor through shared
+		// memory; a naive per-lane load would multiply global traffic.
+		if t.Lane == 0 {
+			t.SetSharedU32(maxClassSize, gpu.Ld(t, bounds, 2*t.Block))
+			t.SetSharedU32(maxClassSize+1, gpu.Ld(t, bounds, 2*t.Block+1))
+		}
+		t.Sync()
+		off := int(t.SharedU32(maxClassSize))
+		size := int(t.SharedU32(maxClassSize + 1))
+		pad := ceilPow2(size)
+		if t.Lane >= pad {
+			// Lanes beyond this array's padded size retire; the block
+			// still occupies a full 256-thread slot, the imbalance this
+			// baseline suffers from.
+			return
+		}
+		v := padValue
+		if t.Lane < size {
+			v = gpu.Ld(t, data, off+t.Lane)
+		}
+		t.SetSharedU32(t.Lane, v)
+		t.Sync()
+		bitonicShared(t, t.Lane, pad, pad)
+		if t.Lane < size {
+			gpu.St(t, data, off+t.Lane, t.SharedU32(t.Lane))
+		}
+	})
+	st.Launches++
+	st.ElementsSorted += maxPadTotal
+	data.CopyOut(b.Data)
+	sortOversized(b)
+	st.SimSeconds = d.Stats().Sub(start).SimSeconds
+	return st
+}
+
+// sortClass pads every member array to class size, sorts the batch with
+// the equal-size bitonic kernel and writes the results back.
+func sortClass(d *gpu.Device, b *Batches, members []int, class int, st *Stats) {
+	if len(members) == 0 {
+		return
+	}
+	class = ceilPow2(class)
+	n := len(members)
+	batch := gpu.Alloc[uint32](d, n*class)
+	defer batch.Free()
+	host := batch.Host()
+	for k, ai := range members {
+		arr := b.Array(ai)
+		copy(host[k*class:], arr)
+		for j := len(arr); j < class; j++ {
+			host[k*class+j] = padValue
+		}
+	}
+	st.Launches += int64(batchBitonicEqual(d, batch, class))
+	st.ElementsSorted += int64(n * class)
+	for k, ai := range members {
+		copy(b.Array(ai), host[k*class:k*class+b.SizeOf(ai)])
+	}
+}
+
+// batchBitonicEqual sorts contiguous equal-sized arrays (class must be a
+// power of two <= 256) in shared memory, multiple arrays per 256-thread
+// block. It returns the number of kernel launches (always 1).
+func batchBitonicEqual(d *gpu.Device, batch *gpu.Buffer[uint32], class int) int {
+	total := batch.Len()
+	block := maxClassSize
+	if total < block {
+		block = ceilPow2(total)
+		if block < 32 {
+			block = 32
+		}
+	}
+	grid := (total + block - 1) / block
+	d.MustLaunch(gpu.LaunchConfig{
+		Name: "batch_bitonic", Grid: grid, Block: block,
+		SharedU32: block, Sync: true,
+	}, func(t *gpu.Thread) {
+		i := t.GlobalID()
+		v := padValue
+		if i < total {
+			v = gpu.Ld(t, batch, i)
+		}
+		t.SetSharedU32(t.Lane, v)
+		t.Sync()
+		bitonicShared(t, t.Lane, class, t.BlockDim)
+		if i < total {
+			gpu.St(t, batch, i, t.SharedU32(t.Lane))
+		}
+	})
+	return 1
+}
+
+// bitonicShared runs the bitonic network over the block's shared buffer,
+// sorting each aligned sub-array of the given size independently and
+// ascending. All threads of the block must call it (it contains barriers).
+func bitonicShared(t *gpu.Thread, lane, size, blockDim int) {
+	pos := lane & (size - 1) // position within the aligned sub-array
+	for k := 2; k <= size; k *= 2 {
+		for j := k / 2; j > 0; j /= 2 {
+			partner := lane ^ j
+			if partner > lane && partner < blockDim {
+				a := t.SharedU32(lane)
+				bv := t.SharedU32(partner)
+				// Direction from the in-array position: the final merge
+				// (k == size) has pos&k == 0 everywhere, so every
+				// sub-array ends ascending.
+				up := pos&k == 0
+				t.Exec(2)
+				if (a > bv) == up {
+					t.SetSharedU32(lane, bv)
+					t.SetSharedU32(partner, a)
+				}
+			}
+			t.Sync()
+		}
+	}
+}
+
+// sortOversized host-sorts the rare arrays larger than maxClassSize.
+func sortOversized(b *Batches) {
+	for i := 0; i < b.NumArrays(); i++ {
+		if b.SizeOf(i) > maxClassSize {
+			quicksort(b.Array(i))
+		}
+	}
+}
+
+// ceilPow2 rounds up to a power of two (minimum 2).
+func ceilPow2(n int) int {
+	if n <= 2 {
+		return 2
+	}
+	return 1 << bits.Len(uint(n-1))
+}
+
+// ParallelQuicksort sorts every sub-array on the host, one array per task
+// over a worker pool — the OpenMP-style parallel CPU sort of Figure 7(a).
+// workers <= 0 selects GOMAXPROCS.
+func ParallelQuicksort(b *Batches, workers int) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	n := b.NumArrays()
+	if n == 0 {
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= n {
+			break
+		}
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				quicksort(b.Array(i))
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// quicksort sorts a small uint32 slice in place: insertion sort below 16
+// elements, median-of-three quicksort above.
+func quicksort(a []uint32) {
+	for len(a) > 16 {
+		// Median-of-three pivot.
+		m := len(a) / 2
+		hi := len(a) - 1
+		if a[0] > a[m] {
+			a[0], a[m] = a[m], a[0]
+		}
+		if a[m] > a[hi] {
+			a[m], a[hi] = a[hi], a[m]
+			if a[0] > a[m] {
+				a[0], a[m] = a[m], a[0]
+			}
+		}
+		pivot := a[m]
+		i, j := 0, hi
+		for i <= j {
+			for a[i] < pivot {
+				i++
+			}
+			for a[j] > pivot {
+				j--
+			}
+			if i <= j {
+				a[i], a[j] = a[j], a[i]
+				i++
+				j--
+			}
+		}
+		// Recurse into the smaller half, loop on the larger.
+		if j < len(a)-i {
+			quicksort(a[:j+1])
+			a = a[i:]
+		} else {
+			quicksort(a[i:])
+			a = a[:j+1]
+		}
+	}
+	// Insertion sort for the remainder.
+	for i := 1; i < len(a); i++ {
+		for k := i; k > 0 && a[k-1] > a[k]; k-- {
+			a[k-1], a[k] = a[k], a[k-1]
+		}
+	}
+}
