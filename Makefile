@@ -1,0 +1,29 @@
+# CI entry points. `make ci` is the gate: vet, build, the full test
+# suite, and the race detector over every package that spawns goroutines
+# (the scheduler, the window prefetcher and the engines that consume it,
+# and the parallel sort).
+
+GO ?= go
+
+RACE_PKGS = ./internal/pipeline ./internal/sched ./internal/gsnp ./internal/soapsnp ./internal/sortnet
+
+.PHONY: ci vet build test race bench
+
+ci: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race $(RACE_PKGS)
+
+# One pass over every paper table/figure benchmark plus the scheduler
+# benchmark; use -benchtime above 1x for stable numbers.
+bench:
+	$(GO) test -run xxx -bench . -benchtime 1x .

@@ -11,12 +11,15 @@
 package gsnp_test
 
 import (
+	"context"
 	"strconv"
 	"strings"
 	"testing"
 
 	"gsnp/internal/gsnp"
 	"gsnp/internal/harness"
+	"gsnp/internal/sched"
+	"gsnp/internal/seqsim"
 )
 
 // benchScale keeps every benchmark iteration in the seconds range; the
@@ -189,6 +192,44 @@ func BenchmarkAblationSortMethods(b *testing.B) {
 				sim = rep.SortStats.SimSeconds
 			}
 			b.ReportMetric(sim*1e6, "sim-us/op")
+		})
+	}
+}
+
+// BenchmarkWholeGenomeParallel runs the scaled 24-chromosome set through
+// the bounded worker-pool scheduler at 1 and 4 workers (gsnp-cpu engine
+// with window prefetch), the whole-genome wall-clock the concurrent
+// scheduler exists to improve. Datasets are built once outside the timed
+// loop.
+func BenchmarkWholeGenomeParallel(b *testing.B) {
+	specs := seqsim.ScaledHumanGenome(benchScale().SitesPerMb, benchScale().Seed)
+	s := harness.NewSession(benchScale())
+	dss := make([]*seqsim.Dataset, len(specs))
+	sites := 0
+	for i, spec := range specs {
+		dss[i] = seqsim.BuildDataset(spec)
+		sites += len(dss[i].Ref.Seq)
+	}
+	for _, workers := range []int{1, 4} {
+		workers := workers
+		b.Run("workers="+strconv.Itoa(workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tasks := make([]sched.Task[int], len(dss))
+				for k, ds := range dss {
+					ds := ds
+					tasks[k] = sched.Task[int]{
+						Name: ds.Spec.Name,
+						Run: func(ctx context.Context) (int, error) {
+							rep, _ := s.RunGSNP(ds, harness.GSNPOptions{Mode: gsnp.ModeCPU, Prefetch: true})
+							return rep.Sites, nil
+						},
+					}
+				}
+				if _, _, err := sched.Run(context.Background(), workers, tasks); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(sites)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Msites/s")
 		})
 	}
 }

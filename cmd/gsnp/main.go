@@ -14,13 +14,16 @@
 // Whole-genome mode processes a directory of per-chromosome files (the
 // production layout of the paper's evaluation: 24 separate sequence
 // files), calling each <name>.fa against <name>.soap (+ optional
-// <name>.snp) and writing <name>.result[.gsnp]:
+// <name>.snp) and writing <name>.result[.gsnp]. Chromosomes run on a
+// bounded worker pool (-workers, default GOMAXPROCS); every chromosome is
+// independent, so the result files are byte-identical at any worker count:
 //
-//	gsnp -genome-dir data/ [-engine gsnp-gpu] [-compress] [-stats]
+//	gsnp -genome-dir data/ [-engine gsnp-gpu] [-workers N] [-compress] [-stats]
 package main
 
 import (
 	"compress/gzip"
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -28,11 +31,13 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 
 	"gsnp/internal/gpu"
 	"gsnp/internal/gsnp"
 	"gsnp/internal/pipeline"
 	"gsnp/internal/reads"
+	"gsnp/internal/sched"
 	"gsnp/internal/snpio"
 	"gsnp/internal/soapsnp"
 )
@@ -42,9 +47,10 @@ type options struct {
 	engine   string
 	format   string
 	window   int
+	workers  int
+	prefetch bool
 	compress bool
 	stats    bool
-	device   *gpu.Device
 }
 
 func main() {
@@ -64,20 +70,23 @@ func run() error {
 		genomeDir = flag.String("genome-dir", "", "process every <chr>.fa/<chr>.soap pair in a directory")
 		engine    = flag.String("engine", "gsnp-gpu", "engine: soapsnp, gsnp-cpu or gsnp-gpu")
 		window    = flag.Int("window", 0, "sites per window (0 = engine default)")
+		workers   = flag.Int("workers", 0, "concurrent chromosomes in -genome-dir mode (0 = GOMAXPROCS)")
+		prefetch  = flag.Bool("prefetch", false, "overlap window read I/O with computation (double buffering)")
 		compress  = flag.Bool("compress", false, "write the GSNP compressed container (gsnp engines only)")
 		stats     = flag.Bool("stats", false, "print per-component timing to stderr")
 	)
 	flag.Parse()
 
-	opts := options{engine: *engine, format: *format, window: *window, compress: *compress, stats: *stats}
+	opts := options{
+		engine: *engine, format: *format, window: *window,
+		workers: *workers, prefetch: *prefetch, compress: *compress, stats: *stats,
+	}
 	switch opts.engine {
 	case "soapsnp":
 		if opts.compress {
 			return fmt.Errorf("-compress requires a gsnp engine")
 		}
-	case "gsnp-cpu":
-	case "gsnp-gpu":
-		opts.device = gpu.NewDevice(gpu.M2050())
+	case "gsnp-cpu", "gsnp-gpu":
 	default:
 		return fmt.Errorf("unknown engine %q", opts.engine)
 	}
@@ -102,11 +111,24 @@ func run() error {
 		defer f.Close()
 		out = f
 	}
-	return callOne(*refPath, *alnPath, *snpPath, out, opts)
+	_, err := callOne(*refPath, *alnPath, *snpPath, out, os.Stderr, opts)
+	return err
 }
 
-// runGenome processes every chromosome of a directory, the 24-file
-// production layout of the paper.
+// chrOutput is one chromosome's buffered result in genome mode.
+type chrOutput struct {
+	outPath string
+	sites   int
+	diag    string // buffered -stats diagnostics, printed in input order
+}
+
+// runGenome processes every chromosome of a directory — the 24-file
+// production layout of the paper — on a bounded worker pool. Each task
+// owns its own output file and (for gsnp-gpu) its own simulated device,
+// so chromosomes never share mutable state and the result files are
+// byte-identical to a serial run. Diagnostics are buffered per chromosome
+// and printed in input order once the pool drains, keeping terminal
+// output deterministic at any worker count.
 func runGenome(dir string, opts options) error {
 	fas, err := filepath.Glob(filepath.Join(dir, "*.fa"))
 	if err != nil {
@@ -120,6 +142,7 @@ func runGenome(dir string, opts options) error {
 	if opts.compress {
 		suffix = ".result.gsnp"
 	}
+	var tasks []sched.Task[chrOutput]
 	for _, fa := range fas {
 		base := strings.TrimSuffix(fa, ".fa")
 		aln := base + "." + opts.format
@@ -134,36 +157,76 @@ func runGenome(dir string, opts options) error {
 		if _, err := os.Stat(snp); err != nil {
 			snp = ""
 		}
-		outPath := base + suffix
-		f, err := os.Create(outPath)
-		if err != nil {
-			return err
-		}
-		err = callOne(fa, aln, snp, f, opts)
-		if cerr := f.Close(); err == nil {
-			err = cerr
-		}
-		if err != nil {
-			return fmt.Errorf("%s: %w", fa, err)
-		}
-		fmt.Fprintf(os.Stderr, "gsnp: %s -> %s\n", filepath.Base(fa), filepath.Base(outPath))
+		fa, outPath := fa, base+suffix
+		tasks = append(tasks, sched.Task[chrOutput]{
+			Name: filepath.Base(fa),
+			Run: func(ctx context.Context) (chrOutput, error) {
+				var diag strings.Builder
+				f, err := os.Create(outPath)
+				if err != nil {
+					return chrOutput{}, err
+				}
+				sites, err := callOne(fa, aln, snp, f, &diag, opts)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+				return chrOutput{outPath: outPath, sites: sites, diag: diag.String()}, err
+			},
+		})
 	}
-	return nil
+	results, stats, err := sched.Run(context.Background(), opts.workers, tasks)
+	for _, r := range results {
+		switch {
+		case r.Skipped:
+			fmt.Fprintf(os.Stderr, "gsnp: %s: not run (%v)\n", r.Name, r.Err)
+		case r.Err != nil:
+			fmt.Fprintf(os.Stderr, "gsnp: %s: %v\n", r.Name, r.Err)
+		default:
+			if r.Value.diag != "" {
+				fmt.Fprint(os.Stderr, r.Value.diag)
+			}
+			line := fmt.Sprintf("gsnp: %s -> %s", r.Name, filepath.Base(r.Value.outPath))
+			if opts.stats {
+				line += fmt.Sprintf(" (worker %d, %v, %s)",
+					r.Worker, r.Wall.Round(time.Millisecond), siteRate(r.Value.sites, r.Wall))
+			}
+			fmt.Fprintln(os.Stderr, line)
+		}
+	}
+	if opts.stats {
+		fmt.Fprintf(os.Stderr, "gsnp: scheduler: %d workers ran %d chromosomes in %v (task time %v, speedup %.2fx, longest %s %v)\n",
+			stats.Workers, stats.Ran, stats.Wall.Round(time.Millisecond),
+			stats.TaskWall.Round(time.Millisecond), stats.Speedup(),
+			stats.LongestName, stats.Longest.Round(time.Millisecond))
+	}
+	return err
 }
 
-// callOne runs one chromosome through the selected engine.
-func callOne(refPath, alnPath, snpPath string, out io.Writer, opts options) error {
+// siteRate formats a sites-per-second throughput.
+func siteRate(sites int, wall time.Duration) string {
+	if wall <= 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.2f Msites/s", float64(sites)/wall.Seconds()/1e6)
+}
+
+// callOne runs one chromosome through the selected engine, writing result
+// rows to out and diagnostics to diag. It returns the number of reference
+// sites processed.
+func callOne(refPath, alnPath, snpPath string, out, diag io.Writer, opts options) (int, error) {
 	refFile, err := os.Open(refPath)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	recs, err := snpio.ReadFASTA(refFile)
-	refFile.Close()
+	if cerr := refFile.Close(); err == nil {
+		err = cerr
+	}
 	if err != nil {
-		return err
+		return 0, err
 	}
 	if len(recs) != 1 {
-		return fmt.Errorf("reference must hold exactly one sequence, found %d", len(recs))
+		return 0, fmt.Errorf("reference must hold exactly one sequence, found %d", len(recs))
 	}
 	ref := recs[0]
 
@@ -171,12 +234,14 @@ func callOne(refPath, alnPath, snpPath string, out io.Writer, opts options) erro
 	if snpPath != "" {
 		f, err := os.Open(snpPath)
 		if err != nil {
-			return err
+			return 0, err
 		}
 		all, err := snpio.ReadKnownSNPs(f)
-		f.Close()
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
 		if err != nil {
-			return err
+			return 0, err
 		}
 		known = all[ref.Name]
 	}
@@ -189,6 +254,7 @@ func callOne(refPath, alnPath, snpPath string, out io.Writer, opts options) erro
 		if err != nil {
 			return nil, err
 		}
+		it := &fileIter{f: f}
 		var r io.Reader = f
 		if strings.HasSuffix(alnPath, ".gz") {
 			zr, err := gzip.NewReader(f)
@@ -196,67 +262,94 @@ func callOne(refPath, alnPath, snpPath string, out io.Writer, opts options) erro
 				f.Close()
 				return nil, err
 			}
+			it.zr = zr
 			r = zr
 		}
 		if opts.format == "sam" {
-			return &fileIter{f: f, it: snpio.NewSAMReader(r)}, nil
+			it.it = snpio.NewSAMReader(r)
+		} else {
+			it.it = snpio.NewSOAPReader(r)
 		}
-		return &fileIter{f: f, it: snpio.NewSOAPReader(r)}, nil
+		return it, nil
 	})
 
 	switch opts.engine {
 	case "soapsnp":
-		eng := soapsnp.New(soapsnp.Config{Chr: ref.Name, Ref: ref.Seq, Known: known, Window: opts.window})
+		eng := soapsnp.New(soapsnp.Config{
+			Chr: ref.Name, Ref: ref.Seq, Known: known,
+			Window: opts.window, Prefetch: opts.prefetch,
+		})
 		rep, err := eng.Run(src, out)
 		if err != nil {
-			return err
+			return 0, err
 		}
 		if opts.stats {
-			fmt.Fprintf(os.Stderr, "soapsnp: %d sites, %d SNPs, mean depth %.1fX\n%v\n",
+			fmt.Fprintf(diag, "soapsnp: %d sites, %d SNPs, mean depth %.1fX\n%v\n",
 				rep.Sites, rep.SNPs, rep.MeanDepth, rep.Times)
+			if opts.prefetch {
+				fmt.Fprintf(diag, "prefetch: %v\n", rep.Prefetch)
+			}
 		}
-	case "gsnp-cpu", "gsnp-gpu":
+		return rep.Sites, nil
+	default: // gsnp-cpu, gsnp-gpu
 		cfg := gsnp.Config{
 			Chr: ref.Name, Ref: ref.Seq, Known: known,
 			Window: opts.window, CompressOutput: opts.compress,
+			Prefetch: opts.prefetch,
 		}
-		if opts.device != nil {
+		if opts.engine == "gsnp-gpu" {
 			cfg.Mode = gsnp.ModeGPU
-			cfg.Device = opts.device
+			// One device per call: chromosomes scheduled concurrently in
+			// genome mode must not share simulated-device state.
+			cfg.Device = gpu.NewDevice(gpu.M2050())
 		} else {
 			cfg.Mode = gsnp.ModeCPU
 		}
 		eng, err := gsnp.New(cfg)
 		if err != nil {
-			return err
+			return 0, err
 		}
 		rep, err := eng.Run(src, out)
 		if err != nil {
-			return err
+			return 0, err
 		}
 		if opts.stats {
-			fmt.Fprintf(os.Stderr, "%s: %d sites, %d SNPs, mean depth %.1fX, %d output bytes\n%v\n",
+			fmt.Fprintf(diag, "%s: %d sites, %d SNPs, mean depth %.1fX, %d output bytes\n%v\n",
 				opts.engine, rep.Sites, rep.SNPs, rep.MeanDepth, rep.OutputBytes, rep.Times)
+			if opts.prefetch {
+				fmt.Fprintf(diag, "prefetch: %v\n", rep.Prefetch)
+			}
 			if cfg.Device != nil {
-				fmt.Fprintf(os.Stderr, "\nsimulated device profile (%s):\n%s",
+				fmt.Fprintf(diag, "\nsimulated device profile (%s):\n%s",
 					cfg.Device.Config().Name, cfg.Device.FormatProfile())
 			}
 		}
+		return rep.Sites, nil
 	}
-	return nil
 }
 
 // fileIter adapts an alignment reader over an open file to
-// pipeline.ReadIter, closing the file at EOF.
+// pipeline.ReadIter, closing the decompressor (for .gz inputs) and the
+// file at EOF. A close failure surfaces instead of EOF so truncated
+// gzip streams are reported rather than silently accepted.
 type fileIter struct {
 	f  *os.File
+	zr *gzip.Reader
 	it pipeline.ReadIter
 }
 
 func (it *fileIter) Next() (reads.AlignedRead, error) {
 	r, err := it.it.Next()
 	if err == io.EOF {
-		it.f.Close()
+		if it.zr != nil {
+			if cerr := it.zr.Close(); cerr != nil {
+				err = cerr
+			}
+			it.zr = nil
+		}
+		if cerr := it.f.Close(); cerr != nil && err == io.EOF {
+			err = cerr
+		}
 	}
 	return r, err
 }

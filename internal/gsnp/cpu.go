@@ -23,9 +23,11 @@ func (e *Engine) runWindowCPU(w *window) error {
 	e.countCPU(w)
 	rep.Times.Count += time.Since(t0)
 
-	// Component 4a: likelihood_sort — restore the canonical order.
+	// Component 4a: likelihood_sort — restore the canonical order. The
+	// worker count comes from Config.SortWorkers (GOMAXPROCS by default;
+	// the paper-comparison harness pins it to 1).
 	t0 = time.Now()
-	sortnet.ParallelQuicksort(&w.words, 1)
+	sortnet.ParallelQuicksort(&w.words, e.cfg.SortWorkers)
 	rep.Times.LikeliSort += time.Since(t0)
 	rep.SortStats.ElementsSorted += int64(len(w.words.Data))
 

@@ -145,13 +145,42 @@ func (e *Engine) Run(src pipeline.Source, w io.Writer) (*Report, error) {
 		return nil, fmt.Errorf("gsnp: read_site: %w", err)
 	}
 	win := pipeline.NewWindower(it)
-	for start := 0; start < len(cfg.Ref); start += cfg.Window {
-		end := start + cfg.Window
-		if end > len(cfg.Ref) {
-			end = len(cfg.Ref)
+	if cfg.Prefetch {
+		// read_site for window i+1 overlaps components 3-7 of window i;
+		// windows arrive strictly in order, so output bytes are identical
+		// to the serial path.
+		pf := pipeline.NewWindowPrefetcher(win, len(cfg.Ref), cfg.Window, 1)
+		defer pf.Stop()
+		for {
+			pw, ok := pf.Next()
+			if !ok {
+				break
+			}
+			if pw.Err != nil {
+				return nil, fmt.Errorf("gsnp: read_site: %w", pw.Err)
+			}
+			if err := e.runWindow(pw.Reads, pw.Start, pw.End); err != nil {
+				return nil, err
+			}
 		}
-		if err := e.runWindow(win, start, end); err != nil {
-			return nil, err
+		rep.Prefetch = pf.Stats()
+		rep.Times.Read += rep.Prefetch.Wait
+	} else {
+		for start := 0; start < len(cfg.Ref); start += cfg.Window {
+			end := start + cfg.Window
+			if end > len(cfg.Ref) {
+				end = len(cfg.Ref)
+			}
+			// Component 2: read_site.
+			t0 = time.Now()
+			rs, err := win.Reads(start, end)
+			if err != nil {
+				return nil, fmt.Errorf("gsnp: read_site: %w", err)
+			}
+			rep.Times.Read += time.Since(t0)
+			if err := e.runWindow(rs, start, end); err != nil {
+				return nil, err
+			}
 		}
 	}
 
@@ -232,23 +261,16 @@ type window struct {
 	quality    []uint8
 }
 
-// runWindow executes components 2-7 for one window.
-func (e *Engine) runWindow(win *pipeline.Windower, start, end int) error {
+// runWindow executes components 3-7 for one window whose reads have
+// already been fetched (serially or by the prefetcher).
+func (e *Engine) runWindow(rs []reads.AlignedRead, start, end int) error {
 	cfg := e.cfg
 	rep := e.rep
 	w := &window{start: start, end: end, n: end - start}
 
-	// Component 2: read_site — pull the window's reads.
-	t0 := time.Now()
-	rs, err := win.Reads(start, end)
-	if err != nil {
-		return fmt.Errorf("gsnp: read_site: %w", err)
-	}
-	rep.Times.Read += time.Since(t0)
-
 	// Counting, host leg: flatten the observations into parallel arrays
 	// (the per-aligned-base extraction the counting component performs).
-	t0 = time.Now()
+	t0 := time.Now()
 	for i := range rs {
 		r := &rs[i]
 		lo, hi := r.Pos, r.Pos+len(r.Bases)
@@ -276,6 +298,7 @@ func (e *Engine) runWindow(win *pipeline.Windower, start, end int) error {
 	rep.Times.Count += time.Since(t0)
 
 	// Components 3-7.
+	var err error
 	if cfg.Mode == ModeGPU {
 		err = e.runWindowGPU(w)
 	} else {

@@ -160,14 +160,16 @@ func (e *Engine) countGPU(w *window) {
 	b[n] = int32(m)
 	w.words = sortnet.Batches{Data: hostWords, Bounds: b}
 	w.counts = make([]pipeline.SiteCounts, n)
+	// The device accumulates in uint32; clamping on readback matches the
+	// CPU path's saturating counters (pipeline.SiteCounts.Add).
 	for site := 0; site < n; site++ {
 		c := &w.counts[site]
-		c.Depth = uint16(b[site+1] - b[site])
+		c.Depth = pipeline.SatDepth(uint32(b[site+1] - b[site]))
 		for base := 0; base < 4; base++ {
 			sb := site*4 + base
-			c.Count[base] = uint16(hostStats[sb])
+			c.Count[base] = pipeline.SatDepth(hostStats[sb])
 			c.QualSum[base] = hostStats[4*n+sb]
-			c.Uniq[base] = uint16(hostStats[8*n+sb])
+			c.Uniq[base] = pipeline.SatDepth(hostStats[8*n+sb])
 		}
 	}
 }

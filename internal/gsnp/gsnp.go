@@ -13,6 +13,7 @@ package gsnp
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"gsnp/internal/bayes"
@@ -111,6 +112,16 @@ type Config struct {
 	UseTempInput bool
 	// TempDir locates the temporary input file (default os.TempDir()).
 	TempDir string
+	// Prefetch overlaps read_site I/O for window i+1 with components 3-7
+	// of window i (double buffering). Output is byte-identical either
+	// way; the serial path remains the default so the Table IV component
+	// timings are unaffected.
+	Prefetch bool
+	// SortWorkers bounds the host worker count of likelihood_sort in CPU
+	// mode. Zero selects GOMAXPROCS; the Figure 6/paper-comparison
+	// harness pins it to 1, the paper's single-threaded GSNP_CPU
+	// configuration.
+	SortWorkers int
 }
 
 // DefaultWindow is GSNP's window size from the paper's setup.
@@ -125,6 +136,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Priors == (bayes.Priors{}) {
 		c.Priors = bayes.DefaultPriors()
+	}
+	if c.SortWorkers <= 0 {
+		c.SortWorkers = runtime.GOMAXPROCS(0)
 	}
 	return c
 }
@@ -181,6 +195,10 @@ type Report struct {
 	OutputBytes int64
 	// PeakDeviceBytes is the high-water device memory use (GPU mode).
 	PeakDeviceBytes int64
+	// Prefetch reports the window-prefetch counters when Config.Prefetch
+	// is set (zero otherwise): Fetch is read_site work that overlapped
+	// computation, Wait the residual blocking left in Times.Read.
+	Prefetch pipeline.PrefetchStats
 }
 
 // sparsityHistSize caps the sparsity histogram domain.

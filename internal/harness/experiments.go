@@ -36,6 +36,7 @@ var experiments = []experiment{
 	{"ext-accuracy", "EXTENSION: calling accuracy vs sequencing depth (ground truth)", (*Session).ExtAccuracy},
 	{"ext-consistency", "EXTENSION: byte-identity of every engine (Section IV-G)", (*Session).ExtConsistency},
 	{"ext-device", "EXTENSION: device-configuration sensitivity of the likelihood component", (*Session).ExtDevice},
+	{"ext-parallel", "EXTENSION: concurrent chromosome scheduling with byte-identical outputs", (*Session).ExtParallel},
 }
 
 // IDs returns the experiment identifiers in paper order.

@@ -15,12 +15,40 @@ func TestExtConsistencyAllYes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(res.Rows) != 6 {
-		t.Fatalf("expected 6 engine rows, got %d", len(res.Rows))
+	if len(res.Rows) != 10 {
+		t.Fatalf("expected 10 engine rows, got %d", len(res.Rows))
 	}
 	for _, row := range res.Rows[1:] {
 		if row[2] != "YES" {
 			t.Errorf("engine %q not byte-identical: %v", row[0], row)
+		}
+	}
+}
+
+// TestExtParallelByteIdentity runs the chromosome scheduler at workers 1,
+// 2 and 4 and requires byte-identical result files at every worker count —
+// the Section IV-G guarantee must survive concurrency.
+func TestExtParallelByteIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("extension experiments in -short mode")
+	}
+	s := NewSession(tinyScale())
+	res, err := s.Run("ext-parallel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("expected 3 worker rows, got %d", len(res.Rows))
+	}
+	if res.Rows[0][0] != "1" || res.Rows[2][0] != "4" {
+		t.Fatalf("worker column = %q, %q, %q; want 1, 2, 4", res.Rows[0][0], res.Rows[1][0], res.Rows[2][0])
+	}
+	if got := res.Rows[0][5]; got != "reference" {
+		t.Errorf("workers=1 identity cell = %q, want reference", got)
+	}
+	for _, row := range res.Rows[1:] {
+		if row[5] != "YES" {
+			t.Errorf("workers=%s output not byte-identical to serial: %v", row[0], row)
 		}
 	}
 }

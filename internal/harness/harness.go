@@ -151,6 +151,13 @@ type GSNPOptions struct {
 	Window   int
 	Compress bool
 	Device   *gpu.Device
+	// Prefetch enables double-buffered window read I/O.
+	Prefetch bool
+	// SortWorkers sets the CPU-mode likelihood_sort worker count. Zero
+	// pins 1 — the paper's single-threaded GSNP_CPU configuration — so
+	// the Figure 5/6, Table IV and Figure 12 comparisons keep their
+	// shape; pass an explicit count to opt into host parallelism.
+	SortWorkers int
 }
 
 // RunGSNP executes a GSNP run over a dataset.
@@ -158,6 +165,10 @@ func (s *Session) RunGSNP(ds *seqsim.Dataset, opts GSNPOptions) (*gsnp.Report, [
 	dev := opts.Device
 	if opts.Mode == gsnp.ModeGPU && dev == nil {
 		dev = gpu.NewDevice(gpu.M2050())
+	}
+	sortWorkers := opts.SortWorkers
+	if sortWorkers == 0 {
+		sortWorkers = 1
 	}
 	eng, err := gsnp.New(gsnp.Config{
 		Chr:            ds.Spec.Name,
@@ -169,6 +180,8 @@ func (s *Session) RunGSNP(ds *seqsim.Dataset, opts GSNPOptions) (*gsnp.Report, [
 		Variant:        opts.Variant,
 		Sort:           opts.Sort,
 		CompressOutput: opts.Compress,
+		Prefetch:       opts.Prefetch,
+		SortWorkers:    sortWorkers,
 	})
 	if err != nil {
 		panic(fmt.Sprintf("harness: gsnp config: %v", err))

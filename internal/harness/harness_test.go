@@ -18,6 +18,7 @@ func TestIDsCoverEveryTableAndFigure(t *testing.T) {
 		"fig4a", "fig4b", "fig5", "fig6", "fig7a", "fig7b",
 		"fig8", "fig9", "fig10a", "fig10b", "fig11", "fig12",
 		"ext-threads", "ext-accuracy", "ext-consistency", "ext-device",
+		"ext-parallel",
 	}
 	got := IDs()
 	if len(got) != len(want) {

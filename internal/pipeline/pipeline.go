@@ -95,23 +95,51 @@ func ObsOf(r *reads.AlignedRead, pos int) (Obs, bool) {
 }
 
 // SiteCounts aggregates the counting component's per-site statistics, the
-// inputs of the count/quality columns of the result table.
+// inputs of the count/quality columns of the result table. Every counter
+// saturates at its type maximum instead of wrapping: pileup hotspots
+// (repeat regions collapse tens of thousands of reads onto one site) would
+// otherwise wrap the 16-bit counters and scramble the best/second-base
+// ranking. Saturating addition is order-independent for non-negative
+// increments, so the GPU engine's atomic accumulation clamps to the same
+// values.
 type SiteCounts struct {
-	// Depth is the total number of aligned bases.
+	// Depth is the total number of aligned bases, saturating at 65,535.
 	Depth uint16
 	// Count, QualSum and Uniq are per observed base: occurrence count,
-	// sum of quality scores, and count from uniquely aligned reads.
+	// sum of quality scores, and count from uniquely aligned reads, each
+	// saturating at its type maximum.
 	Count   [dna.NBases]uint16
 	QualSum [dna.NBases]uint32
 	Uniq    [dna.NBases]uint16
 }
 
-// Add folds one observation into the counts.
+// satU16 is the saturation limit of the 16-bit counters.
+const satU16 = 1<<16 - 1
+
+// SatDepth converts a wide accumulated count to the saturated 16-bit
+// domain of SiteCounts (shared with the GPU counting kernels, which
+// accumulate in uint32 on the device and clamp here on readback).
+func SatDepth(n uint32) uint16 {
+	if n > satU16 {
+		return satU16
+	}
+	return uint16(n)
+}
+
+// Add folds one observation into the counts, saturating each counter.
 func (c *SiteCounts) Add(o Obs) {
-	c.Depth++
-	c.Count[o.Base]++
-	c.QualSum[o.Base] += uint32(o.Qual)
-	if o.Uniq {
+	if c.Depth < satU16 {
+		c.Depth++
+	}
+	if c.Count[o.Base] < satU16 {
+		c.Count[o.Base]++
+	}
+	if s := c.QualSum[o.Base] + uint32(o.Qual); s >= c.QualSum[o.Base] {
+		c.QualSum[o.Base] = s
+	} else {
+		c.QualSum[o.Base] = ^uint32(0)
+	}
+	if o.Uniq && c.Uniq[o.Base] < satU16 {
 		c.Uniq[o.Base]++
 	}
 }
@@ -146,9 +174,17 @@ func (c *SiteCounts) BestSecond() (best dna.Base, second dna.Base, hasBest, hasS
 }
 
 // AvgQual returns the rounded average quality of base b's observations.
+// At a saturated site Count stops at 65,535 while QualSum keeps the full
+// sum, so the quotient can exceed the true quality range; it is clamped so
+// the 8-bit column cannot wrap.
 func (c *SiteCounts) AvgQual(b dna.Base) uint8 {
 	if c.Count[b] == 0 {
 		return 0
 	}
-	return uint8((c.QualSum[b] + uint32(c.Count[b])/2) / uint32(c.Count[b]))
+	// 64-bit so the rounding addend cannot wrap a near-ceiling QualSum.
+	q := (uint64(c.QualSum[b]) + uint64(c.Count[b])/2) / uint64(c.Count[b])
+	if q > 255 {
+		q = 255
+	}
+	return uint8(q)
 }

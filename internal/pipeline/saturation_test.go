@@ -1,0 +1,73 @@
+package pipeline
+
+import (
+	"testing"
+
+	"gsnp/internal/dna"
+)
+
+// TestSiteCountsSaturate is the regression test for the pileup-counter
+// overflow: a site deeper than 65,535 must pin the uint16 counters at
+// their maximum instead of wrapping to small values (which silently
+// corrupted depth, allele counts and rank-sum inputs at deep sites).
+func TestSiteCountsSaturate(t *testing.T) {
+	var c SiteCounts
+	const n = 70000 // > 2^16-1
+	for i := 0; i < n; i++ {
+		c.Add(Obs{Base: dna.A, Qual: 40, Uniq: true})
+	}
+	c.Add(Obs{Base: dna.G, Qual: 20})
+
+	if c.Depth != 65535 {
+		t.Errorf("Depth = %d, want saturated 65535", c.Depth)
+	}
+	if c.Count[dna.A] != 65535 {
+		t.Errorf("Count[A] = %d, want saturated 65535", c.Count[dna.A])
+	}
+	if c.Uniq[dna.A] != 65535 {
+		t.Errorf("Uniq[A] = %d, want saturated 65535", c.Uniq[dna.A])
+	}
+	// QualSum is 32-bit and keeps the full sum well past count
+	// saturation.
+	if want := uint32(n * 40); c.QualSum[dna.A] != want {
+		t.Errorf("QualSum[A] = %d, want %d", c.QualSum[dna.A], want)
+	}
+	// BestSecond stays sane on a saturated site.
+	best, second, hb, hs := c.BestSecond()
+	if !hb || !hs || best != dna.A || second != dna.G {
+		t.Errorf("BestSecond = %v/%v (%v,%v), want A/G", best, second, hb, hs)
+	}
+	if got := c.AvgQual(dna.A); got != 43 { // round(2800000/65535)
+		t.Errorf("AvgQual(A) = %d, want 43", got)
+	}
+}
+
+// TestSiteCountsQualSumClamp drives the 32-bit quality sum to its ceiling
+// and checks it pins instead of wrapping.
+func TestSiteCountsQualSumClamp(t *testing.T) {
+	var c SiteCounts
+	c.QualSum[dna.C] = ^uint32(0) - 10
+	c.Count[dna.C] = 100
+	c.Add(Obs{Base: dna.C, Qual: 40})
+	if c.QualSum[dna.C] != ^uint32(0) {
+		t.Errorf("QualSum[C] = %d, want clamped %d", c.QualSum[dna.C], ^uint32(0))
+	}
+	// A huge sum over a small count must clamp the 8-bit average.
+	if got := c.AvgQual(dna.C); got != 255 {
+		t.Errorf("AvgQual(C) = %d, want clamped 255", got)
+	}
+}
+
+// TestSatDepth covers the host-side clamp used when reading back 32-bit
+// device accumulators.
+func TestSatDepth(t *testing.T) {
+	cases := []struct {
+		in   uint32
+		want uint16
+	}{{0, 0}, {1, 1}, {65535, 65535}, {65536, 65535}, {1 << 30, 65535}}
+	for _, tc := range cases {
+		if got := SatDepth(tc.in); got != tc.want {
+			t.Errorf("SatDepth(%d) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"gsnp/internal/bayes"
 	"gsnp/internal/dna"
 	"gsnp/internal/pipeline"
+	"gsnp/internal/reads"
 	"gsnp/internal/snpio"
 )
 
@@ -45,6 +46,11 @@ type Config struct {
 	// bandwidth (Section VI-A). Zero or one selects the single-threaded
 	// baseline.
 	Threads int
+	// Prefetch overlaps read_site I/O for window i+1 with the
+	// computation of window i (double buffering). Output is
+	// byte-identical either way; the serial path remains the default so
+	// the Table I component timings are unaffected.
+	Prefetch bool
 }
 
 // DefaultWindow is SOAPsnp's window size from the paper's setup.
@@ -103,6 +109,10 @@ type Report struct {
 	NonZeroHist []int64
 	// Observations is the total number of aligned bases processed.
 	Observations int64
+	// Prefetch reports the window-prefetch counters when Config.Prefetch
+	// is set (zero otherwise): Fetch is read_site work that overlapped
+	// computation, Wait the residual blocking left in Times.Read.
+	Prefetch pipeline.PrefetchStats
 }
 
 // sparsityHistSize caps the non-zero histogram domain.
@@ -163,13 +173,43 @@ func (e *Engine) Run(src pipeline.Source, w io.Writer) (*Report, error) {
 	e.allocWindow()
 	out := snpio.NewResultWriter(w)
 
-	for start := 0; start < len(cfg.Ref); start += cfg.Window {
-		end := start + cfg.Window
-		if end > len(cfg.Ref) {
-			end = len(cfg.Ref)
+	if cfg.Prefetch {
+		// read_site for window i+1 overlaps components 3-7 of window i;
+		// windows still arrive strictly in order, so output bytes are
+		// identical to the serial path. Times.Read records only the
+		// residual blocking wait.
+		pf := pipeline.NewWindowPrefetcher(win, len(cfg.Ref), cfg.Window, 1)
+		defer pf.Stop()
+		for {
+			pw, ok := pf.Next()
+			if !ok {
+				break
+			}
+			if pw.Err != nil {
+				return nil, fmt.Errorf("soapsnp: read_site: %w", pw.Err)
+			}
+			if err := e.runWindow(pw.Reads, pw.Start, pw.End, out, rep); err != nil {
+				return nil, err
+			}
 		}
-		if err := e.runWindow(win, start, end, out, rep); err != nil {
-			return nil, err
+		rep.Prefetch = pf.Stats()
+		rep.Times.Read += rep.Prefetch.Wait
+	} else {
+		for start := 0; start < len(cfg.Ref); start += cfg.Window {
+			end := start + cfg.Window
+			if end > len(cfg.Ref) {
+				end = len(cfg.Ref)
+			}
+			// Component 2: read_site.
+			t0 = time.Now()
+			rs, err := win.Reads(start, end)
+			if err != nil {
+				return nil, fmt.Errorf("soapsnp: read_site: %w", err)
+			}
+			rep.Times.Read += time.Since(t0)
+			if err := e.runWindow(rs, start, end, out, rep); err != nil {
+				return nil, err
+			}
 		}
 	}
 
@@ -195,22 +235,16 @@ func (e *Engine) allocWindow() {
 	}
 }
 
-// runWindow executes components 2-7 for one window [start, end).
-func (e *Engine) runWindow(win *pipeline.Windower, start, end int, out *snpio.ResultWriter, rep *Report) error {
+// runWindow executes components 3-7 for one window [start, end) whose
+// reads were already fetched (component 2 runs in the caller, serially or
+// via the prefetcher).
+func (e *Engine) runWindow(rs []reads.AlignedRead, start, end int, out *snpio.ResultWriter, rep *Report) error {
 	cfg := e.cfg
 	n := end - start
 
-	// Component 2: read_site.
-	t0 := time.Now()
-	rs, err := win.Reads(start, end)
-	if err != nil {
-		return fmt.Errorf("soapsnp: read_site: %w", err)
-	}
-	rep.Times.Read += time.Since(t0)
-
 	// Component 3: counting — scatter every aligned base into the dense
 	// base_occ matrix and the per-site summaries.
-	t0 = time.Now()
+	t0 := time.Now()
 	for i := range rs {
 		r := &rs[i]
 		lo, hi := r.Pos, r.Pos+len(r.Bases)
