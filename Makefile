@@ -7,7 +7,7 @@ GO ?= go
 
 RACE_PKGS = ./internal/pipeline ./internal/sched ./internal/gsnp ./internal/soapsnp ./internal/sortnet
 
-.PHONY: ci vet build test race bench
+.PHONY: ci vet build test race bench bench-json
 
 ci: vet build test race
 
@@ -27,3 +27,10 @@ race:
 # benchmark; use -benchtime above 1x for stable numbers.
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x .
+
+# Window-level pipeline benchmarks (one op = one window) recorded as JSON:
+# ns/window, B/op, allocs/op and sites/s per configuration, the perf
+# trajectory artifact. Compare BENCH_pipeline.json across commits.
+bench-json:
+	$(GO) test -run xxx -bench BenchmarkRunWindow -benchmem ./internal/gsnp \
+		| $(GO) run ./cmd/gsnp-benchjson > BENCH_pipeline.json

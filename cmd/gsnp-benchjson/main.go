@@ -1,0 +1,116 @@
+// Command gsnp-benchjson converts `go test -bench` output on stdin into a
+// machine-readable JSON perf record, so benchmark runs can be archived and
+// diffed across commits (the `make bench-json` target writes
+// BENCH_pipeline.json this way).
+//
+// Every benchmark result line becomes one entry. Metric keys are the
+// benchmark units verbatim ("ns/op", "B/op", "allocs/op", plus any
+// ReportMetric extras such as "sites/s"); for the window-level benchmarks
+// one op is one window, so ns/op reads as ns/window.
+//
+// Usage:
+//
+//	go test -bench BenchmarkRunWindow -benchmem ./internal/gsnp | gsnp-benchjson > BENCH_pipeline.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// entry is one benchmark result.
+type entry struct {
+	// Name is the benchmark name without the "Benchmark" prefix or the
+	// trailing -GOMAXPROCS suffix.
+	Name string `json:"name"`
+	// Iterations is the measured b.N.
+	Iterations int64 `json:"iterations"`
+	// Metrics maps unit strings to values.
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// report is the emitted document.
+type report struct {
+	Context    map[string]string `json:"context"`
+	Benchmarks []entry           `json:"benchmarks"`
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "gsnp-benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	rep := report{Context: map[string]string{}, Benchmarks: []entry{}}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		// Header lines: "goos: linux", "goarch: amd64", "pkg: ...", "cpu: ...".
+		for _, key := range []string{"goos", "goarch", "pkg", "cpu"} {
+			if v, ok := strings.CutPrefix(line, key+": "); ok {
+				rep.Context[key] = v
+			}
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		e, ok := parseLine(line)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "gsnp-benchjson: skipping unparseable line: %s\n", line)
+			continue
+		}
+		rep.Benchmarks = append(rep.Benchmarks, e)
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if len(rep.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark result lines on stdin")
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&rep); err != nil {
+		return err
+	}
+	// A human-readable echo on stderr, since stdout is usually redirected.
+	for _, e := range rep.Benchmarks {
+		fmt.Fprintf(os.Stderr, "gsnp-benchjson: %-40s %12.1f ns/op\n", e.Name, e.Metrics["ns/op"])
+	}
+	return nil
+}
+
+// parseLine decodes one result line:
+//
+//	BenchmarkRunWindowCPU/cw=1-8   500   2000000 ns/op   0 B/op   0 allocs/op   2048000 sites/s
+func parseLine(line string) (entry, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return entry{}, false
+	}
+	name := strings.TrimPrefix(fields[0], "Benchmark")
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return entry{}, false
+	}
+	e := entry{Name: name, Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return entry{}, false
+		}
+		e.Metrics[fields[i+1]] = v
+	}
+	return e, true
+}

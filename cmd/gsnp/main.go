@@ -44,13 +44,14 @@ import (
 
 // options carries the parsed command line.
 type options struct {
-	engine   string
-	format   string
-	window   int
-	workers  int
-	prefetch bool
-	compress bool
-	stats    bool
+	engine         string
+	format         string
+	window         int
+	workers        int
+	computeWorkers int
+	prefetch       bool
+	compress       bool
+	stats          bool
 }
 
 func main() {
@@ -71,6 +72,7 @@ func run() error {
 		engine    = flag.String("engine", "gsnp-gpu", "engine: soapsnp, gsnp-cpu or gsnp-gpu")
 		window    = flag.Int("window", 0, "sites per window (0 = engine default)")
 		workers   = flag.Int("workers", 0, "concurrent chromosomes in -genome-dir mode (0 = GOMAXPROCS)")
+		computeW  = flag.Int("compute-workers", 0, "site-parallel likelihood/posterior workers per window (gsnp-cpu; 0 = GOMAXPROCS)")
 		prefetch  = flag.Bool("prefetch", false, "overlap window read I/O with computation (double buffering)")
 		compress  = flag.Bool("compress", false, "write the GSNP compressed container (gsnp engines only)")
 		stats     = flag.Bool("stats", false, "print per-component timing to stderr")
@@ -79,7 +81,8 @@ func run() error {
 
 	opts := options{
 		engine: *engine, format: *format, window: *window,
-		workers: *workers, prefetch: *prefetch, compress: *compress, stats: *stats,
+		workers: *workers, computeWorkers: *computeW,
+		prefetch: *prefetch, compress: *compress, stats: *stats,
 	}
 	switch opts.engine {
 	case "soapsnp":
@@ -111,7 +114,7 @@ func run() error {
 		defer f.Close()
 		out = f
 	}
-	_, err := callOne(*refPath, *alnPath, *snpPath, out, os.Stderr, opts)
+	_, err := callOne(*refPath, *alnPath, *snpPath, out, os.Stderr, opts, nil)
 	return err
 }
 
@@ -142,7 +145,7 @@ func runGenome(dir string, opts options) error {
 	if opts.compress {
 		suffix = ".result.gsnp"
 	}
-	var tasks []sched.Task[chrOutput]
+	var tasks []sched.LocalTask[chrOutput, *gsnp.Arena]
 	for _, fa := range fas {
 		base := strings.TrimSuffix(fa, ".fa")
 		aln := base + "." + opts.format
@@ -158,15 +161,15 @@ func runGenome(dir string, opts options) error {
 			snp = ""
 		}
 		fa, outPath := fa, base+suffix
-		tasks = append(tasks, sched.Task[chrOutput]{
+		tasks = append(tasks, sched.LocalTask[chrOutput, *gsnp.Arena]{
 			Name: filepath.Base(fa),
-			Run: func(ctx context.Context) (chrOutput, error) {
+			Run: func(ctx context.Context, arena *gsnp.Arena) (chrOutput, error) {
 				var diag strings.Builder
 				f, err := os.Create(outPath)
 				if err != nil {
 					return chrOutput{}, err
 				}
-				sites, err := callOne(fa, aln, snp, f, &diag, opts)
+				sites, err := callOne(fa, aln, snp, f, &diag, opts, arena)
 				if cerr := f.Close(); err == nil {
 					err = cerr
 				}
@@ -174,7 +177,11 @@ func runGenome(dir string, opts options) error {
 			},
 		})
 	}
-	results, stats, err := sched.Run(context.Background(), opts.workers, tasks)
+	// One window arena per pool worker: every chromosome a worker runs
+	// recycles the same working set (outputs are unaffected — the arena
+	// only carries buffer capacity between runs).
+	results, stats, err := sched.RunLocal(context.Background(), opts.workers,
+		func(int) *gsnp.Arena { return gsnp.NewArena() }, tasks)
 	for _, r := range results {
 		switch {
 		case r.Skipped:
@@ -212,8 +219,9 @@ func siteRate(sites int, wall time.Duration) string {
 
 // callOne runs one chromosome through the selected engine, writing result
 // rows to out and diagnostics to diag. It returns the number of reference
-// sites processed.
-func callOne(refPath, alnPath, snpPath string, out, diag io.Writer, opts options) (int, error) {
+// sites processed. arena, when non-nil, supplies the recycled window
+// working set (gsnp engines only).
+func callOne(refPath, alnPath, snpPath string, out, diag io.Writer, opts options, arena *gsnp.Arena) (int, error) {
 	refFile, err := os.Open(refPath)
 	if err != nil {
 		return 0, err
@@ -295,7 +303,8 @@ func callOne(refPath, alnPath, snpPath string, out, diag io.Writer, opts options
 		cfg := gsnp.Config{
 			Chr: ref.Name, Ref: ref.Seq, Known: known,
 			Window: opts.window, CompressOutput: opts.compress,
-			Prefetch: opts.prefetch,
+			Prefetch: opts.prefetch, ComputeWorkers: opts.computeWorkers,
+			Arena: arena,
 		}
 		if opts.engine == "gsnp-gpu" {
 			cfg.Mode = gsnp.ModeGPU
@@ -330,8 +339,10 @@ func callOne(refPath, alnPath, snpPath string, out, diag io.Writer, opts options
 
 // fileIter adapts an alignment reader over an open file to
 // pipeline.ReadIter, closing the decompressor (for .gz inputs) and the
-// file at EOF. A close failure surfaces instead of EOF so truncated
-// gzip streams are reported rather than silently accepted.
+// file when the stream ends — at EOF or on any read error, so a parse
+// failure doesn't leak the descriptor. A close failure surfaces instead
+// of EOF so truncated gzip streams are reported rather than silently
+// accepted.
 type fileIter struct {
 	f  *os.File
 	zr *gzip.Reader
@@ -340,9 +351,9 @@ type fileIter struct {
 
 func (it *fileIter) Next() (reads.AlignedRead, error) {
 	r, err := it.it.Next()
-	if err == io.EOF {
+	if err != nil && it.f != nil {
 		if it.zr != nil {
-			if cerr := it.zr.Close(); cerr != nil {
+			if cerr := it.zr.Close(); cerr != nil && err == io.EOF {
 				err = cerr
 			}
 			it.zr = nil
@@ -350,6 +361,7 @@ func (it *fileIter) Next() (reads.AlignedRead, error) {
 		if cerr := it.f.Close(); cerr != nil && err == io.EOF {
 			err = cerr
 		}
+		it.f = nil
 	}
 	return r, err
 }

@@ -69,7 +69,15 @@ func RankSum(xs, ys []float64) float64 {
 		v     float64
 		group int
 	}
-	all := make([]obs, 0, n1+n2)
+	// Typical per-allele depths are far below 64, so the merged list fits
+	// a stack array and the hot path allocates nothing.
+	var stack [64]obs
+	var all []obs
+	if n1+n2 <= len(stack) {
+		all = stack[:0]
+	} else {
+		all = make([]obs, 0, n1+n2)
+	}
 	for _, v := range xs {
 		all = append(all, obs{v, 0})
 	}

@@ -1,0 +1,172 @@
+package gsnp
+
+import (
+	"sync"
+
+	"gsnp/internal/reads"
+)
+
+// Arena is the reusable per-window working set — the storage side of the
+// paper's recycle component (Figure 2, component 7). Every slice a window
+// needs (observation arrays, base_word Batches, counts, likelihoods,
+// rank/quality arrays, result rows, GPU host staging) lives here and is
+// grow-only: a window resets lengths, never releases capacity, so
+// steady-state windows allocate nothing.
+//
+// An Arena serves one Engine.Run at a time but may be handed from run to
+// run — including across engines and modes — which is how the concurrent
+// chromosome scheduler (internal/sched) amortises window storage across a
+// whole genome: one Arena per pool worker, every chromosome it processes
+// reuses the same buffers.
+type Arena struct {
+	w window
+
+	// workers holds the per-worker likelihood scratch: the epoch-tagged
+	// dep_count array that is the only cross-site state of Algorithm 4.
+	// Giving each compute worker its own copy is what makes the
+	// likelihood/posterior site sharding race-free without changing a
+	// single arithmetic operation.
+	workers []depWorker
+
+	// readBuf backs the serial read_site path's per-window read slice.
+	readBuf []reads.AlignedRead
+}
+
+// NewArena returns an empty arena; buffers grow on first use.
+func NewArena() *Arena { return &Arena{} }
+
+// arenaPool recycles arenas across Engine.Run calls that were not handed
+// an explicit Config.Arena.
+var arenaPool = sync.Pool{New: func() any { return NewArena() }}
+
+// depWorker is one compute worker's dep_count scratch. Entries carry an
+// epoch tag in the high half-word (see likelihoodRange); the tag makes
+// stale entries self-invalidating, so the array is never swept except on
+// resize or tag wrap.
+type depWorker struct {
+	dep   []uint32
+	epoch uint32
+}
+
+// ensureWorkers sizes the per-worker scratch for k workers at readLen.
+func (a *Arena) ensureWorkers(k, readLen int) {
+	if len(a.workers) < k {
+		a.workers = append(a.workers, make([]depWorker, k-len(a.workers))...)
+	}
+	for i := 0; i < k; i++ {
+		if len(a.workers[i].dep) < 2*readLen {
+			a.workers[i].dep = make([]uint32, 2*readLen)
+			a.workers[i].epoch = 0
+		}
+	}
+}
+
+// grow returns s with length n, reusing capacity when possible. Contents
+// are unspecified: callers either overwrite every element or clear()
+// explicitly.
+func grow[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}
+
+// reset prepares the arena's window for [start, end).
+func (w *window) reset(start, end int) {
+	w.start, w.end, w.n = start, end, end-start
+	w.obsSite = w.obsSite[:0]
+	w.obsWord = w.obsWord[:0]
+}
+
+// computeJob is one shard of a site-parallel pass. Jobs are plain values
+// sent over a channel to the persistent worker pool, so dispatching a
+// window costs no allocations (no closures, no per-window goroutines).
+type computeJob struct {
+	eng    *Engine
+	w      *window
+	kind   uint8
+	lo, hi int
+	worker int
+}
+
+const (
+	jobLikelihood uint8 = iota
+	jobPosterior
+)
+
+func (j computeJob) run() {
+	switch j.kind {
+	case jobLikelihood:
+		j.eng.likelihoodRange(j.w, j.lo, j.hi, j.worker)
+	case jobPosterior:
+		j.eng.posteriorRange(j.w, j.lo, j.hi)
+	}
+}
+
+// computePool is the engine-owned set of persistent goroutines that
+// execute likelihood/posterior shards. The pool lives for one Run: its
+// workers block on the job channel between windows.
+type computePool struct {
+	jobs chan computeJob
+	wg   sync.WaitGroup
+}
+
+// newComputePool starts size-1 workers: the dispatching goroutine always
+// runs shard 0 inline, so k-way sharding needs only k-1 helpers.
+func newComputePool(size int) *computePool {
+	p := &computePool{jobs: make(chan computeJob, size)}
+	for i := 1; i < size; i++ {
+		go func() {
+			for j := range p.jobs {
+				j.run()
+				p.wg.Done()
+			}
+		}()
+	}
+	return p
+}
+
+func (p *computePool) stop() { close(p.jobs) }
+
+// runSharded splits sites [0, w.n) into ComputeWorkers contiguous ranges
+// and runs kind over them in parallel. Each shard writes only its own
+// disjoint index range of the output arrays and likelihood shards use
+// per-worker dep_count scratch, so results are byte-identical to the
+// serial order at any worker count.
+func (e *Engine) runSharded(w *window, kind uint8) {
+	k := e.cfg.ComputeWorkers
+	if e.pool == nil || k < 1 {
+		k = 1
+	}
+	if k > w.n {
+		k = w.n
+	}
+	if kind == jobLikelihood {
+		e.ar().ensureWorkers(max(k, 1), e.cfg.ReadLen)
+	}
+	if k <= 1 {
+		computeJob{eng: e, w: w, kind: kind, lo: 0, hi: w.n}.run()
+		return
+	}
+	chunk := (w.n + k - 1) / k
+	for wk := 1; wk < k; wk++ {
+		lo := wk * chunk
+		hi := lo + chunk
+		if hi > w.n {
+			hi = w.n
+		}
+		e.pool.wg.Add(1)
+		e.pool.jobs <- computeJob{eng: e, w: w, kind: kind, lo: lo, hi: hi, worker: wk}
+	}
+	computeJob{eng: e, w: w, kind: kind, lo: 0, hi: chunk}.run()
+	e.pool.wg.Wait()
+}
+
+// ar returns the engine's arena, creating a private one for direct kernel
+// calls that bypass Run (tests, benchmarks).
+func (e *Engine) ar() *Arena {
+	if e.arena == nil {
+		e.arena = NewArena()
+	}
+	return e.arena
+}

@@ -1,0 +1,308 @@
+package gsnp
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"testing"
+
+	"gsnp/internal/dna"
+	"gsnp/internal/gpu"
+	"gsnp/internal/pipeline"
+	"gsnp/internal/reads"
+	"gsnp/internal/seqsim"
+	"gsnp/internal/snpio"
+)
+
+// directWin is one pre-fetched window for direct runWindow calls.
+type directWin struct {
+	rs         []reads.AlignedRead
+	start, end int
+}
+
+// newDirectEngine builds an engine ready for direct runWindow calls —
+// the setup Run normally performs (tables, priors, output sink, compute
+// pool) — plus the dataset's windows with their reads pre-fetched, so
+// tests and benchmarks can measure components 3-7 in isolation.
+func newDirectEngine(tb testing.TB, ds *seqsim.Dataset, cfg Config) (*Engine, []directWin) {
+	tb.Helper()
+	cfg.Chr = ds.Spec.Name
+	cfg.Ref = ds.Ref.Seq
+	eng, err := New(cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	eng.tables = testTables()
+	for b := dna.Base(0); b < dna.NBases; b++ {
+		eng.novelPriors[b] = eng.cfg.Priors.LogPriors(b, nil)
+	}
+	eng.rep = &Report{Sites: len(eng.cfg.Ref), NonZeroHist: make([]int64, sparsityHistSize)}
+	eng.textOut = snpio.NewResultWriter(io.Discard)
+	if eng.cfg.Mode == ModeGPU {
+		if err := eng.loadTables(); err != nil {
+			tb.Fatal(err)
+		}
+		tb.Cleanup(eng.unloadTables)
+	} else if eng.cfg.ComputeWorkers > 1 {
+		eng.pool = newComputePool(eng.cfg.ComputeWorkers)
+		tb.Cleanup(eng.pool.stop)
+	}
+
+	it, err := pipeline.MemSource(ds.Reads).Open()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	win := pipeline.NewWindower(it)
+	var wins []directWin
+	for start := 0; start < len(eng.cfg.Ref); start += eng.cfg.Window {
+		end := start + eng.cfg.Window
+		if end > len(eng.cfg.Ref) {
+			end = len(eng.cfg.Ref)
+		}
+		rs, err := win.Reads(start, end)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		wins = append(wins, directWin{rs: rs, start: start, end: end})
+	}
+	return eng, wins
+}
+
+func TestComputeWorkersByteIdentity(t *testing.T) {
+	// The tentpole guarantee: sharding likelihood_comp + posterior over
+	// sites must not perturb a single output byte, because shards write
+	// disjoint index ranges with per-worker dep_count scratch.
+	ds := testDataset(t, 3000, 9, 555)
+	_, want := runGSNP(t, ds, Config{Mode: ModeCPU, Window: 700, ComputeWorkers: 1})
+	for _, cw := range []int{2, 4, 7} {
+		_, got := runGSNP(t, ds, Config{Mode: ModeCPU, Window: 700, ComputeWorkers: cw})
+		if !bytes.Equal(got, want) {
+			t.Errorf("ComputeWorkers=%d output differs from single-threaded", cw)
+		}
+	}
+	// Stacked with the other concurrency knobs.
+	_, got := runGSNP(t, ds, Config{Mode: ModeCPU, Window: 700, ComputeWorkers: 4, SortWorkers: 4, Prefetch: true})
+	if !bytes.Equal(got, want) {
+		t.Error("ComputeWorkers+SortWorkers+Prefetch output differs from serial")
+	}
+}
+
+func TestArenaReuseAcrossRuns(t *testing.T) {
+	// One arena handed through Config across consecutive runs — the
+	// whole-genome scheduler's per-worker usage — must keep outputs
+	// byte-identical while the working set is recycled, including across
+	// datasets of different sizes and across CPU/GPU modes.
+	dsA := testDataset(t, 2500, 9, 900)
+	dsB := testDataset(t, 1200, 6, 901)
+	_, wantA := runGSNP(t, dsA, Config{Mode: ModeCPU, Window: 600})
+	_, wantB := runGSNP(t, dsB, Config{Mode: ModeCPU, Window: 600})
+
+	arena := NewArena()
+	for run := 0; run < 2; run++ {
+		_, gotA := runGSNP(t, dsA, Config{Mode: ModeCPU, Window: 600, Arena: arena, ComputeWorkers: 2})
+		if !bytes.Equal(gotA, wantA) {
+			t.Fatalf("run %d: recycled-arena output differs (dataset A)", run)
+		}
+		_, gotB := runGSNP(t, dsB, Config{Mode: ModeCPU, Window: 600, Arena: arena})
+		if !bytes.Equal(gotB, wantB) {
+			t.Fatalf("run %d: recycled-arena output differs (dataset B, shrunk window set)", run)
+		}
+	}
+
+	// The same arena feeding a GPU engine next: host staging reuse must
+	// not leak CPU-run state into the kernels' inputs.
+	_, wantGPU := runGSNP(t, dsA, Config{Mode: ModeGPU, Device: gpu.NewDevice(gpu.M2050()), Window: 600})
+	_, gotGPU := runGSNP(t, dsA, Config{Mode: ModeGPU, Device: gpu.NewDevice(gpu.M2050()), Window: 600, Arena: arena})
+	if !bytes.Equal(gotGPU, wantGPU) {
+		t.Error("arena handed from CPU to GPU engine changed GPU output")
+	}
+}
+
+// TestRunWindowSteadyStateAllocsCPU is the allocation regression gate of
+// the window recycler: once the arena is warm, a CPU-mode window must run
+// components 3-7 with at most a handful of allocations (the acceptance
+// bound is 8; the steady state is expected to be ~0). SortWorkers is
+// pinned to 1 — parallel sort spawns its goroutines per call and is gated
+// separately by the byte-identity tests.
+func TestRunWindowSteadyStateAllocsCPU(t *testing.T) {
+	ds := testDataset(t, 4000, 10, 321)
+	eng, wins := newDirectEngine(t, ds, Config{Mode: ModeCPU, Window: 800, SortWorkers: 1, ComputeWorkers: 4})
+
+	runAll := func() {
+		for _, dw := range wins {
+			if err := eng.runWindow(dw.rs, dw.start, dw.end); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Warm the arena: every buffer reaches its high-water capacity.
+	runAll()
+	runAll()
+
+	perWindow := testing.AllocsPerRun(5, runAll) / float64(len(wins))
+	if perWindow > 8 {
+		t.Errorf("steady-state CPU window allocates %.1f times (gate: 8)", perWindow)
+	}
+	t.Logf("steady-state CPU allocs/window: %.2f over %d windows", perWindow, len(wins))
+}
+
+// TestRunWindowSteadyStateStagingGPU gates the GPU side of the recycler.
+// The simulated device allocates per launch (thread contexts, per-window
+// device buffers sized by ExclusiveScan), so an absolute allocation bound
+// is meaningless here; what the arena owns is the host staging, and that
+// must be reused: after a warm-up pass, re-running the same windows must
+// leave every staging buffer's backing array in place.
+func TestRunWindowSteadyStateStagingGPU(t *testing.T) {
+	ds := testDataset(t, 2400, 10, 322)
+	eng, wins := newDirectEngine(t, ds, Config{Mode: ModeGPU, Device: gpu.NewDevice(gpu.M2050()), Window: 800})
+
+	runAll := func() {
+		for _, dw := range wins {
+			if err := eng.runWindow(dw.rs, dw.start, dw.end); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	runAll()
+	runAll()
+
+	w := &eng.arena.w
+	before := [][]uint32{w.hostBounds[:1], w.hostStats[:1], w.hostBest[:1], w.hostSecond[:1], w.hostQual[:1], w.words.Data[:1]}
+	tlBefore := &w.typeLikely[0]
+	runAll()
+	after := [][]uint32{w.hostBounds[:1], w.hostStats[:1], w.hostBest[:1], w.hostSecond[:1], w.hostQual[:1], w.words.Data[:1]}
+	names := []string{"hostBounds", "hostStats", "hostBest", "hostSecond", "hostQual", "words.Data"}
+	for i := range before {
+		if &before[i][0] != &after[i][0] {
+			t.Errorf("GPU staging buffer %s was reallocated in steady state", names[i])
+		}
+	}
+	if tlBefore != &w.typeLikely[0] {
+		t.Error("typeLikely was reallocated in steady state")
+	}
+}
+
+func TestCountCPUStripsUniqBit(t *testing.T) {
+	// The uniq flag rides above the sort key; counting must decode it into
+	// the per-site summaries and strip it from the sort batches so the
+	// canonical order is untouched.
+	ds := testDataset(t, 600, 8, 77)
+	eng, err := New(Config{Chr: ds.Spec.Name, Ref: ds.Ref.Seq, Mode: ModeCPU, Window: 600})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := buildTestWindow(ds, 600)
+	flagged := 0
+	for _, word := range w.obsWord {
+		if word&wordUniqBit != 0 {
+			flagged++
+		}
+	}
+	if flagged == 0 {
+		t.Fatal("dataset produced no unique-hit observations; test is vacuous")
+	}
+	eng.countCPU(w)
+	for _, word := range w.words.Data {
+		if word&wordUniqBit != 0 {
+			t.Fatal("uniq bit leaked into the sort batches")
+		}
+	}
+	var uniq int
+	for site := 0; site < w.n; site++ {
+		for b := 0; b < int(dna.NBases); b++ {
+			uniq += int(w.counts[site].Uniq[b])
+		}
+	}
+	if uniq != flagged {
+		t.Errorf("counting decoded %d uniq observations from packed words, want %d", uniq, flagged)
+	}
+}
+
+func TestTempIterClosesOnReadError(t *testing.T) {
+	// A corrupt temporary input must not leak the descriptor: the iterator
+	// closes the file on any error, not only io.EOF.
+	f, err := os.CreateTemp(t.TempDir(), "gsnp-bad-*.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("NOTMAGIC-and-then-garbage"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		t.Fatal(err)
+	}
+	it := &tempIter{f: f, tr: snpio.NewTempReader(f)}
+	_, nerr := it.Next()
+	if nerr == nil || errors.Is(nerr, io.EOF) {
+		t.Fatalf("corrupt stream returned %v, want a parse error", nerr)
+	}
+	if it.f != nil {
+		t.Error("iterator kept the file handle after a read error")
+	}
+	if cerr := f.Close(); !errors.Is(cerr, os.ErrClosed) {
+		t.Errorf("file was not closed on read error (second Close: %v)", cerr)
+	}
+	// Further Next calls must not panic on the released handle.
+	if _, again := it.Next(); again == nil {
+		t.Error("Next after failure returned nil error")
+	}
+}
+
+// BenchmarkRunWindowCPU measures components 3-7 of one CPU window (one op
+// = one window, so ns/op is ns/window) with the arena warm, at the
+// single-threaded paper configuration and with site-parallel compute.
+func BenchmarkRunWindowCPU(b *testing.B) {
+	for _, cw := range []int{1, 4} {
+		b.Run(fmt.Sprintf("cw=%d", cw), func(b *testing.B) {
+			ds := seqsim.BuildDataset(seqsim.ChromosomeSpec{
+				Name: "chrB", Length: 40000, Depth: 10, MaskFraction: 0.1, Seed: 7,
+			})
+			eng, wins := newDirectEngine(b, ds, Config{Mode: ModeCPU, Window: 8000, SortWorkers: 1, ComputeWorkers: cw})
+			for _, dw := range wins { // warm the arena
+				if err := eng.runWindow(dw.rs, dw.start, dw.end); err != nil {
+					b.Fatal(err)
+				}
+			}
+			sites := 0
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dw := wins[i%len(wins)]
+				if err := eng.runWindow(dw.rs, dw.start, dw.end); err != nil {
+					b.Fatal(err)
+				}
+				sites += dw.end - dw.start
+			}
+			b.ReportMetric(float64(sites)/b.Elapsed().Seconds(), "sites/s")
+		})
+	}
+}
+
+// BenchmarkRunWindowGPU is the GPU counterpart; allocations here are
+// dominated by the simulator's per-launch machinery, so B/op tracks the
+// simulation, not the pipeline — the interesting metrics are ns/window
+// and sites/s, plus the staging-reuse gate above.
+func BenchmarkRunWindowGPU(b *testing.B) {
+	ds := seqsim.BuildDataset(seqsim.ChromosomeSpec{
+		Name: "chrB", Length: 16000, Depth: 10, MaskFraction: 0.1, Seed: 7,
+	})
+	eng, wins := newDirectEngine(b, ds, Config{Mode: ModeGPU, Device: gpu.NewDevice(gpu.M2050()), Window: 8000})
+	for _, dw := range wins {
+		if err := eng.runWindow(dw.rs, dw.start, dw.end); err != nil {
+			b.Fatal(err)
+		}
+	}
+	sites := 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dw := wins[i%len(wins)]
+		if err := eng.runWindow(dw.rs, dw.start, dw.end); err != nil {
+			b.Fatal(err)
+		}
+		sites += dw.end - dw.start
+	}
+	b.ReportMetric(float64(sites)/b.Elapsed().Seconds(), "sites/s")
+}

@@ -25,12 +25,6 @@ func buildTestWindow(ds *seqsim.Dataset, n int) *window {
 			}
 			w.obsSite = append(w.obsSite, uint32(pos))
 			w.obsWord = append(w.obsWord, PackWord(o))
-			w.obsQual = append(w.obsQual, uint8(o.Qual))
-			u := uint8(0)
-			if o.Uniq {
-				u = 1
-			}
-			w.obsUniq = append(w.obsUniq, u)
 		}
 	}
 	return w

@@ -12,7 +12,9 @@ import (
 // runWindowCPU executes components 3-7 of one window on the host: the
 // GSNP_CPU configuration of the paper's figures — the same sparse
 // algorithm and tables as the GPU path, sequential quicksort instead of
-// the batch bitonic network.
+// the batch bitonic network. Components 4b-5 shard sites across
+// Config.ComputeWorkers; each shard writes a disjoint index range, so
+// output is byte-identical at every worker count.
 func (e *Engine) runWindowCPU(w *window) error {
 	rep := e.rep
 
@@ -32,22 +34,20 @@ func (e *Engine) runWindowCPU(w *window) error {
 	rep.SortStats.ElementsSorted += int64(len(w.words.Data))
 
 	// Component 4b: likelihood_comp — Algorithm 4 with the new score
-	// table.
+	// table, sharded over sites.
 	t0 = time.Now()
-	e.likelihoodCompCPU(w)
+	w.typeLikely = grow(w.typeLikely, w.n*dna.NGenotypes)
+	e.runSharded(w, jobLikelihood)
 	rep.Times.LikeliComp += time.Since(t0)
 
-	// Component 5: posterior.
+	// Component 5: posterior, sharded over sites. The per-site priors are
+	// computed inside the pass (a stack vector per site) instead of being
+	// materialised as a w.n*NGenotypes temporary first.
 	t0 = time.Now()
-	priors := e.buildPriors(w)
-	w.bestRank = make([]uint8, w.n)
-	w.secondRank = make([]uint8, w.n)
-	w.quality = make([]uint8, w.n)
-	for site := 0; site < w.n; site++ {
-		posteriorSite(w.typeLikely[site*dna.NGenotypes:(site+1)*dna.NGenotypes],
-			priors[site*dna.NGenotypes:(site+1)*dna.NGenotypes],
-			&w.bestRank[site], &w.secondRank[site], &w.quality[site])
-	}
+	w.bestRank = grow(w.bestRank, w.n)
+	w.secondRank = grow(w.secondRank, w.n)
+	w.quality = grow(w.quality, w.n)
+	e.runSharded(w, jobPosterior)
 	rep.Times.Post += time.Since(t0)
 
 	// Component 6: output.
@@ -57,60 +57,79 @@ func (e *Engine) runWindowCPU(w *window) error {
 	}
 	rep.Times.Output += time.Since(t0)
 
-	// Component 7: recycle — with the sparse representation only the
-	// window's slices are dropped; the tagged dep_count array needs no
-	// clearing at all.
+	// Component 7: recycle — with the sparse representation and the arena
+	// there is nothing to sweep: slice lengths reset at the next window,
+	// capacity persists, and the tagged dep_count arrays invalidate by
+	// epoch.
 	t0 = time.Now()
-	w.obsSite, w.obsWord, w.obsQual, w.obsUniq = nil, nil, nil, nil
+	w.obsSite, w.obsWord = w.obsSite[:0], w.obsWord[:0]
 	rep.Times.Recycle += time.Since(t0)
 	return nil
 }
 
-// countCPU builds the per-site base_word segments and summaries.
+// countCPU builds the per-site base_word segments and summaries. The
+// observation quality and uniq flag are decoded from the packed word; the
+// uniq bit sits above the 17-bit sort key and is stripped before the word
+// enters the sort batches, preserving the canonical ascending order.
 func (e *Engine) countCPU(w *window) {
 	n := w.n
-	w.counts = make([]pipeline.SiteCounts, n)
-	sizes := make([]int32, n+1)
+	w.counts = grow(w.counts, n)
+	clear(w.counts)
+	w.sizes = grow(w.sizes, n)
+	clear(w.sizes)
 	for _, s := range w.obsSite {
-		sizes[s+1]++
+		w.sizes[s]++
 	}
-	bounds := make([]int32, n+1)
+	w.words.Reset(n, len(w.obsWord))
+	bounds := w.words.Bounds
+	bounds[0] = 0
 	for i := 0; i < n; i++ {
-		bounds[i+1] = bounds[i] + sizes[i+1]
+		bounds[i+1] = bounds[i] + w.sizes[i]
 	}
-	data := make([]uint32, len(w.obsWord))
-	cursor := make([]int32, n)
+	w.cursor = grow(w.cursor, n)
+	clear(w.cursor)
+	data := w.words.Data
 	for k, s := range w.obsSite {
-		data[bounds[s]+cursor[s]] = w.obsWord[k]
-		cursor[s]++
-		o := pipeline.Obs{
-			Base: dna.Base(w.obsWord[k] >> 15 & 3),
-			Qual: dna.Quality(w.obsQual[k]),
-			Uniq: w.obsUniq[k] == 1,
-		}
-		w.counts[s].Add(o)
+		word := w.obsWord[k]
+		data[bounds[s]+w.cursor[s]] = word &^ wordUniqBit
+		w.cursor[s]++
+		w.counts[s].Add(pipeline.Obs{
+			Base: dna.Base(word >> 15 & 3),
+			Qual: dna.Quality(dna.QMax - 1 - word>>9&(dna.QMax-1)),
+			Uniq: word&wordUniqBit != 0,
+		})
 	}
-	w.words = sortnet.Batches{Data: data, Bounds: bounds}
 }
 
 // likelihoodCompCPU is the sparse likelihood computation (Algorithm 4) on
-// the host, using the new score table so no logarithms run at call time.
-// dep_count entries carry an epoch tag in the high half-word, so
-// re-initialisation per base group (lines 8-10 of Algorithm 4) is one
-// epoch increment instead of a memory sweep.
+// the host over the whole window, single-threaded — the entry point tests
+// and ablations use directly. runWindowCPU shards the same per-range
+// kernel (likelihoodRange) across compute workers instead.
 func (e *Engine) likelihoodCompCPU(w *window) {
+	w.typeLikely = grow(w.typeLikely, w.n*dna.NGenotypes)
+	e.ar().ensureWorkers(1, e.cfg.ReadLen)
+	e.likelihoodRange(w, 0, w.n, 0)
+}
+
+// likelihoodRange runs Algorithm 4 over sites [lo, hi) with worker's
+// dep_count scratch, using the new score table so no logarithms run at
+// call time. dep_count entries carry an epoch tag in the high half-word,
+// so re-initialisation per base group (lines 8-10 of Algorithm 4) is one
+// epoch increment instead of a memory sweep. Sites are independent — the
+// scratch is the only cross-site state, and it is per-worker — so ranges
+// run concurrently with bit-identical results.
+func (e *Engine) likelihoodRange(w *window, lo, hi, worker int) {
+	wk := &e.arena.workers[worker]
 	readLen := e.cfg.ReadLen
-	if len(e.depCount) < 2*readLen {
-		e.depCount = make([]uint32, 2*readLen)
-		e.depEpoch = 0
-	}
 	newP := e.tables.NewP
 	adj := e.tables.Adjust
-	w.typeLikely = make([]float64, w.n*dna.NGenotypes)
 
-	for site := 0; site < w.n; site++ {
+	for site := lo; site < hi; site++ {
 		seg := w.words.Array(site)
 		tl := w.typeLikely[site*dna.NGenotypes : (site+1)*dna.NGenotypes]
+		for r := range tl {
+			tl[r] = 0
+		}
 		lastBase := -1
 		for _, word := range seg {
 			base := int(word >> 15 & 3)
@@ -118,28 +137,47 @@ func (e *Engine) likelihoodCompCPU(w *window) {
 			coord := int(word >> 1 & (bayes.MaxReadLen - 1))
 			strand := int(word & 1)
 			if base != lastBase {
-				e.depEpoch++
-				if e.depEpoch<<16 == 0 { // tag wrapped: flush stale entries
-					clear(e.depCount)
-					e.depEpoch = 1
+				wk.epoch++
+				if wk.epoch<<16 == 0 { // tag wrapped: flush stale entries
+					clear(wk.dep)
+					wk.epoch = 1
 				}
 				lastBase = base
 			}
-			tag := e.depEpoch << 16
+			tag := wk.epoch << 16
 			slot := strand*readLen + coord
-			entry := e.depCount[slot]
+			entry := wk.dep[slot]
 			cnt := uint32(0)
 			if entry&0xFFFF0000 == tag {
 				cnt = entry & 0xFFFF
 			}
 			cnt++
-			e.depCount[slot] = tag | cnt
+			wk.dep[slot] = tag | cnt
 			qadj := adj.Adjust(dna.Quality(score), uint16(cnt))
 			idx := bayes.NewPMatrixIndex(qadj, coord, dna.Base(base), 0)
 			for r := 0; r < dna.NGenotypes; r++ {
 				tl[r] += newP[idx+r]
 			}
 		}
+	}
+}
+
+// posteriorRange runs component 5 over sites [lo, hi): combine the ten
+// genotype log-likelihoods with the log priors — computed here per site,
+// fused into the pass — and select the best and second-best genotypes.
+func (e *Engine) posteriorRange(w *window, lo, hi int) {
+	cfg := &e.cfg
+	for site := lo; site < hi; site++ {
+		pos := w.start + site
+		ref := cfg.Ref[pos]
+		var pri [dna.NGenotypes]float64
+		if known := cfg.Known[pos]; known != nil {
+			pri = cfg.Priors.LogPriors(ref, known)
+		} else {
+			pri = e.novelPriors[ref]
+		}
+		posteriorSite(w.typeLikely[site*dna.NGenotypes:(site+1)*dna.NGenotypes],
+			pri[:], &w.bestRank[site], &w.secondRank[site], &w.quality[site])
 	}
 }
 

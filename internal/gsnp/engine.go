@@ -30,9 +30,14 @@ type Engine struct {
 	// prior file, one vector per reference base.
 	novelPriors [dna.NBases][dna.NGenotypes]float64
 
-	// Window-persistent host state.
-	depEpoch uint32
-	depCount []uint32 // tagged dep_count entries (CPU mode)
+	// arena holds the recycled per-window working set plus the per-worker
+	// dep_count scratch. Run takes it from Config.Arena or the process
+	// pool; direct kernel calls (tests) lazily create a private one.
+	arena *Arena
+
+	// pool runs likelihood/posterior shards when ComputeWorkers > 1
+	// (CPU mode); nil means inline single-threaded execution.
+	pool *computePool
 
 	// Window-persistent device state (GPU mode): the tagged dep_count
 	// buffer and its window epoch.
@@ -75,6 +80,25 @@ func (e *Engine) Run(src pipeline.Source, w io.Writer) (*Report, error) {
 	cfg := e.cfg
 	rep := &Report{Sites: len(cfg.Ref), NonZeroHist: make([]int64, sparsityHistSize)}
 	e.rep = rep
+
+	// Component 7 storage: the window working set is recycled across
+	// windows, runs and (via Config.Arena or the process pool) engines.
+	if cfg.Arena != nil {
+		e.arena = cfg.Arena
+	} else {
+		e.arena = arenaPool.Get().(*Arena)
+		defer func() {
+			arenaPool.Put(e.arena)
+			e.arena = nil
+		}()
+	}
+	if cfg.Mode == ModeCPU && cfg.ComputeWorkers > 1 {
+		e.pool = newComputePool(cfg.ComputeWorkers)
+		defer func() {
+			e.pool.stop()
+			e.pool = nil
+		}()
+	}
 
 	cw := &countingWriter{w: w}
 
@@ -171,9 +195,12 @@ func (e *Engine) Run(src pipeline.Source, w io.Writer) (*Report, error) {
 			if end > len(cfg.Ref) {
 				end = len(cfg.Ref)
 			}
-			// Component 2: read_site.
+			// Component 2: read_site, into the arena's recycled read
+			// buffer (the prefetch path allocates instead: it runs ahead
+			// of the consumer, so its windows can't share one buffer).
 			t0 = time.Now()
-			rs, err := win.Reads(start, end)
+			rs, err := win.AppendReads(e.arena.readBuf[:0], start, end)
+			e.arena.readBuf = rs[:0]
 			if err != nil {
 				return nil, fmt.Errorf("gsnp: read_site: %w", err)
 			}
@@ -237,28 +264,46 @@ func (e *Engine) unloadTables() {
 	}
 }
 
-// window holds the per-window working set.
+// window holds the per-window working set. Every slice is arena-owned and
+// grow-only: reset trims lengths, the components re-slice with grow, and
+// capacity persists across windows (component 7, recycle).
 type window struct {
 	start, end int
 	n          int
 
-	// Flattened observations (read_site output).
+	// Flattened observations (read_site output). The packed base_word
+	// carries quality and the uniq flag (bit 18), so these two arrays are
+	// the complete counting input.
 	obsSite []uint32
 	obsWord []uint32
-	obsQual []uint8 // raw quality per observation (for the counting stats)
-	obsUniq []uint8
 
-	// Counting output: per-site base_word segments and summaries.
+	// Counting output: per-site base_word segments and summaries, plus
+	// the size/cursor scratch of the scatter pass.
 	words  sortnet.Batches
 	counts []pipeline.SiteCounts
+	sizes  []int32
+	cursor []int32
 
 	// Likelihood output: ten genotype log-likelihoods per site.
 	typeLikely []float64
 
-	// Posterior output.
+	// Posterior output. priors backs the GPU posterior kernel input; the
+	// CPU path fuses the priors into the posterior pass instead.
+	priors     []float64
 	bestRank   []uint8
 	secondRank []uint8
 	quality    []uint8
+
+	// Output-assembly buffers.
+	rows        []snpio.Row
+	alleleQuals [dna.NBases][]float64
+
+	// GPU host staging (readback targets of the device kernels).
+	hostBounds []uint32
+	hostStats  []uint32
+	hostBest   []uint32
+	hostSecond []uint32
+	hostQual   []uint32
 }
 
 // runWindow executes components 3-7 for one window whose reads have
@@ -266,7 +311,8 @@ type window struct {
 func (e *Engine) runWindow(rs []reads.AlignedRead, start, end int) error {
 	cfg := e.cfg
 	rep := e.rep
-	w := &window{start: start, end: end, n: end - start}
+	w := &e.ar().w
+	w.reset(start, end)
 
 	// Counting, host leg: flatten the observations into parallel arrays
 	// (the per-aligned-base extraction the counting component performs).
@@ -287,12 +333,6 @@ func (e *Engine) runWindow(rs []reads.AlignedRead, start, end int) error {
 			}
 			w.obsSite = append(w.obsSite, uint32(pos-start))
 			w.obsWord = append(w.obsWord, PackWord(o))
-			w.obsQual = append(w.obsQual, uint8(o.Qual))
-			u := uint8(0)
-			if o.Uniq {
-				u = 1
-			}
-			w.obsUniq = append(w.obsUniq, u)
 		}
 	}
 	rep.Times.Count += time.Since(t0)
@@ -319,10 +359,13 @@ func (e *Engine) runWindow(rs []reads.AlignedRead, start, end int) error {
 	return nil
 }
 
-// buildPriors returns the per-site log prior vectors of the window.
+// buildPriors fills the window's per-site log prior vectors (GPU posterior
+// kernel input; the CPU path computes priors inside posteriorRange and
+// never materialises this array).
 func (e *Engine) buildPriors(w *window) []float64 {
 	cfg := e.cfg
-	pri := make([]float64, w.n*dna.NGenotypes)
+	w.priors = grow(w.priors, w.n*dna.NGenotypes)
+	pri := w.priors
 	for site := 0; site < w.n; site++ {
 		ref := cfg.Ref[w.start+site]
 		if known := cfg.Known[w.start+site]; known != nil {
@@ -347,8 +390,8 @@ func (e *Engine) buildRows(w *window) []snpio.Row {
 	cfg := e.cfg
 	rep := e.rep
 
-	rows := make([]snpio.Row, w.n)
-	var alleleQuals [dna.NBases][]float64
+	w.rows = grow(w.rows, w.n)
+	rows := w.rows
 	for site := 0; site < w.n; site++ {
 		call := bayes.Call{
 			Genotype: dna.GenotypeByRank(int(w.bestRank[site])),
@@ -357,14 +400,14 @@ func (e *Engine) buildRows(w *window) []snpio.Row {
 		}
 		var aq *[dna.NBases][]float64
 		if !call.Genotype.IsHomozygous() {
-			for b := range alleleQuals {
-				alleleQuals[b] = alleleQuals[b][:0]
+			for b := range w.alleleQuals {
+				w.alleleQuals[b] = w.alleleQuals[b][:0]
 			}
 			for _, word := range w.words.Array(site) {
 				o := UnpackWord(word)
-				alleleQuals[o.Base] = append(alleleQuals[o.Base], float64(o.Qual))
+				w.alleleQuals[o.Base] = append(w.alleleQuals[o.Base], float64(o.Qual))
 			}
-			aq = &alleleQuals
+			aq = &w.alleleQuals
 		}
 		rows[site] = pipeline.BuildRow(&pipeline.RowInputs{
 			Chr:         cfg.Chr,
@@ -401,7 +444,9 @@ func (e *Engine) writeRows(rows []snpio.Row) error {
 	return nil
 }
 
-// tempIter streams the compressed temporary input file, closing it at EOF.
+// tempIter streams the compressed temporary input file, closing it when
+// the stream ends — at EOF or on any read error, so an aborted run does
+// not leak the descriptor.
 type tempIter struct {
 	f  *os.File
 	tr *snpio.TempReader
@@ -409,8 +454,12 @@ type tempIter struct {
 
 func (it *tempIter) Next() (reads.AlignedRead, error) {
 	r, err := it.tr.Next()
-	if err == io.EOF {
-		it.f.Close()
+	if err != nil && it.f != nil {
+		cerr := it.f.Close()
+		it.f = nil
+		if err == io.EOF && cerr != nil {
+			err = cerr
+		}
 	}
 	return r, err
 }

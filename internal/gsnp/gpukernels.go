@@ -73,9 +73,9 @@ func (e *Engine) runWindowGPU(w *window) error {
 
 	// Component 7: recycle — the sparse representation leaves nothing to
 	// sweep: the tagged dep_count buffer invalidates by epoch and the
-	// per-window buffers are released.
+	// per-window buffers return to the arena with lengths reset.
 	t0 = time.Now()
-	w.obsSite, w.obsWord, w.obsQual, w.obsUniq = nil, nil, nil, nil
+	w.obsSite, w.obsWord = w.obsSite[:0], w.obsWord[:0]
 	rep.Times.Recycle += time.Since(t0)
 
 	if ab := d.AllocatedBytes(); ab > rep.PeakDeviceBytes {
@@ -96,12 +96,6 @@ func (e *Engine) countGPU(w *window) {
 	obsWord := gpu.Alloc[uint32](d, m)
 	defer obsWord.Free()
 	obsWord.CopyIn(w.obsWord)
-	obsMeta := gpu.Alloc[uint32](d, m) // qual<<1 | uniq
-	defer obsMeta.Free()
-	meta := obsMeta.Host()
-	for k := range meta {
-		meta[k] = uint32(w.obsQual[k])<<1 | uint32(w.obsUniq[k])
-	}
 
 	siteCount := gpu.Alloc[uint32](d, n)
 	defer siteCount.Free()
@@ -133,33 +127,38 @@ func (e *Engine) countGPU(w *window) {
 			}
 			site := int(gpu.Ld(t, obsSite, i))
 			word := gpu.Ld(t, obsWord, i)
-			mv := gpu.Ld(t, obsMeta, i)
 			t.Exec(3)
 			off := gpu.Ld(t, bounds, site) + gpu.AtomicAddU32(t, cursor, site, 1)
-			gpu.St(t, words, int(off), word)
+			// The uniq flag rides above the 17-bit sort key; strip it so
+			// the segment sorts in the canonical base_word order.
+			gpu.St(t, words, int(off), word&^wordUniqBit)
 			base := int(word >> 15 & 3)
+			qual := dna.QMax - 1 - word>>9&(dna.QMax-1)
+			uniq := word >> 18 & 1
+			t.Exec(2)
 			sb := site*4 + base
 			gpu.AtomicAddU32(t, stats, sb, 1)
-			gpu.AtomicAddU32(t, stats, 4*n+sb, mv>>1)
-			gpu.AtomicAddU32(t, stats, 8*n+sb, mv&1)
+			gpu.AtomicAddU32(t, stats, 4*n+sb, qual)
+			gpu.AtomicAddU32(t, stats, 8*n+sb, uniq)
 		})
 	}
 
-	// Assemble the host-side structures the later components use.
-	hostBounds := make([]uint32, n)
-	bounds.CopyOut(hostBounds)
-	hostWords := make([]uint32, m)
-	words.CopyOut(hostWords)
-	hostStats := make([]uint32, 3*4*n)
-	stats.CopyOut(hostStats)
+	// Assemble the host-side structures the later components use, reading
+	// back into the window's recycled staging buffers.
+	w.hostBounds = grow(w.hostBounds, n)
+	bounds.CopyOut(w.hostBounds)
+	w.hostStats = grow(w.hostStats, 3*4*n)
+	stats.CopyOut(w.hostStats)
+	hostStats := w.hostStats
 
-	b := make([]int32, n+1)
+	w.words.Reset(n, m)
+	words.CopyOut(w.words.Data)
+	b := w.words.Bounds
 	for i := 0; i < n; i++ {
-		b[i] = int32(hostBounds[i])
+		b[i] = int32(w.hostBounds[i])
 	}
 	b[n] = int32(m)
-	w.words = sortnet.Batches{Data: hostWords, Bounds: b}
-	w.counts = make([]pipeline.SiteCounts, n)
+	w.counts = grow(w.counts, n)
 	// The device accumulates in uint32; clamping on readback matches the
 	// CPU path's saturating counters (pipeline.SiteCounts.Add).
 	for site := 0; site < n; site++ {
@@ -335,7 +334,7 @@ func (e *Engine) likelihoodCompGPU(w *window) {
 		}
 	})
 
-	w.typeLikely = make([]float64, n*dna.NGenotypes)
+	w.typeLikely = grow(w.typeLikely, n*dna.NGenotypes)
 	gTL.CopyOut(w.typeLikely)
 }
 
@@ -405,18 +404,18 @@ func (e *Engine) posteriorGPU(w *window, priors []float64) {
 		gpu.St(t, gQual, site, uint32(q))
 	})
 
-	hb := make([]uint32, n)
-	hs := make([]uint32, n)
-	hq := make([]uint32, n)
-	gBest.CopyOut(hb)
-	gSecond.CopyOut(hs)
-	gQual.CopyOut(hq)
-	w.bestRank = make([]uint8, n)
-	w.secondRank = make([]uint8, n)
-	w.quality = make([]uint8, n)
+	w.hostBest = grow(w.hostBest, n)
+	w.hostSecond = grow(w.hostSecond, n)
+	w.hostQual = grow(w.hostQual, n)
+	gBest.CopyOut(w.hostBest)
+	gSecond.CopyOut(w.hostSecond)
+	gQual.CopyOut(w.hostQual)
+	w.bestRank = grow(w.bestRank, n)
+	w.secondRank = grow(w.secondRank, n)
+	w.quality = grow(w.quality, n)
 	for i := 0; i < n; i++ {
-		w.bestRank[i] = uint8(hb[i])
-		w.secondRank[i] = uint8(hs[i])
-		w.quality[i] = uint8(hq[i])
+		w.bestRank[i] = uint8(w.hostBest[i])
+		w.secondRank[i] = uint8(w.hostSecond[i])
+		w.quality[i] = uint8(w.hostQual[i])
 	}
 }

@@ -122,6 +122,17 @@ type Config struct {
 	// harness pins it to 1, the paper's single-threaded GSNP_CPU
 	// configuration.
 	SortWorkers int
+	// ComputeWorkers bounds the host worker count of the site-parallel
+	// likelihood_comp + posterior passes in CPU mode. Zero selects
+	// GOMAXPROCS; the paper-comparison harness pins it to 1. Sites are
+	// sharded into contiguous disjoint index ranges with per-worker
+	// dep_count scratch, so output is byte-identical at every setting.
+	ComputeWorkers int
+	// Arena supplies the per-window working-set recycler (component 7).
+	// Nil selects a process-wide pool; the whole-genome scheduler hands
+	// each of its workers a private Arena so consecutive chromosome runs
+	// reuse one working set.
+	Arena *Arena
 }
 
 // DefaultWindow is GSNP's window size from the paper's setup.
@@ -139,6 +150,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SortWorkers <= 0 {
 		c.SortWorkers = runtime.GOMAXPROCS(0)
+	}
+	if c.ComputeWorkers <= 0 {
+		c.ComputeWorkers = runtime.GOMAXPROCS(0)
 	}
 	return c
 }
@@ -207,9 +221,15 @@ const sparsityHistSize = 257
 // PackWord encodes an observation as a 32-bit base_word. The quality field
 // stores 63-score so that sorting words ascending yields Algorithm 1's
 // canonical order: base ascending, score descending, coordinate ascending,
-// strand ascending.
+// strand ascending. The uniq flag rides spare bit 18, above the sort key:
+// counting strips it (see wordUniqBit) before the words enter a Batches,
+// so it never perturbs the canonical order.
 func PackWord(o pipeline.Obs) uint32 {
-	return uint32(o.Base)<<15 | uint32(dna.QMax-1-uint32(o.Qual))<<9 | uint32(o.Coord)<<1 | uint32(o.Strand)
+	w := uint32(o.Base)<<15 | uint32(dna.QMax-1-uint32(o.Qual))<<9 | uint32(o.Coord)<<1 | uint32(o.Strand)
+	if o.Uniq {
+		w |= wordUniqBit
+	}
+	return w
 }
 
 // UnpackWord decodes a base_word.
@@ -219,8 +239,15 @@ func UnpackWord(w uint32) pipeline.Obs {
 		Qual:   dna.Quality(dna.QMax - 1 - w>>9&(dna.QMax-1)),
 		Coord:  uint8(w >> 1 & (bayes.MaxReadLen - 1)),
 		Strand: uint8(w & 1),
+		Uniq:   w&wordUniqBit != 0,
 	}
 }
 
 // wordKeyBits is the width of a base_word key (2+6+8+1).
 const wordKeyBits = 17
+
+// wordUniqBit flags a unique-hit observation. It sits above the sort key,
+// where it would dominate any comparison of full 32-bit words, so the
+// counting component masks it off when scattering words into the sort
+// batches; only the flattened read_site output carries it.
+const wordUniqBit = 1 << 18

@@ -71,18 +71,37 @@ func soapsnpText(t *testing.T, ds *seqsim.Dataset, window int) []byte {
 }
 
 func TestPackUnpackWord(t *testing.T) {
-	f := func(b, q, c, s uint8) bool {
+	f := func(b, q, c, s uint8, u bool) bool {
 		o := pipeline.Obs{
 			Base:   dna.Base(b & 3),
 			Qual:   dna.Quality(q & 63),
 			Coord:  c,
 			Strand: s & 1,
+			Uniq:   u,
 		}
 		got := UnpackWord(PackWord(o))
 		return got == o
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestUniqBitAboveSortKey(t *testing.T) {
+	// The uniq flag must ride above the 17-bit sort key so that stripping
+	// it (which counting does before sorting) leaves the key untouched.
+	o := pipeline.Obs{Base: dna.T, Qual: 63, Coord: 255, Strand: 1}
+	plain := PackWord(o)
+	o.Uniq = true
+	flagged := PackWord(o)
+	if plain >= 1<<wordKeyBits {
+		t.Errorf("non-uniq word %#x overflows the %d-bit sort key", plain, wordKeyBits)
+	}
+	if flagged&^wordUniqBit != plain {
+		t.Errorf("uniq flag perturbs key bits: %#x vs %#x", flagged&^wordUniqBit, plain)
+	}
+	if flagged&wordUniqBit == 0 {
+		t.Error("uniq flag not set")
 	}
 }
 
@@ -299,10 +318,9 @@ func TestDenseGPULikelihoodMatchesSparse(t *testing.T) {
 			if !ok {
 				continue
 			}
+			o.Uniq = true
 			w.obsSite = append(w.obsSite, uint32(pos))
 			w.obsWord = append(w.obsWord, PackWord(o))
-			w.obsQual = append(w.obsQual, uint8(o.Qual))
-			w.obsUniq = append(w.obsUniq, 1)
 		}
 	}
 	eng2, _ := New(cfg)

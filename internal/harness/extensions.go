@@ -138,6 +138,10 @@ func (s *Session) ExtConsistency() *Result {
 	check("GSNP_CPU prefetch", out)
 	_, out = s.RunGSNP(ds, GSNPOptions{Mode: gsnp.ModeCPU, SortWorkers: 4})
 	check("GSNP_CPU sort workers=4", out)
+	_, out = s.RunGSNP(ds, GSNPOptions{Mode: gsnp.ModeCPU, ComputeWorkers: 4})
+	check("GSNP_CPU compute workers=4", out)
+	_, out = s.RunGSNP(ds, GSNPOptions{Mode: gsnp.ModeCPU, SortWorkers: 4, ComputeWorkers: 4, Prefetch: true})
+	check("GSNP_CPU sort+compute+prefetch", out)
 	_, out = s.RunGSNP(ds, GSNPOptions{Mode: gsnp.ModeGPU, Prefetch: true})
 	check("GSNP GPU prefetch", out)
 	r.Notef("every engine, kernel variant and concurrency knob reproduces the dense baseline byte for byte — the consistency requirement BGI set for GSNP (Section IV-G)")

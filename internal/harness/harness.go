@@ -158,6 +158,9 @@ type GSNPOptions struct {
 	// the Figure 5/6, Table IV and Figure 12 comparisons keep their
 	// shape; pass an explicit count to opt into host parallelism.
 	SortWorkers int
+	// ComputeWorkers sets the CPU-mode likelihood_comp/posterior worker
+	// count, pinned to 1 on zero for the same reason as SortWorkers.
+	ComputeWorkers int
 }
 
 // RunGSNP executes a GSNP run over a dataset.
@@ -169,6 +172,10 @@ func (s *Session) RunGSNP(ds *seqsim.Dataset, opts GSNPOptions) (*gsnp.Report, [
 	sortWorkers := opts.SortWorkers
 	if sortWorkers == 0 {
 		sortWorkers = 1
+	}
+	computeWorkers := opts.ComputeWorkers
+	if computeWorkers == 0 {
+		computeWorkers = 1
 	}
 	eng, err := gsnp.New(gsnp.Config{
 		Chr:            ds.Spec.Name,
@@ -182,6 +189,7 @@ func (s *Session) RunGSNP(ds *seqsim.Dataset, opts GSNPOptions) (*gsnp.Report, [
 		CompressOutput: opts.Compress,
 		Prefetch:       opts.Prefetch,
 		SortWorkers:    sortWorkers,
+		ComputeWorkers: computeWorkers,
 	})
 	if err != nil {
 		panic(fmt.Sprintf("harness: gsnp config: %v", err))

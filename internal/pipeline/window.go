@@ -22,8 +22,13 @@ func NewWindower(it ReadIter) *Windower { return &Windower{it: it} }
 // Reads returns every read overlapping [start, end). Windows must be
 // requested in increasing, non-overlapping order.
 func (w *Windower) Reads(start, end int) ([]reads.AlignedRead, error) {
-	var out []reads.AlignedRead
+	return w.AppendReads(nil, start, end)
+}
 
+// AppendReads appends every read overlapping [start, end) to out and
+// returns the extended slice, letting a caller recycle one buffer across
+// windows. Windows must be requested in increasing, non-overlapping order.
+func (w *Windower) AppendReads(out []reads.AlignedRead, start, end int) ([]reads.AlignedRead, error) {
 	// Reads carried over from earlier windows.
 	keep := w.carry[:0]
 	for i := range w.carry {

@@ -99,12 +99,39 @@ func Clamp(n, tasks int) int {
 	return n
 }
 
+// LocalTask is a Task whose Run also receives worker-local state of type
+// L, created once per worker by RunLocal: a scratch arena, a connection, a
+// reusable buffer — anything worth amortising across the tasks one worker
+// processes.
+type LocalTask[R, L any] struct {
+	// Name identifies the task in results and stats.
+	Name string
+	// Run executes the task with the worker's local state. The same
+	// cancellation contract as Task.Run applies.
+	Run func(ctx context.Context, local L) (R, error)
+}
+
 // Run executes tasks on a pool of bounded size. workers <= 0 selects
 // GOMAXPROCS. Tasks start in input order; results come back indexed by
 // input position. The first failure (lowest task index among failures)
 // cancels the pool: queued tasks are skipped, already-running tasks finish,
 // and Run returns that error alongside the full result slice.
 func Run[R any](ctx context.Context, workers int, tasks []Task[R]) ([]Result[R], Stats, error) {
+	lt := make([]LocalTask[R, struct{}], len(tasks))
+	for i, t := range tasks {
+		run := t.Run
+		lt[i] = LocalTask[R, struct{}]{Name: t.Name, Run: func(ctx context.Context, _ struct{}) (R, error) {
+			return run(ctx)
+		}}
+	}
+	return RunLocal(ctx, workers, func(int) struct{} { return struct{}{} }, lt)
+}
+
+// RunLocal is Run with per-worker local state: newLocal runs once in each
+// worker goroutine before it takes tasks, and every task that worker
+// executes receives the same L value. Scheduling semantics are identical
+// to Run.
+func RunLocal[R, L any](ctx context.Context, workers int, newLocal func(worker int) L, tasks []LocalTask[R, L]) ([]Result[R], Stats, error) {
 	results := make([]Result[R], len(tasks))
 	if len(tasks) == 0 {
 		return results, Stats{}, ctx.Err()
@@ -134,6 +161,7 @@ func Run[R any](ctx context.Context, workers int, tasks []Task[R]) ([]Result[R],
 		wg.Add(1)
 		go func(worker int) {
 			defer wg.Done()
+			local := newLocal(worker)
 			for i := range next {
 				if ctx.Err() != nil {
 					// Cancelled after dispatch: drain without running so
@@ -144,7 +172,7 @@ func Run[R any](ctx context.Context, workers int, tasks []Task[R]) ([]Result[R],
 				started[i] = true
 				mu.Unlock()
 				t0 := time.Now()
-				v, err := tasks[i].Run(ctx)
+				v, err := tasks[i].Run(ctx, local)
 				results[i] = Result[R]{
 					Name:   tasks[i].Name,
 					Value:  v,

@@ -205,3 +205,58 @@ func TestStatsSpeedup(t *testing.T) {
 		t.Error("empty Stats.String")
 	}
 }
+
+// TestRunLocalWorkerState verifies the per-worker local state contract:
+// newLocal runs exactly once per worker, and every task a worker executes
+// receives that worker's value.
+func TestRunLocalWorkerState(t *testing.T) {
+	type local struct {
+		worker int
+		uses   int
+	}
+	var mu sync.Mutex
+	locals := make(map[*local]bool)
+	newLocal := func(worker int) *local {
+		l := &local{worker: worker}
+		mu.Lock()
+		locals[l] = true
+		mu.Unlock()
+		return l
+	}
+	const n = 12
+	tasks := make([]LocalTask[int, *local], n)
+	for i := range tasks {
+		i := i
+		tasks[i] = LocalTask[int, *local]{
+			Name: fmt.Sprintf("t%d", i),
+			Run: func(_ context.Context, l *local) (int, error) {
+				l.uses++ // worker-confined: no lock needed
+				return i, nil
+			},
+		}
+	}
+	results, stats, err := RunLocal(context.Background(), 3, newLocal, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if r.Value != i {
+			t.Errorf("result %d = %d, want %d", i, r.Value, i)
+		}
+	}
+	if stats.Workers != 3 {
+		t.Errorf("workers = %d, want 3", stats.Workers)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(locals) != 3 {
+		t.Fatalf("newLocal ran %d times, want once per worker (3)", len(locals))
+	}
+	total := 0
+	for l := range locals {
+		total += l.uses
+	}
+	if total != n {
+		t.Errorf("tasks seen by locals = %d, want %d", total, n)
+	}
+}

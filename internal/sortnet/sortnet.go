@@ -32,6 +32,23 @@ func (b *Batches) SizeOf(i int) int { return int(b.Bounds[i+1] - b.Bounds[i]) }
 // Array returns sub-array i.
 func (b *Batches) Array(i int) []uint32 { return b.Data[b.Bounds[i]:b.Bounds[i+1]] }
 
+// Reset prepares b to hold nArrays sub-arrays over nData total elements,
+// reusing the backing storage when capacity allows (grow-only): callers
+// that recycle a Batches across windows pay no steady-state allocations.
+// Contents are unspecified; the caller fills Bounds and Data.
+func (b *Batches) Reset(nArrays, nData int) {
+	if cap(b.Bounds) < nArrays+1 {
+		b.Bounds = make([]int32, nArrays+1)
+	} else {
+		b.Bounds = b.Bounds[:nArrays+1]
+	}
+	if cap(b.Data) < nData {
+		b.Data = make([]uint32, nData)
+	} else {
+		b.Data = b.Data[:nData]
+	}
+}
+
 // MaxSize returns the largest sub-array length.
 func (b *Batches) MaxSize() int {
 	m := 0
@@ -305,6 +322,14 @@ func ParallelQuicksort(b *Batches, workers int) {
 	}
 	n := b.NumArrays()
 	if n == 0 {
+		return
+	}
+	if workers == 1 {
+		// Inline fast path: no goroutine or WaitGroup traffic, so the
+		// single-threaded configuration sorts allocation-free.
+		for i := 0; i < n; i++ {
+			quicksort(b.Array(i))
+		}
 		return
 	}
 	var wg sync.WaitGroup
