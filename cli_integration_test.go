@@ -2,12 +2,18 @@ package gsnp_test
 
 import (
 	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
+	"time"
+
+	"gsnp/internal/checkpoint"
 )
 
 // buildTools compiles the command-line tools once per test binary run.
@@ -51,6 +57,29 @@ func run(t *testing.T, bin string, args ...string) (stdout, stderr string) {
 		t.Fatalf("%s %v: %v\nstdout:\n%s\nstderr:\n%s", bin, args, err, so.String(), se.String())
 	}
 	return so.String(), se.String()
+}
+
+// runCode executes a built tool and returns its exit code alongside the
+// captured output — for flows where a non-zero exit is the expectation
+// (partial results exit 2, fatal errors exit 1).
+func runCode(t *testing.T, bin string, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	dir, err := buildTools()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(filepath.Join(dir, bin), args...)
+	var so, se bytes.Buffer
+	cmd.Stdout = &so
+	cmd.Stderr = &se
+	if err := cmd.Run(); err != nil {
+		var ee *exec.ExitError
+		if !errors.As(err, &ee) {
+			t.Fatalf("%s %v: %v", bin, args, err)
+		}
+		code = ee.ExitCode()
+	}
+	return code, so.String(), se.String()
 }
 
 // TestCLIFullChain drives the complete production flow through the built
@@ -126,6 +155,232 @@ func TestCLIFullChain(t *testing.T) {
 	if !strings.Contains(statsErr, "gsnp-cpu:") {
 		t.Errorf("-stats output missing: %q", statsErr)
 	}
+}
+
+// countLines counts newline-terminated records in a file.
+func countLines(t *testing.T, path string) int {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bytes.Count(data, []byte{'\n'})
+}
+
+// compareResults requires every *.result file of wantDir to exist in gotDir
+// with identical bytes.
+func compareResults(t *testing.T, wantDir, gotDir string) {
+	t.Helper()
+	wants, err := filepath.Glob(filepath.Join(wantDir, "*.result"))
+	if err != nil || len(wants) == 0 {
+		t.Fatalf("no baseline results in %s: %v", wantDir, err)
+	}
+	for _, w := range wants {
+		name := filepath.Base(w)
+		want, err := os.ReadFile(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := os.ReadFile(filepath.Join(gotDir, name))
+		if err != nil {
+			t.Errorf("%s missing after recovery: %v", name, err)
+			continue
+		}
+		if !bytes.Equal(want, got) {
+			t.Errorf("%s differs from the clean serial baseline", name)
+		}
+	}
+}
+
+// TestCLISingleFileQuarantineExitCodes: in single-file mode, injected
+// corruption with -quarantine completes degraded (exit 2, quarantine lines
+// on stderr); without -quarantine the same input is fatal (exit 1).
+func TestCLISingleFileQuarantineExitCodes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration in -short mode")
+	}
+	dir := t.TempDir()
+	run(t, "gsnp-gen", "-out", dir, "-sites", "4000", "-depth", "8", "-seed", "7")
+	args := []string{
+		"-ref", filepath.Join(dir, "chrSim.fa"),
+		"-aln", filepath.Join(dir, "chrSim.soap"),
+		"-engine", "gsnp-cpu", "-window", "1000",
+		"-out", filepath.Join(dir, "out.txt"),
+		"-faults", "corrupt-every=100",
+	}
+	code, _, stderr := runCode(t, "gsnp", append(args, "-quarantine")...)
+	if code != 2 {
+		t.Fatalf("quarantined run exit = %d, want 2\nstderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stderr, "quarantined") {
+		t.Errorf("stderr misses the quarantine record:\n%s", stderr)
+	}
+	if code, _, _ := runCode(t, "gsnp", args...); code != 1 {
+		t.Fatalf("strict run exit = %d, want 1", code)
+	}
+}
+
+// TestCLIFaultToleranceGenome is the acceptance scenario of the
+// fault-tolerance work: a whole-genome run with injected parse corruption,
+// transient I/O errors and one worker panic completes with only the
+// affected windows quarantined, exits 2 with a machine-readable failure
+// report, and a -resume rerun on clean inputs converges to bytes identical
+// to an uninjected serial run.
+func TestCLIFaultToleranceGenome(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration in -short mode")
+	}
+	baseDir, faultDir := t.TempDir(), t.TempDir()
+	for _, d := range []string{baseDir, faultDir} {
+		run(t, "gsnp-gen", "-out", d, "-genome", "-scale", "20", "-seed", "77")
+	}
+	// Clean serial baseline: the byte-identity reference.
+	run(t, "gsnp", "-genome-dir", baseDir, "-engine", "gsnp-cpu", "-window", "256", "-workers", "1")
+
+	// Aim the per-stream fault schedules at the largest chromosome only:
+	// corruption and transient errors fire at record maxLines, which only
+	// that chromosome's stream reaches. Smaller chromosomes stay clean and
+	// must checkpoint.
+	soaps, err := filepath.Glob(filepath.Join(faultDir, "*.soap"))
+	if err != nil || len(soaps) != 24 {
+		t.Fatalf("have %d .soap files, want 24 (%v)", len(soaps), err)
+	}
+	maxLines, minLines := 0, 1<<62
+	for _, s := range soaps {
+		n := countLines(t, s)
+		if n > maxLines {
+			maxLines = n
+		}
+		if n < minLines {
+			minLines = n
+		}
+	}
+	if maxLines <= minLines {
+		t.Fatalf("degenerate genome: every chromosome has %d records", maxLines)
+	}
+
+	// Two transient failures burn two attempts (retries=3 leaves headroom);
+	// the surviving attempt hits the corrupt record, which quarantine
+	// contains. panic-window=1 panics the first window-1 computation of the
+	// whole run; quarantine contains that too.
+	spec := fmt.Sprintf("corrupt-every=%d,transient-every=%d,transient-fails=2,panic-window=1",
+		maxLines, maxLines)
+	reportPath := filepath.Join(t.TempDir(), "report.json")
+	code, _, stderr := runCode(t, "gsnp",
+		"-genome-dir", faultDir, "-engine", "gsnp-cpu", "-window", "256",
+		"-quarantine", "-retries", "3", "-failure-report", reportPath,
+		"-faults", spec)
+	if code != 2 {
+		t.Fatalf("faulted run exit = %d, want 2\nstderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stderr, "PARTIAL") {
+		t.Errorf("stderr misses the PARTIAL marker:\n%s", stderr)
+	}
+
+	data, err := os.ReadFile(reportPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fr checkpoint.FailureReport
+	if err := json.Unmarshal(data, &fr); err != nil {
+		t.Fatalf("failure report does not parse: %v", err)
+	}
+	if fr.ExitCode != 2 || len(fr.Tasks) != 24 {
+		t.Fatalf("report: exit_code=%d tasks=%d, want 2 and 24", fr.ExitCode, len(fr.Tasks))
+	}
+	counts := map[string]int{}
+	retried := false
+	for _, task := range fr.Tasks {
+		counts[task.Status]++
+		if task.Attempts > 1 {
+			retried = true
+		}
+	}
+	if counts[checkpoint.StatusOK] == 0 || counts[checkpoint.StatusPartial] == 0 ||
+		counts[checkpoint.StatusFailed] != 0 {
+		t.Fatalf("task statuses %v: want ok and partial coexisting, nothing failed", counts)
+	}
+	if !retried {
+		t.Error("no task recorded >1 attempt despite injected transient errors")
+	}
+
+	// Clean chromosomes (and only those) are checkpointed.
+	m, err := checkpoint.Load(checkpoint.Path(faultDir))
+	if err != nil || m == nil {
+		t.Fatalf("checkpoint manifest: %v", err)
+	}
+	if len(m.Done) != counts[checkpoint.StatusOK] {
+		t.Errorf("manifest has %d entries, %d tasks finished clean", len(m.Done), counts[checkpoint.StatusOK])
+	}
+
+	// Resume with the faults gone: checkpointed chromosomes are skipped,
+	// degraded ones recomputed, and the directory converges to the clean
+	// serial baseline byte for byte.
+	code, _, stderr = runCode(t, "gsnp",
+		"-genome-dir", faultDir, "-engine", "gsnp-cpu", "-window", "256", "-resume")
+	if code != 0 {
+		t.Fatalf("resume exit = %d, want 0\nstderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stderr, "skipped (checkpoint") {
+		t.Errorf("resume did not skip checkpointed chromosomes:\n%s", stderr)
+	}
+	compareResults(t, baseDir, faultDir)
+}
+
+// TestCLIResumeAfterKill kills a genome run mid-flight (three chromosomes
+// wedged on an injected stall, the rest completing and checkpointing) and
+// requires a -resume rerun to finish with output byte-identical to a clean
+// serial run.
+func TestCLIResumeAfterKill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration in -short mode")
+	}
+	baseDir, workDir := t.TempDir(), t.TempDir()
+	for _, d := range []string{baseDir, workDir} {
+		run(t, "gsnp-gen", "-out", d, "-genome", "-scale", "20", "-seed", "88")
+	}
+	run(t, "gsnp", "-genome-dir", baseDir, "-engine", "gsnp-cpu", "-window", "256", "-workers", "1")
+
+	// Window index 15 exists only on chromosomes longer than 15*256 sites —
+	// the three largest at this scale. They wedge; everything else
+	// completes and checkpoints.
+	bin, err := buildTools()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(filepath.Join(bin, "gsnp"),
+		"-genome-dir", workDir, "-engine", "gsnp-cpu", "-window", "256",
+		"-workers", "4", "-faults", "stall-window=15,stall=300s")
+	var se bytes.Buffer
+	cmd.Stderr = &se
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		m, _ := checkpoint.Load(checkpoint.Path(workDir))
+		if m != nil && len(m.Done) >= 8 {
+			break
+		}
+		if time.Now().After(deadline) {
+			cmd.Process.Kill()
+			cmd.Wait()
+			t.Fatalf("no checkpoint progress before the deadline\nstderr:\n%s", se.String())
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	cmd.Process.Kill()
+	cmd.Wait()
+
+	code, _, stderr := runCode(t, "gsnp",
+		"-genome-dir", workDir, "-engine", "gsnp-cpu", "-window", "256", "-resume")
+	if code != 0 {
+		t.Fatalf("resume exit = %d, want 0\nstderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stderr, "skipped (checkpoint") {
+		t.Errorf("resume did not skip checkpointed chromosomes:\n%s", stderr)
+	}
+	compareResults(t, baseDir, workDir)
 }
 
 // TestCLIExperimentsList checks the experiment runner's surface.

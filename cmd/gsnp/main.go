@@ -19,11 +19,34 @@
 // independent, so the result files are byte-identical at any worker count:
 //
 //	gsnp -genome-dir data/ [-engine gsnp-gpu] [-workers N] [-compress] [-stats]
+//
+// Long runs degrade instead of dying. A failing chromosome no longer
+// discards the completed ones: each chromosome reports its own outcome,
+// and the process distinguishes partial success (exit code 2: some
+// chromosomes failed or were degraded, the rest are on disk) from fatal
+// errors (exit code 1: nothing usable happened). The fault-tolerance
+// flags:
+//
+//	-retries N          re-run a failed chromosome up to N times with
+//	                    exponential backoff (-retry-backoff, default 100ms)
+//	-task-timeout D     per-chromosome deadline; a wedged chromosome is
+//	                    cut short and counted as failed
+//	-quarantine         contain malformed records and panicking windows:
+//	                    the affected window is skipped and recorded, the
+//	                    chromosome completes with the rest of its output
+//	-resume             skip chromosomes already recorded in the genome
+//	                    directory's checkpoint manifest (written after
+//	                    every clean completion, validated by output digest)
+//	-failure-report F   write a machine-readable JSON report of every
+//	                    chromosome's outcome, including quarantined windows
+//	-faults SPEC        inject deterministic failures (testing; see
+//	                    internal/faults)
 package main
 
 import (
 	"compress/gzip"
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -33,6 +56,8 @@ import (
 	"strings"
 	"time"
 
+	"gsnp/internal/checkpoint"
+	"gsnp/internal/faults"
 	"gsnp/internal/gpu"
 	"gsnp/internal/gsnp"
 	"gsnp/internal/pipeline"
@@ -52,10 +77,29 @@ type options struct {
 	prefetch       bool
 	compress       bool
 	stats          bool
+
+	retries       int
+	retryBackoff  time.Duration
+	taskTimeout   time.Duration
+	quarantine    bool
+	resume        bool
+	failureReport string
+	injector      *faults.Injector
 }
 
+// errPartial marks a run that produced usable output alongside failures:
+// quarantined windows, failed chromosomes among successful ones. It maps
+// to exit code 2, distinct from fatal errors (exit code 1).
+var errPartial = errors.New("partial results")
+
 func main() {
-	if err := run(); err != nil {
+	err := run()
+	switch {
+	case err == nil:
+	case errors.Is(err, errPartial):
+		fmt.Fprintln(os.Stderr, "gsnp:", err)
+		os.Exit(2)
+	default:
 		fmt.Fprintln(os.Stderr, "gsnp:", err)
 		os.Exit(1)
 	}
@@ -76,6 +120,14 @@ func run() error {
 		prefetch  = flag.Bool("prefetch", false, "overlap window read I/O with computation (double buffering)")
 		compress  = flag.Bool("compress", false, "write the GSNP compressed container (gsnp engines only)")
 		stats     = flag.Bool("stats", false, "print per-component timing to stderr")
+
+		retries    = flag.Int("retries", 0, "re-run a failed chromosome up to N times (exponential backoff)")
+		backoff    = flag.Duration("retry-backoff", 100*time.Millisecond, "base delay between retries of a failed chromosome")
+		taskTO     = flag.Duration("task-timeout", 0, "per-chromosome deadline (0 = none)")
+		quarantine = flag.Bool("quarantine", false, "contain malformed records and panicking windows instead of aborting")
+		resume     = flag.Bool("resume", false, "skip chromosomes recorded in the genome directory's checkpoint manifest")
+		failReport = flag.String("failure-report", "", "write a JSON report of per-chromosome outcomes to this file")
+		faultSpec  = flag.String("faults", "", "inject deterministic failures, e.g. seed=1,corrupt-every=40 (testing)")
 	)
 	flag.Parse()
 
@@ -83,6 +135,15 @@ func run() error {
 		engine: *engine, format: *format, window: *window,
 		workers: *workers, computeWorkers: *computeW,
 		prefetch: *prefetch, compress: *compress, stats: *stats,
+		retries: *retries, retryBackoff: *backoff, taskTimeout: *taskTO,
+		quarantine: *quarantine, resume: *resume, failureReport: *failReport,
+	}
+	if *faultSpec != "" {
+		inj, err := faults.Parse(*faultSpec)
+		if err != nil {
+			return err
+		}
+		opts.injector = inj
 	}
 	switch opts.engine {
 	case "soapsnp":
@@ -114,15 +175,40 @@ func run() error {
 		defer f.Close()
 		out = f
 	}
-	_, err := callOne(*refPath, *alnPath, *snpPath, out, os.Stderr, opts, nil)
-	return err
+	ctx := context.Background()
+	if opts.taskTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opts.taskTimeout)
+		defer cancel()
+	}
+	res, err := callOne(ctx, *refPath, *alnPath, *snpPath, out, os.Stderr, opts, nil)
+	if err != nil {
+		return err
+	}
+	if res.partial() {
+		for _, q := range res.quarantined {
+			fmt.Fprintf(os.Stderr, "gsnp: quarantined %v\n", q)
+		}
+		return fmt.Errorf("%w: %d window(s) quarantined, %d calibration record(s) skipped",
+			errPartial, len(res.quarantined), res.calSkipped)
+	}
+	return nil
 }
+
+// callResult is what one chromosome's engine run reports back.
+type callResult struct {
+	sites       int
+	calSkipped  int
+	quarantined []pipeline.Quarantine
+}
+
+func (r callResult) partial() bool { return len(r.quarantined) > 0 || r.calSkipped > 0 }
 
 // chrOutput is one chromosome's buffered result in genome mode.
 type chrOutput struct {
 	outPath string
-	sites   int
 	diag    string // buffered -stats diagnostics, printed in input order
+	res     callResult
 }
 
 // runGenome processes every chromosome of a directory — the 24-file
@@ -132,6 +218,12 @@ type chrOutput struct {
 // byte-identical to a serial run. Diagnostics are buffered per chromosome
 // and printed in input order once the pool drains, keeping terminal
 // output deterministic at any worker count.
+//
+// A failing chromosome does not discard the others: the pool runs every
+// task, each chromosome's outcome is reported individually (and in the
+// -failure-report JSON), clean completions are checkpointed for -resume,
+// and the run as a whole returns errPartial (exit code 2) when usable
+// output coexists with failures.
 func runGenome(dir string, opts options) error {
 	fas, err := filepath.Glob(filepath.Join(dir, "*.fa"))
 	if err != nil {
@@ -145,6 +237,16 @@ func runGenome(dir string, opts options) error {
 	if opts.compress {
 		suffix = ".result.gsnp"
 	}
+	fingerprint := checkpoint.Fingerprint(opts.engine, opts.format, opts.window, opts.compress)
+	cp, err := checkpoint.NewWriter(checkpoint.Path(dir), fingerprint, opts.resume)
+	if err != nil {
+		return err
+	}
+
+	// taskRep[i] is the report slot of tasks[i]; checkpoint-skipped
+	// chromosomes get their report entry up front and never enter the pool.
+	reports := make([]checkpoint.TaskReport, 0, len(fas))
+	var taskRep []int
 	var tasks []sched.LocalTask[chrOutput, *gsnp.Arena]
 	for _, fa := range fas {
 		base := strings.TrimSuffix(fa, ".fa")
@@ -160,42 +262,106 @@ func runGenome(dir string, opts options) error {
 		if _, err := os.Stat(snp); err != nil {
 			snp = ""
 		}
+		name := filepath.Base(fa)
+		if e, ok := cp.Done(name); ok {
+			fmt.Fprintf(os.Stderr, "gsnp: %s: skipped (checkpoint: %s)\n", name, e.Output)
+			reports = append(reports, checkpoint.TaskReport{
+				Name: name, Status: checkpoint.StatusSkipped, Output: e.Output, Sites: e.Sites})
+			continue
+		}
+		reports = append(reports, checkpoint.TaskReport{Name: name})
+		taskRep = append(taskRep, len(reports)-1)
 		fa, outPath := fa, base+suffix
 		tasks = append(tasks, sched.LocalTask[chrOutput, *gsnp.Arena]{
-			Name: filepath.Base(fa),
+			Name: name,
 			Run: func(ctx context.Context, arena *gsnp.Arena) (chrOutput, error) {
 				var diag strings.Builder
 				f, err := os.Create(outPath)
 				if err != nil {
 					return chrOutput{}, err
 				}
-				sites, err := callOne(fa, aln, snp, f, &diag, opts, arena)
+				res, err := callOne(ctx, fa, aln, snp, f, &diag, opts, arena)
 				if cerr := f.Close(); err == nil {
 					err = cerr
 				}
-				return chrOutput{outPath: outPath, sites: sites, diag: diag.String()}, err
+				out := chrOutput{outPath: outPath, diag: diag.String(), res: res}
+				if err != nil {
+					// Leave no half-written output behind: a later -resume
+					// must recompute this chromosome from scratch.
+					os.Remove(outPath)
+					return out, err
+				}
+				// Degraded completions stay on disk but are never
+				// checkpointed, so -resume recomputes them.
+				if !res.partial() {
+					if cerr := cp.Complete(name, outPath, res.sites); cerr != nil {
+						return out, cerr
+					}
+				}
+				return out, nil
 			},
 		})
 	}
+
 	// One window arena per pool worker: every chromosome a worker runs
 	// recycles the same working set (outputs are unaffected — the arena
-	// only carries buffer capacity between runs).
-	results, stats, err := sched.RunLocal(context.Background(), opts.workers,
+	// only carries buffer capacity between runs). The policy keeps the pool
+	// going past failures, converts task panics to errors, and retries
+	// everything except permanent record-level corruption.
+	pol := sched.Policy{
+		Retries:         opts.retries,
+		Backoff:         opts.retryBackoff,
+		Timeout:         opts.taskTimeout,
+		RecoverPanics:   true,
+		ContinueOnError: true,
+		RetryIf: func(err error) bool {
+			var re pipeline.RecordError
+			return !errors.As(err, &re)
+		},
+	}
+	results, stats, _ := sched.RunLocalPolicy(context.Background(), opts.workers, pol,
 		func(int) *gsnp.Arena { return gsnp.NewArena() }, tasks)
-	for _, r := range results {
+
+	var okN, partialN, failedN, quarantinedN int
+	for i, r := range results {
+		rep := &reports[taskRep[i]]
+		rep.Attempts = r.Attempts
 		switch {
 		case r.Skipped:
+			rep.Status = checkpoint.StatusSkipped
+			rep.Error = fmt.Sprint(r.Err)
 			fmt.Fprintf(os.Stderr, "gsnp: %s: not run (%v)\n", r.Name, r.Err)
 		case r.Err != nil:
-			fmt.Fprintf(os.Stderr, "gsnp: %s: %v\n", r.Name, r.Err)
+			failedN++
+			rep.Status = checkpoint.StatusFailed
+			rep.Error = r.Err.Error()
+			rep.Panicked = r.Panicked
+			fmt.Fprintf(os.Stderr, "gsnp: %s: FAILED after %d attempt(s): %v\n", r.Name, r.Attempts, r.Err)
 		default:
 			if r.Value.diag != "" {
 				fmt.Fprint(os.Stderr, r.Value.diag)
 			}
+			rep.Output = filepath.Base(r.Value.outPath)
+			rep.Sites = r.Value.res.sites
+			rep.CalSkipped = r.Value.res.calSkipped
+			rep.Quarantined = r.Value.res.quarantined
 			line := fmt.Sprintf("gsnp: %s -> %s", r.Name, filepath.Base(r.Value.outPath))
+			if r.Value.res.partial() {
+				partialN++
+				quarantinedN += len(r.Value.res.quarantined)
+				rep.Status = checkpoint.StatusPartial
+				line += fmt.Sprintf(" [PARTIAL: %d window(s) quarantined, %d calibration record(s) skipped]",
+					len(r.Value.res.quarantined), r.Value.res.calSkipped)
+				for _, q := range r.Value.res.quarantined {
+					fmt.Fprintf(os.Stderr, "gsnp: quarantined %v\n", q)
+				}
+			} else {
+				okN++
+				rep.Status = checkpoint.StatusOK
+			}
 			if opts.stats {
 				line += fmt.Sprintf(" (worker %d, %v, %s)",
-					r.Worker, r.Wall.Round(time.Millisecond), siteRate(r.Value.sites, r.Wall))
+					r.Worker, r.Wall.Round(time.Millisecond), siteRate(r.Value.res.sites, r.Wall))
 			}
 			fmt.Fprintln(os.Stderr, line)
 		}
@@ -206,7 +372,23 @@ func runGenome(dir string, opts options) error {
 			stats.TaskWall.Round(time.Millisecond), stats.Speedup(),
 			stats.LongestName, stats.Longest.Round(time.Millisecond))
 	}
-	return err
+
+	var runErr error
+	if failedN > 0 || partialN > 0 {
+		runErr = fmt.Errorf("%w: %d ok, %d partial, %d failed (%d window(s) quarantined)",
+			errPartial, okN, partialN, failedN, quarantinedN)
+	}
+	if opts.failureReport != "" {
+		code := 0
+		if runErr != nil {
+			code = 2
+		}
+		fr := &checkpoint.FailureReport{Fingerprint: fingerprint, ExitCode: code, Tasks: reports}
+		if err := fr.Save(opts.failureReport); err != nil {
+			return fmt.Errorf("failure report: %w", err)
+		}
+	}
+	return runErr
 }
 
 // siteRate formats a sites-per-second throughput.
@@ -218,23 +400,23 @@ func siteRate(sites int, wall time.Duration) string {
 }
 
 // callOne runs one chromosome through the selected engine, writing result
-// rows to out and diagnostics to diag. It returns the number of reference
-// sites processed. arena, when non-nil, supplies the recycled window
-// working set (gsnp engines only).
-func callOne(refPath, alnPath, snpPath string, out, diag io.Writer, opts options, arena *gsnp.Arena) (int, error) {
+// rows to out and diagnostics to diag. arena, when non-nil, supplies the
+// recycled window working set (gsnp engines only).
+func callOne(ctx context.Context, refPath, alnPath, snpPath string, out, diag io.Writer, opts options, arena *gsnp.Arena) (callResult, error) {
+	var zero callResult
 	refFile, err := os.Open(refPath)
 	if err != nil {
-		return 0, err
+		return zero, err
 	}
 	recs, err := snpio.ReadFASTA(refFile)
 	if cerr := refFile.Close(); err == nil {
 		err = cerr
 	}
 	if err != nil {
-		return 0, err
+		return zero, err
 	}
 	if len(recs) != 1 {
-		return 0, fmt.Errorf("reference must hold exactly one sequence, found %d", len(recs))
+		return zero, fmt.Errorf("reference must hold exactly one sequence, found %d", len(recs))
 	}
 	ref := recs[0]
 
@@ -242,14 +424,14 @@ func callOne(refPath, alnPath, snpPath string, out, diag io.Writer, opts options
 	if snpPath != "" {
 		f, err := os.Open(snpPath)
 		if err != nil {
-			return 0, err
+			return zero, err
 		}
 		all, err := snpio.ReadKnownSNPs(f)
 		if cerr := f.Close(); err == nil {
 			err = cerr
 		}
 		if err != nil {
-			return 0, err
+			return zero, err
 		}
 		known = all[ref.Name]
 	}
@@ -257,7 +439,7 @@ func callOne(refPath, alnPath, snpPath string, out, diag io.Writer, opts options
 	// The pipeline reads its input twice (cal_p_matrix, then the windowed
 	// pass); the source reopens the alignment file per pass. Files ending
 	// in .gz are decompressed transparently.
-	src := pipeline.FuncSource(func() (pipeline.ReadIter, error) {
+	var src pipeline.Source = pipeline.FuncSource(func() (pipeline.ReadIter, error) {
 		f, err := os.Open(alnPath)
 		if err != nil {
 			return nil, err
@@ -281,15 +463,26 @@ func callOne(refPath, alnPath, snpPath string, out, diag io.Writer, opts options
 		return it, nil
 	})
 
+	// Fault injection (testing): each chromosome is an injector stream, so
+	// schedules are deterministic per chromosome regardless of worker
+	// interleaving; the stream also provides the engine's window hook.
+	var hook func(ctx context.Context, window, start, end int) error
+	if opts.injector != nil {
+		st := opts.injector.Stream(ref.Name)
+		src = st.WrapSource(src)
+		hook = st.WindowHook
+	}
+
 	switch opts.engine {
 	case "soapsnp":
 		eng := soapsnp.New(soapsnp.Config{
 			Chr: ref.Name, Ref: ref.Seq, Known: known,
 			Window: opts.window, Prefetch: opts.prefetch,
+			Quarantine: opts.quarantine, WindowHook: hook,
 		})
-		rep, err := eng.Run(src, out)
+		rep, err := eng.RunContext(ctx, src, out)
 		if err != nil {
-			return 0, err
+			return zero, err
 		}
 		if opts.stats {
 			fmt.Fprintf(diag, "soapsnp: %d sites, %d SNPs, mean depth %.1fX\n%v\n",
@@ -298,13 +491,14 @@ func callOne(refPath, alnPath, snpPath string, out, diag io.Writer, opts options
 				fmt.Fprintf(diag, "prefetch: %v\n", rep.Prefetch)
 			}
 		}
-		return rep.Sites, nil
+		return callResult{sites: rep.Sites, calSkipped: rep.CalSkipped, quarantined: rep.Quarantined}, nil
 	default: // gsnp-cpu, gsnp-gpu
 		cfg := gsnp.Config{
 			Chr: ref.Name, Ref: ref.Seq, Known: known,
 			Window: opts.window, CompressOutput: opts.compress,
 			Prefetch: opts.prefetch, ComputeWorkers: opts.computeWorkers,
-			Arena: arena,
+			Arena:      arena,
+			Quarantine: opts.quarantine, WindowHook: hook,
 		}
 		if opts.engine == "gsnp-gpu" {
 			cfg.Mode = gsnp.ModeGPU
@@ -316,11 +510,11 @@ func callOne(refPath, alnPath, snpPath string, out, diag io.Writer, opts options
 		}
 		eng, err := gsnp.New(cfg)
 		if err != nil {
-			return 0, err
+			return zero, err
 		}
-		rep, err := eng.Run(src, out)
+		rep, err := eng.RunContext(ctx, src, out)
 		if err != nil {
-			return 0, err
+			return zero, err
 		}
 		if opts.stats {
 			fmt.Fprintf(diag, "%s: %d sites, %d SNPs, mean depth %.1fX, %d output bytes\n%v\n",
@@ -333,16 +527,17 @@ func callOne(refPath, alnPath, snpPath string, out, diag io.Writer, opts options
 					cfg.Device.Config().Name, cfg.Device.FormatProfile())
 			}
 		}
-		return rep.Sites, nil
+		return callResult{sites: rep.Sites, calSkipped: rep.CalSkipped, quarantined: rep.Quarantined}, nil
 	}
 }
 
 // fileIter adapts an alignment reader over an open file to
 // pipeline.ReadIter, closing the decompressor (for .gz inputs) and the
-// file when the stream ends — at EOF or on any read error, so a parse
-// failure doesn't leak the descriptor. A close failure surfaces instead
-// of EOF so truncated gzip streams are reported rather than silently
-// accepted.
+// file when the stream ends — at EOF or on any stream-fatal read error, so
+// an aborted pass doesn't leak the descriptor. Record-scoped parse errors
+// leave the stream open: quarantine mode skips the record and keeps
+// reading. A close failure surfaces instead of EOF so truncated gzip
+// streams are reported rather than silently accepted.
 type fileIter struct {
 	f  *os.File
 	zr *gzip.Reader
@@ -352,6 +547,10 @@ type fileIter struct {
 func (it *fileIter) Next() (reads.AlignedRead, error) {
 	r, err := it.it.Next()
 	if err != nil && it.f != nil {
+		var re pipeline.RecordError
+		if errors.As(err, &re) {
+			return r, err
+		}
 		if it.zr != nil {
 			if cerr := it.zr.Close(); cerr != nil && err == io.EOF {
 				err = cerr

@@ -1,0 +1,244 @@
+// Package checkpoint makes whole-genome runs resumable. A genome-mode run
+// records every cleanly finished chromosome in a manifest next to the data
+// (.gsnp.checkpoint.json), saved atomically after each completion; a
+// restarted run with -resume skips a chromosome only when the manifest's
+// configuration fingerprint matches the current flags AND the recorded
+// output file still exists with the recorded digest, so stale or tampered
+// outputs are recomputed rather than trusted.
+//
+// The package also defines the machine-readable failure report a degraded
+// run writes (-failure-report): per-chromosome status, attempts, and the
+// window quarantine records.
+package checkpoint
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"gsnp/internal/pipeline"
+)
+
+// Version guards the manifest schema; a mismatch invalidates the file.
+const Version = 1
+
+// DefaultName is the manifest file name inside a genome directory.
+const DefaultName = ".gsnp.checkpoint.json"
+
+// Path returns the manifest location for a genome directory.
+func Path(genomeDir string) string { return filepath.Join(genomeDir, DefaultName) }
+
+// Entry records one cleanly finished chromosome.
+type Entry struct {
+	// Output is the result file name, relative to the manifest directory.
+	Output string `json:"output"`
+	// SHA256 is the hex digest of the output file at completion time.
+	SHA256 string `json:"sha256"`
+	// Sites is the number of reference sites processed.
+	Sites int `json:"sites"`
+}
+
+// Manifest is the on-disk checkpoint state.
+type Manifest struct {
+	Version int `json:"version"`
+	// Fingerprint captures every flag that shapes output bytes; resuming
+	// under different flags must recompute everything.
+	Fingerprint string `json:"fingerprint"`
+	// Done maps task name (the chromosome's .fa base name) to its entry.
+	Done map[string]Entry `json:"done"`
+}
+
+// Fingerprint encodes the output-shaping configuration. Concurrency and
+// prefetch flags are deliberately absent: the engines guarantee
+// byte-identical output across those, so a checkpoint taken at -workers 8
+// is valid for a -workers 1 resume.
+func Fingerprint(engine, format string, window int, compress bool) string {
+	return fmt.Sprintf("v%d engine=%s format=%s window=%d compress=%t",
+		Version, engine, format, window, compress)
+}
+
+// Load reads a manifest. A missing file returns (nil, nil); a corrupt or
+// wrong-version file is an error so the caller can refuse a bad -resume
+// rather than silently recompute.
+func Load(path string) (*Manifest, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("checkpoint: %s: %w", path, err)
+	}
+	if m.Version != Version {
+		return nil, fmt.Errorf("checkpoint: %s: version %d, want %d", path, m.Version, Version)
+	}
+	return &m, nil
+}
+
+// FileDigest returns the hex SHA-256 of a file's contents.
+func FileDigest(path string) (string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// Writer maintains the manifest across a run. It is safe for concurrent
+// use from the scheduler's worker pool; every Complete persists the
+// manifest atomically (temp file + rename), so a killed run loses at most
+// the chromosome in flight.
+type Writer struct {
+	path string
+
+	mu sync.Mutex
+	m  Manifest
+}
+
+// NewWriter opens the manifest at path for a run with the given
+// fingerprint. When resume is set and an existing manifest matches the
+// fingerprint, its entries carry over; otherwise the writer starts empty
+// (a fingerprint mismatch under resume is reported, not ignored).
+func NewWriter(path, fingerprint string, resume bool) (*Writer, error) {
+	w := &Writer{path: path, m: Manifest{
+		Version: Version, Fingerprint: fingerprint, Done: make(map[string]Entry)}}
+	if !resume {
+		return w, nil
+	}
+	prev, err := Load(path)
+	if err != nil {
+		return nil, err
+	}
+	if prev == nil {
+		return w, nil
+	}
+	if prev.Fingerprint != fingerprint {
+		return nil, fmt.Errorf("checkpoint: %s was written under %q, current run is %q (rerun without -resume or align the flags)",
+			path, prev.Fingerprint, fingerprint)
+	}
+	for name, e := range prev.Done {
+		w.m.Done[name] = e
+	}
+	return w, nil
+}
+
+// Done reports whether name may be skipped: it was checkpointed and its
+// output file still has the recorded digest. A missing or modified output
+// invalidates the entry (and removes it, so the rerun re-checkpoints).
+func (w *Writer) Done(name string) (Entry, bool) {
+	w.mu.Lock()
+	e, ok := w.m.Done[name]
+	w.mu.Unlock()
+	if !ok {
+		return Entry{}, false
+	}
+	digest, err := FileDigest(filepath.Join(filepath.Dir(w.path), e.Output))
+	if err != nil || digest != e.SHA256 {
+		w.mu.Lock()
+		delete(w.m.Done, name)
+		w.mu.Unlock()
+		return Entry{}, false
+	}
+	return e, true
+}
+
+// Complete records a cleanly finished chromosome and persists the
+// manifest. outPath must live in the manifest's directory.
+func (w *Writer) Complete(name, outPath string, sites int) error {
+	digest, err := FileDigest(outPath)
+	if err != nil {
+		return fmt.Errorf("checkpoint: %s: %w", name, err)
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.m.Done[name] = Entry{Output: filepath.Base(outPath), SHA256: digest, Sites: sites}
+	return w.saveLocked()
+}
+
+// saveLocked writes the manifest atomically: a temp file in the same
+// directory, fsync'd, then renamed over the target.
+func (w *Writer) saveLocked() error {
+	data, err := json.MarshalIndent(&w.m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return atomicWrite(w.path, append(data, '\n'))
+}
+
+// atomicWrite replaces path with data via temp file + rename.
+func atomicWrite(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	_, werr := f.Write(data)
+	if serr := f.Sync(); werr == nil {
+		werr = serr
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(tmp)
+		return werr
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// Task status values of the failure report.
+const (
+	StatusOK      = "ok"      // clean completion
+	StatusPartial = "partial" // completed with quarantined windows / skipped records
+	StatusFailed  = "failed"  // aborted after exhausting retries
+	StatusSkipped = "skipped" // not run (checkpointed, or the run was cancelled first)
+)
+
+// TaskReport is one chromosome's outcome in the failure report.
+type TaskReport struct {
+	Name     string `json:"name"`
+	Status   string `json:"status"`
+	Output   string `json:"output,omitempty"`
+	Sites    int    `json:"sites,omitempty"`
+	Attempts int    `json:"attempts,omitempty"`
+	Error    string `json:"error,omitempty"`
+	Panicked bool   `json:"panicked,omitempty"`
+	// CalSkipped counts records dropped during the calibration pass.
+	CalSkipped int `json:"cal_skipped,omitempty"`
+	// Quarantined lists the windows abandoned during the windowed pass.
+	Quarantined []pipeline.Quarantine `json:"quarantined,omitempty"`
+}
+
+// FailureReport is the machine-readable outcome of a degraded genome run.
+type FailureReport struct {
+	Fingerprint string       `json:"fingerprint"`
+	ExitCode    int          `json:"exit_code"`
+	Tasks       []TaskReport `json:"tasks"`
+}
+
+// Save writes the report atomically.
+func (r *FailureReport) Save(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return atomicWrite(path, append(data, '\n'))
+}

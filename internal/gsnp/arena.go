@@ -3,6 +3,7 @@ package gsnp
 import (
 	"sync"
 
+	"gsnp/internal/pipeline"
 	"gsnp/internal/reads"
 )
 
@@ -87,6 +88,9 @@ type computeJob struct {
 	kind   uint8
 	lo, hi int
 	worker int
+	// fn, when non-nil, replaces the kind dispatch — a test seam for
+	// exercising the pool's panic containment.
+	fn func()
 }
 
 const (
@@ -95,6 +99,10 @@ const (
 )
 
 func (j computeJob) run() {
+	if j.fn != nil {
+		j.fn()
+		return
+	}
 	switch j.kind {
 	case jobLikelihood:
 		j.eng.likelihoodRange(j.w, j.lo, j.hi, j.worker)
@@ -106,9 +114,19 @@ func (j computeJob) run() {
 // computePool is the engine-owned set of persistent goroutines that
 // execute likelihood/posterior shards. The pool lives for one Run: its
 // workers block on the job channel between windows.
+//
+// A panic inside a pool worker would normally crash the whole process —
+// nothing on a fresh goroutine's stack recovers — defeating window-level
+// quarantine. Workers therefore trap the first panic (value + stack at
+// the point of failure) and runSharded re-raises it on the dispatching
+// goroutine once the window's shards drain, where the engine's window
+// containment can convert it to a quarantine record.
 type computePool struct {
 	jobs chan computeJob
 	wg   sync.WaitGroup
+
+	mu       sync.Mutex
+	panicked *pipeline.PanicError
 }
 
 // newComputePool starts size-1 workers: the dispatching goroutine always
@@ -118,12 +136,37 @@ func newComputePool(size int) *computePool {
 	for i := 1; i < size; i++ {
 		go func() {
 			for j := range p.jobs {
-				j.run()
-				p.wg.Done()
+				p.runOne(j)
 			}
 		}()
 	}
 	return p
+}
+
+// runOne executes one shard, trapping a panic instead of unwinding the
+// worker goroutine. Only the first panic of a window is kept; wg.Done
+// always runs so the dispatcher never deadlocks on a dead shard.
+func (p *computePool) runOne(j computeJob) {
+	defer func() {
+		if pe := pipeline.Recovered(recover()); pe != nil {
+			p.mu.Lock()
+			if p.panicked == nil {
+				p.panicked = pe
+			}
+			p.mu.Unlock()
+		}
+		p.wg.Done()
+	}()
+	j.run()
+}
+
+// takePanic returns and clears the first trapped worker panic.
+func (p *computePool) takePanic() *pipeline.PanicError {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	pe := p.panicked
+	p.panicked = nil
+	return pe
 }
 
 func (p *computePool) stop() { close(p.jobs) }
@@ -158,8 +201,16 @@ func (e *Engine) runSharded(w *window, kind uint8) {
 		e.pool.wg.Add(1)
 		e.pool.jobs <- computeJob{eng: e, w: w, kind: kind, lo: lo, hi: hi, worker: wk}
 	}
-	computeJob{eng: e, w: w, kind: kind, lo: 0, hi: chunk}.run()
-	e.pool.wg.Wait()
+	func() {
+		// Even if the inline shard panics, wait for the helper shards
+		// before unwinding: the next window recycles this window's arena
+		// buffers, and a still-running shard writing into them would race.
+		defer e.pool.wg.Wait()
+		computeJob{eng: e, w: w, kind: kind, lo: 0, hi: chunk}.run()
+	}()
+	if pe := e.pool.takePanic(); pe != nil {
+		panic(pe)
+	}
 }
 
 // ar returns the engine's arena, creating a private one for direct kernel

@@ -1,6 +1,7 @@
 package gsnp
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -77,6 +78,14 @@ func (e *Engine) simSpan(f func()) time.Duration {
 // Run executes the pipeline over src, writing results to w (plain text, or
 // the compressed container when Config.CompressOutput is set).
 func (e *Engine) Run(src pipeline.Source, w io.Writer) (*Report, error) {
+	return e.RunContext(context.Background(), src, w)
+}
+
+// RunContext is Run with cooperative cancellation: the engine checks ctx
+// at every window boundary and every ~1K input records, so a per-task
+// deadline (sched.Policy.Timeout) cuts a wedged chromosome short instead
+// of letting it run forever.
+func (e *Engine) RunContext(ctx context.Context, src pipeline.Source, w io.Writer) (*Report, error) {
 	cfg := e.cfg
 	rep := &Report{Sites: len(cfg.Ref), NonZeroHist: make([]int64, sparsityHistSize)}
 	e.rep = rep
@@ -121,7 +130,22 @@ func (e *Engine) Run(src pipeline.Source, w io.Writer) (*Report, error) {
 		tw = snpio.NewTempWriter(f, cfg.Chr)
 		sink = tw.Write
 	}
-	cal, meanDepth, err := pipeline.CalibrationPass(src, cfg.Ref, sink)
+	// Quarantine mode tolerates malformed records in this pass: the scan
+	// must see the whole input, so a corrupt line is skipped and counted
+	// rather than aborting the run. Window-level containment happens in
+	// pass two, where the failure has a site range to attach to.
+	calSrc := pipeline.SourceWithContext(ctx, src)
+	if cfg.Quarantine {
+		inner := calSrc
+		calSrc = pipeline.FuncSource(func() (pipeline.ReadIter, error) {
+			it, err := inner.Open()
+			if err != nil {
+				return nil, err
+			}
+			return pipeline.NewTolerantIter(it, func(pipeline.RecordError) { rep.CalSkipped++ }), nil
+		})
+	}
+	cal, meanDepth, err := pipeline.CalibrationPass(calSrc, cfg.Ref, sink)
 	if err != nil {
 		return nil, fmt.Errorf("gsnp: cal_p_matrix: %w", err)
 	}
@@ -164,7 +188,7 @@ func (e *Engine) Run(src pipeline.Source, w io.Writer) (*Report, error) {
 	}
 
 	// Pass two: windowed per-site computation.
-	it, err := src.Open()
+	it, err := pipeline.SourceWithContext(ctx, src).Open()
 	if err != nil {
 		return nil, fmt.Errorf("gsnp: read_site: %w", err)
 	}
@@ -172,19 +196,31 @@ func (e *Engine) Run(src pipeline.Source, w io.Writer) (*Report, error) {
 	if cfg.Prefetch {
 		// read_site for window i+1 overlaps components 3-7 of window i;
 		// windows arrive strictly in order, so output bytes are identical
-		// to the serial path.
-		pf := pipeline.NewWindowPrefetcher(win, len(cfg.Ref), cfg.Window, 1)
+		// to the serial path. Quarantine mode uses the resilient variant,
+		// whose producer keeps fetching past a record-level failure.
+		var pf *pipeline.WindowPrefetcher
+		if cfg.Quarantine {
+			pf = pipeline.NewResilientWindowPrefetcher(win, len(cfg.Ref), cfg.Window, 1)
+		} else {
+			pf = pipeline.NewWindowPrefetcher(win, len(cfg.Ref), cfg.Window, 1)
+		}
 		defer pf.Stop()
 		for {
 			pw, ok := pf.Next()
 			if !ok {
 				break
 			}
-			if pw.Err != nil {
-				return nil, fmt.Errorf("gsnp: read_site: %w", pw.Err)
-			}
-			if err := e.runWindow(pw.Reads, pw.Start, pw.End); err != nil {
+			if err := ctx.Err(); err != nil {
 				return nil, err
+			}
+			werr := pw.Err
+			if werr == nil {
+				werr = e.windowAttempt(ctx, pw.Reads, pw.Start, pw.End)
+			}
+			if werr != nil {
+				if ferr := e.quarantineOrFail(pw.Start, pw.End, werr); ferr != nil {
+					return nil, ferr
+				}
 			}
 		}
 		rep.Prefetch = pf.Stats()
@@ -195,18 +231,25 @@ func (e *Engine) Run(src pipeline.Source, w io.Writer) (*Report, error) {
 			if end > len(cfg.Ref) {
 				end = len(cfg.Ref)
 			}
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			// Component 2: read_site, into the arena's recycled read
 			// buffer (the prefetch path allocates instead: it runs ahead
 			// of the consumer, so its windows can't share one buffer).
 			t0 = time.Now()
-			rs, err := win.AppendReads(e.arena.readBuf[:0], start, end)
-			e.arena.readBuf = rs[:0]
-			if err != nil {
-				return nil, fmt.Errorf("gsnp: read_site: %w", err)
+			rs, werr := win.AppendReads(e.arena.readBuf[:0], start, end)
+			if rs != nil {
+				e.arena.readBuf = rs[:0]
 			}
 			rep.Times.Read += time.Since(t0)
-			if err := e.runWindow(rs, start, end); err != nil {
-				return nil, err
+			if werr == nil {
+				werr = e.windowAttempt(ctx, rs, start, end)
+			}
+			if werr != nil {
+				if ferr := e.quarantineOrFail(start, end, werr); ferr != nil {
+					return nil, ferr
+				}
 			}
 		}
 	}

@@ -1,0 +1,50 @@
+package gsnp
+
+import (
+	"context"
+	"fmt"
+
+	"gsnp/internal/pipeline"
+	"gsnp/internal/reads"
+)
+
+// Fault containment for the windowed pass. The failure domain is one
+// window: a malformed record surfacing from read_site or a panic anywhere
+// in components 3-7 abandons that window's output and the run moves on,
+// recording what happened and where. Failures the window boundary cannot
+// contain — output-sink errors, I/O errors, cancellation — still abort the
+// run so the task-level retry policy (internal/sched) can handle them.
+// The classification itself (pipeline.Containable) and the stream
+// cancellation wrapper (pipeline.SourceWithContext) are shared with the
+// soapsnp baseline engine.
+
+// windowAttempt runs the window hook and components 3-7 for one window,
+// converting a panic into a *pipeline.PanicError when quarantine is
+// enabled (without quarantine, panics propagate and crash as before).
+func (e *Engine) windowAttempt(ctx context.Context, rs []reads.AlignedRead, start, end int) (err error) {
+	if e.cfg.Quarantine {
+		defer func() {
+			if pe := pipeline.Recovered(recover()); pe != nil {
+				err = pe
+			}
+		}()
+	}
+	if e.cfg.WindowHook != nil {
+		if herr := e.cfg.WindowHook(ctx, start/e.cfg.Window, start, end); herr != nil {
+			return herr
+		}
+	}
+	return e.runWindow(rs, start, end)
+}
+
+// quarantineOrFail records a containable window failure and lets the run
+// continue (nil return); non-containable failures, or any failure without
+// Config.Quarantine, come back wrapped for the caller to abort with.
+func (e *Engine) quarantineOrFail(start, end int, err error) error {
+	if e.cfg.Quarantine && pipeline.Containable(err) {
+		e.rep.Quarantined = append(e.rep.Quarantined,
+			pipeline.NewQuarantine(e.cfg.Chr, start/e.cfg.Window, start, end, err))
+		return nil
+	}
+	return fmt.Errorf("gsnp: window [%d,%d): %w", start, end, err)
+}

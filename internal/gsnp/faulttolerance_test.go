@@ -1,0 +1,240 @@
+package gsnp
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+
+	"gsnp/internal/pipeline"
+	"gsnp/internal/reads"
+)
+
+// testRecordError is a synthetic record-scoped parse failure.
+type testRecordError struct{ line int }
+
+func (e *testRecordError) Error() string {
+	return fmt.Sprintf("test: corrupt record %d", e.line)
+}
+func (e *testRecordError) Record() (int, int64) { return e.line, -1 }
+
+// corruptSource makes the at-th record (1-based) of every pass come back
+// as a record error, the record itself dropped — the shape of a corrupt
+// line in an alignment file.
+func corruptSource(src pipeline.Source, at int) pipeline.Source {
+	return pipeline.FuncSource(func() (pipeline.ReadIter, error) {
+		it, err := src.Open()
+		if err != nil {
+			return nil, err
+		}
+		return &corruptIter{it: it, at: at}, nil
+	})
+}
+
+type corruptIter struct {
+	it    pipeline.ReadIter
+	n, at int
+}
+
+func (c *corruptIter) Next() (reads.AlignedRead, error) {
+	r, err := c.it.Next()
+	if err != nil {
+		return r, err
+	}
+	if c.n++; c.n == c.at {
+		return reads.AlignedRead{}, &testRecordError{line: c.n}
+	}
+	return r, nil
+}
+
+// withoutWindow drops the result rows of sites [start, end) — what a run
+// that quarantined exactly that window should emit.
+func withoutWindow(t *testing.T, out []byte, start, end int) []byte {
+	t.Helper()
+	var keep bytes.Buffer
+	for _, line := range strings.SplitAfter(string(out), "\n") {
+		if line == "" {
+			continue
+		}
+		f := strings.SplitN(line, "\t", 3)
+		if len(f) < 2 {
+			t.Fatalf("unparseable result line %q", line)
+		}
+		pos, err := strconv.Atoi(f[1])
+		if err != nil {
+			t.Fatalf("bad pos in %q: %v", line, err)
+		}
+		if p := pos - 1; p >= start && p < end {
+			continue
+		}
+		keep.WriteString(line)
+	}
+	return keep.Bytes()
+}
+
+// TestQuarantineWindowPanic checks panic containment end to end: a window
+// whose computation panics is quarantined, the run completes, and every
+// other window's bytes are untouched.
+func TestQuarantineWindowPanic(t *testing.T) {
+	ds := testDataset(t, 3000, 8, 21)
+	const window = 1000
+	_, clean := runGSNP(t, ds, Config{Mode: ModeCPU, Window: window})
+
+	for _, workers := range []int{0, 4} {
+		cfg := Config{
+			Mode: ModeCPU, Window: window, ComputeWorkers: workers,
+			Quarantine: true,
+			WindowHook: func(ctx context.Context, win, start, end int) error {
+				if win == 1 {
+					panic("injected window panic")
+				}
+				return nil
+			},
+		}
+		rep, out := runGSNP(t, ds, cfg)
+		if len(rep.Quarantined) != 1 {
+			t.Fatalf("workers=%d: %d quarantined windows, want 1: %v", workers, len(rep.Quarantined), rep.Quarantined)
+		}
+		q := rep.Quarantined[0]
+		if q.Window != 1 || q.Start != window || q.End != 2*window || !q.Panicked {
+			t.Errorf("workers=%d: quarantine = %+v, want window 1 [1000,2000) panicked", workers, q)
+		}
+		if !strings.Contains(q.Cause, "injected window panic") {
+			t.Errorf("workers=%d: cause %q misses the panic value", workers, q.Cause)
+		}
+		if !rep.Partial() {
+			t.Errorf("workers=%d: Partial() = false for a degraded run", workers)
+		}
+		if want := withoutWindow(t, clean, window, 2*window); !bytes.Equal(out, want) {
+			t.Errorf("workers=%d: surviving windows are not byte-identical to the clean run", workers)
+		}
+	}
+}
+
+// TestQuarantineWithoutFlagPanics confirms containment is opt-in: without
+// Config.Quarantine an injected window panic propagates.
+func TestQuarantineWithoutFlagPanics(t *testing.T) {
+	ds := testDataset(t, 2000, 6, 3)
+	eng, err := New(Config{
+		Chr: ds.Spec.Name, Ref: ds.Ref.Seq, Mode: ModeCPU, Window: 1000,
+		WindowHook: func(ctx context.Context, win, start, end int) error {
+			if win == 1 {
+				panic("unrecovered")
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("panic did not propagate without Quarantine")
+		}
+	}()
+	eng.Run(pipeline.MemSource(ds.Reads), &bytes.Buffer{})
+}
+
+// TestQuarantineCorruptRecord checks record-level containment: the
+// calibration pass skips the bad record, the windowed pass quarantines the
+// window it lands in, the run completes. Serial and prefetch paths must
+// agree byte for byte.
+func TestQuarantineCorruptRecord(t *testing.T) {
+	ds := testDataset(t, 3000, 8, 21)
+	const window, at = 1000, 40
+	src := corruptSource(pipeline.MemSource(ds.Reads), at)
+
+	// Without quarantine the same input aborts the run.
+	strict, err := New(Config{Chr: ds.Spec.Name, Ref: ds.Ref.Seq, Mode: ModeCPU, Window: window})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := strict.Run(src, &bytes.Buffer{}); err == nil {
+		t.Fatal("corrupt record accepted without Quarantine")
+	}
+
+	var outs [][]byte
+	for _, prefetch := range []bool{false, true} {
+		eng, err := New(Config{
+			Chr: ds.Spec.Name, Ref: ds.Ref.Seq, Mode: ModeCPU,
+			Window: window, Quarantine: true, Prefetch: prefetch,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		rep, err := eng.Run(src, &buf)
+		if err != nil {
+			t.Fatalf("prefetch=%t: %v", prefetch, err)
+		}
+		if rep.CalSkipped != 1 {
+			t.Errorf("prefetch=%t: CalSkipped = %d, want 1", prefetch, rep.CalSkipped)
+		}
+		if len(rep.Quarantined) != 1 {
+			t.Fatalf("prefetch=%t: %d quarantined windows, want 1: %v", prefetch, len(rep.Quarantined), rep.Quarantined)
+		}
+		q := rep.Quarantined[0]
+		if q.Line != at || q.Panicked {
+			t.Errorf("prefetch=%t: quarantine = %+v, want line %d, no panic", prefetch, q, at)
+		}
+		wantWin := ds.Reads[at-1].Pos / window
+		if q.Window != wantWin {
+			t.Errorf("prefetch=%t: quarantined window %d, record %d lies in window %d", prefetch, q.Window, at, wantWin)
+		}
+		outs = append(outs, buf.Bytes())
+	}
+	if !bytes.Equal(outs[0], outs[1]) {
+		t.Error("serial and prefetch quarantine outputs differ")
+	}
+}
+
+// TestComputePoolTrapsWorkerPanic drives the pool's panic containment
+// directly through the computeJob test seam: a panic on a pool goroutine
+// must be trapped (not crash the process) and surface via takePanic.
+func TestComputePoolTrapsWorkerPanic(t *testing.T) {
+	p := newComputePool(3)
+	defer p.stop()
+	p.wg.Add(2)
+	p.jobs <- computeJob{fn: func() { panic("kaboom") }}
+	p.jobs <- computeJob{fn: func() {}}
+	p.wg.Wait()
+	pe := p.takePanic()
+	if pe == nil {
+		t.Fatal("worker panic was not trapped")
+	}
+	if pe.Value != "kaboom" {
+		t.Errorf("trapped value = %v, want kaboom", pe.Value)
+	}
+	if len(pe.Stack) == 0 {
+		t.Error("trapped panic carries no stack")
+	}
+	if p.takePanic() != nil {
+		t.Error("takePanic did not clear the slot")
+	}
+}
+
+// TestRunContextCancelled checks cooperative cancellation: an
+// already-cancelled context aborts the run with the context's error, and
+// quarantine never swallows cancellation.
+func TestRunContextCancelled(t *testing.T) {
+	ds := testDataset(t, 2000, 6, 9)
+	eng, err := New(Config{
+		Chr: ds.Spec.Name, Ref: ds.Ref.Seq, Mode: ModeCPU,
+		Window: 500, Quarantine: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rep, err := eng.RunContext(ctx, pipeline.MemSource(ds.Reads), &bytes.Buffer{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if rep != nil {
+		t.Error("cancelled run returned a report")
+	}
+}

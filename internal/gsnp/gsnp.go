@@ -12,6 +12,7 @@
 package gsnp
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"time"
@@ -133,6 +134,21 @@ type Config struct {
 	// each of its workers a private Arena so consecutive chromosome runs
 	// reuse one working set.
 	Arena *Arena
+	// Quarantine contains window-level failures instead of aborting the
+	// run: a malformed alignment record or a panicking window computation
+	// is recorded in Report.Quarantined (window index, site range, input
+	// position, cause) and the run continues with the next window. The
+	// calibration pass skips malformed records, counted in
+	// Report.CalSkipped. Output on the success path is byte-identical
+	// with or without quarantine; a quarantined window emits no rows.
+	// Non-containable failures — I/O errors, output-sink errors, context
+	// cancellation — still abort the run.
+	Quarantine bool
+	// WindowHook, when non-nil, runs before each window's computation
+	// with the window index and site range. A returned error or a panic
+	// is treated exactly like a failure of the window itself — the seam
+	// internal/faults uses to inject worker panics and stalls.
+	WindowHook func(ctx context.Context, window, start, end int) error
 }
 
 // DefaultWindow is GSNP's window size from the paper's setup.
@@ -213,6 +229,18 @@ type Report struct {
 	// is set (zero otherwise): Fetch is read_site work that overlapped
 	// computation, Wait the residual blocking left in Times.Read.
 	Prefetch pipeline.PrefetchStats
+	// Quarantined lists the windows abandoned under Config.Quarantine; a
+	// non-empty list marks the run's output as partial.
+	Quarantined []pipeline.Quarantine
+	// CalSkipped counts malformed records skipped during the calibration
+	// pass under Config.Quarantine.
+	CalSkipped int
+}
+
+// Partial reports whether the run degraded: any quarantined window or
+// skipped calibration record means the output is incomplete.
+func (r *Report) Partial() bool {
+	return len(r.Quarantined) > 0 || r.CalSkipped > 0
 }
 
 // sparsityHistSize caps the sparsity histogram domain.

@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -61,7 +62,21 @@ type WindowPrefetcher struct {
 // [0, total) from win. depth is the number of windows the producer may run
 // ahead of the consumer; depth <= 0 selects 1 (double buffering). The
 // Windower must not be used by anyone else while the prefetcher is live.
+// The producer stops after delivering the first failed window.
 func NewWindowPrefetcher(win *Windower, total, window, depth int) *WindowPrefetcher {
+	return startPrefetcher(win, total, window, depth, false)
+}
+
+// NewResilientWindowPrefetcher is NewWindowPrefetcher for quarantine mode:
+// after delivering a window whose fetch failed with a record-level error
+// (see RecordError), the producer keeps going with the next window — the
+// Windower remains usable past a parse failure, the bad record is simply
+// absent. Non-record errors (I/O failures) still stop the producer.
+func NewResilientWindowPrefetcher(win *Windower, total, window, depth int) *WindowPrefetcher {
+	return startPrefetcher(win, total, window, depth, true)
+}
+
+func startPrefetcher(win *Windower, total, window, depth int, resilient bool) *WindowPrefetcher {
 	if depth <= 0 {
 		depth = 1
 	}
@@ -85,7 +100,10 @@ func NewWindowPrefetcher(win *Windower, total, window, depth int) *WindowPrefetc
 				return
 			}
 			if err != nil {
-				return
+				var re RecordError
+				if !resilient || !errors.As(err, &re) {
+					return
+				}
 			}
 		}
 	}()

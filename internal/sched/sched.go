@@ -47,6 +47,12 @@ type Result[R any] struct {
 	// Worker is the index of the worker that ran the task (-1 when
 	// skipped).
 	Worker int
+	// Attempts is the number of executions the task's Policy spent on it
+	// (1 with the zero policy; 0 when skipped).
+	Attempts int
+	// Panicked marks a task whose final attempt panicked and was converted
+	// to Err by Policy.RecoverPanics.
+	Panicked bool
 	// Skipped marks tasks that never started because an earlier task
 	// failed (first-error cancellation) or the caller's context ended.
 	Skipped bool
@@ -127,11 +133,32 @@ func Run[R any](ctx context.Context, workers int, tasks []Task[R]) ([]Result[R],
 	return RunLocal(ctx, workers, func(int) struct{} { return struct{}{} }, lt)
 }
 
+// RunPolicy is Run with a fault-tolerance Policy applied to every task.
+func RunPolicy[R any](ctx context.Context, workers int, pol Policy, tasks []Task[R]) ([]Result[R], Stats, error) {
+	lt := make([]LocalTask[R, struct{}], len(tasks))
+	for i, t := range tasks {
+		run := t.Run
+		lt[i] = LocalTask[R, struct{}]{Name: t.Name, Run: func(ctx context.Context, _ struct{}) (R, error) {
+			return run(ctx)
+		}}
+	}
+	return RunLocalPolicy(ctx, workers, pol, func(int) struct{} { return struct{}{} }, lt)
+}
+
 // RunLocal is Run with per-worker local state: newLocal runs once in each
 // worker goroutine before it takes tasks, and every task that worker
 // executes receives the same L value. Scheduling semantics are identical
 // to Run.
 func RunLocal[R, L any](ctx context.Context, workers int, newLocal func(worker int) L, tasks []LocalTask[R, L]) ([]Result[R], Stats, error) {
+	return RunLocalPolicy(ctx, workers, Policy{}, newLocal, tasks)
+}
+
+// RunLocalPolicy is RunLocal with a fault-tolerance Policy: each task runs
+// under the policy's deadline, panic containment and retry schedule, and
+// ContinueOnError selects whether a failure cancels the remaining queue.
+// The in-order dispatch, in-order results and lowest-index-error guarantees
+// of RunLocal are preserved at every policy setting.
+func RunLocalPolicy[R, L any](ctx context.Context, workers int, pol Policy, newLocal func(worker int) L, tasks []LocalTask[R, L]) ([]Result[R], Stats, error) {
 	results := make([]Result[R], len(tasks))
 	if len(tasks) == 0 {
 		return results, Stats{}, ctx.Err()
@@ -172,15 +199,17 @@ func RunLocal[R, L any](ctx context.Context, workers int, newLocal func(worker i
 				started[i] = true
 				mu.Unlock()
 				t0 := time.Now()
-				v, err := tasks[i].Run(ctx, local)
+				v, err, attempts, panicked := execute(ctx, &pol, i, tasks[i], local)
 				results[i] = Result[R]{
-					Name:   tasks[i].Name,
-					Value:  v,
-					Err:    err,
-					Wall:   time.Since(t0),
-					Worker: worker,
+					Name:     tasks[i].Name,
+					Value:    v,
+					Err:      err,
+					Wall:     time.Since(t0),
+					Worker:   worker,
+					Attempts: attempts,
+					Panicked: panicked,
 				}
-				if err != nil {
+				if err != nil && !pol.ContinueOnError {
 					cancel() // first-error cancellation
 				}
 			}

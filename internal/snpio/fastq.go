@@ -36,12 +36,19 @@ func ReadFASTQ(r io.Reader) ([]align.RawRead, error) {
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	var raws []align.RawRead
 	line := 0
+	var off, cur int64 // byte offsets: next line / line just read
 	next := func() (string, bool) {
 		if !sc.Scan() {
 			return "", false
 		}
 		line++
+		cur = off
+		off += int64(len(sc.Bytes())) + 1
 		return sc.Text(), true
+	}
+	errf := func(field, format string, args ...any) *ParseError {
+		return &ParseError{Format: "fastq", Line: line, Offset: cur,
+			Field: field, Msg: fmt.Sprintf(format, args...)}
 	}
 	for {
 		head, ok := next()
@@ -52,22 +59,22 @@ func ReadFASTQ(r io.Reader) ([]align.RawRead, error) {
 			continue
 		}
 		if !strings.HasPrefix(head, "@") {
-			return nil, fmt.Errorf("snpio: FASTQ line %d: expected @header, got %q", line, head)
+			return nil, errf("header", "expected @header, got %q", head)
 		}
 		seqLine, ok := next()
 		if !ok {
-			return nil, fmt.Errorf("snpio: FASTQ line %d: truncated record", line)
+			return nil, errf("sequence", "truncated record")
 		}
 		plus, ok := next()
 		if !ok || !strings.HasPrefix(plus, "+") {
-			return nil, fmt.Errorf("snpio: FASTQ line %d: expected '+' separator", line)
+			return nil, errf("separator", "expected '+' separator")
 		}
 		qualLine, ok := next()
 		if !ok {
-			return nil, fmt.Errorf("snpio: FASTQ line %d: missing quality line", line)
+			return nil, errf("quality", "missing quality line")
 		}
 		if len(qualLine) != len(seqLine) {
-			return nil, fmt.Errorf("snpio: FASTQ line %d: quality length %d != sequence length %d", line, len(qualLine), len(seqLine))
+			return nil, errf("quality", "quality length %d != sequence length %d", len(qualLine), len(seqLine))
 		}
 		var raw align.RawRead
 		idStr := strings.TrimPrefix(strings.Fields(head[1:])[0], "read_")
@@ -81,7 +88,7 @@ func ReadFASTQ(r io.Reader) ([]align.RawRead, error) {
 		for j := 0; j < len(qualLine); j++ {
 			c := qualLine[j]
 			if c < qualOffset {
-				return nil, fmt.Errorf("snpio: FASTQ line %d: bad quality character %q", line, c)
+				return nil, errf("quality", "bad quality character %q", c)
 			}
 			raw.Quals[j] = dna.ClampQuality(int(c) - qualOffset)
 		}

@@ -29,6 +29,8 @@ const (
 type SAMReader struct {
 	sc      *bufio.Scanner
 	line    int
+	off     int64 // byte offset of the next line (assumes \n endings)
+	cur     int64 // byte offset of the line being parsed
 	chr     string
 	skipped int64
 }
@@ -57,6 +59,8 @@ func (sr *SAMReader) Next() (reads.AlignedRead, error) {
 			return reads.AlignedRead{}, io.EOF
 		}
 		sr.line++
+		sr.cur = sr.off
+		sr.off += int64(len(sr.sc.Bytes())) + 1
 		text := sr.sc.Text()
 		if text == "" || strings.HasPrefix(text, "@") {
 			continue // header or blank
@@ -73,22 +77,28 @@ func (sr *SAMReader) Next() (reads.AlignedRead, error) {
 	}
 }
 
+// errf builds a positioned parse error for the line being parsed.
+func (sr *SAMReader) errf(field, format string, args ...any) *ParseError {
+	return &ParseError{Format: "sam", Line: sr.line, Offset: sr.cur,
+		Field: field, Msg: fmt.Sprintf(format, args...)}
+}
+
 // parse interprets one alignment line; ok=false means "skip this record".
 func (sr *SAMReader) parse(text string) (reads.AlignedRead, bool, error) {
 	f := strings.Split(text, "\t")
 	if len(f) < 11 {
-		return reads.AlignedRead{}, false, fmt.Errorf("snpio: SAM line %d: %d fields, want >= 11", sr.line, len(f))
+		return reads.AlignedRead{}, false, sr.errf("", "%d fields, want >= 11", len(f))
 	}
 	flag, err := strconv.Atoi(f[1])
 	if err != nil {
-		return reads.AlignedRead{}, false, fmt.Errorf("snpio: SAM line %d: bad FLAG %q", sr.line, f[1])
+		return reads.AlignedRead{}, false, sr.errf("FLAG", "bad FLAG %q", f[1])
 	}
 	if flag&samFlagUnmapped != 0 || f[2] == "*" {
 		return reads.AlignedRead{}, false, nil
 	}
 	pos, err := strconv.Atoi(f[3])
 	if err != nil || pos < 1 {
-		return reads.AlignedRead{}, false, fmt.Errorf("snpio: SAM line %d: bad POS %q", sr.line, f[3])
+		return reads.AlignedRead{}, false, sr.errf("POS", "bad POS %q", f[3])
 	}
 	seqStr, qualStr := f[9], f[10]
 	if seqStr == "*" || len(qualStr) != len(seqStr) {
@@ -130,7 +140,7 @@ func (sr *SAMReader) parse(text string) (reads.AlignedRead, bool, error) {
 	for i := 0; i < len(qualStr); i++ {
 		c := qualStr[i]
 		if c < qualOffset {
-			return reads.AlignedRead{}, false, fmt.Errorf("snpio: SAM line %d: bad quality character %q", sr.line, c)
+			return reads.AlignedRead{}, false, sr.errf("QUAL", "bad quality character %q", c)
 		}
 		r.Quals[i] = dna.ClampQuality(int(c) - qualOffset)
 	}

@@ -84,6 +84,8 @@ func WriteSOAP(w io.Writer, chr string, rs []reads.AlignedRead) error {
 type SOAPReader struct {
 	sc   *bufio.Scanner
 	line int
+	off  int64 // byte offset of the next line (assumes \n endings)
+	cur  int64 // byte offset of the line being parsed
 	chr  string
 }
 
@@ -107,6 +109,8 @@ func (sr *SOAPReader) Next() (reads.AlignedRead, error) {
 			return reads.AlignedRead{}, io.EOF
 		}
 		sr.line++
+		sr.cur = sr.off
+		sr.off += int64(len(sr.sc.Bytes())) + 1
 		text := strings.TrimSpace(sr.sc.Text())
 		if text == "" {
 			continue
@@ -115,27 +119,33 @@ func (sr *SOAPReader) Next() (reads.AlignedRead, error) {
 	}
 }
 
+// errf builds a positioned parse error for the line being parsed.
+func (sr *SOAPReader) errf(field, format string, args ...any) *ParseError {
+	return &ParseError{Format: "soap", Line: sr.line, Offset: sr.cur,
+		Field: field, Msg: fmt.Sprintf(format, args...)}
+}
+
 func (sr *SOAPReader) parse(text string) (reads.AlignedRead, error) {
 	f := strings.Split(text, "\t")
 	if len(f) != 8 {
-		return reads.AlignedRead{}, fmt.Errorf("snpio: line %d: %d fields, want 8", sr.line, len(f))
+		return reads.AlignedRead{}, sr.errf("", "%d fields, want 8", len(f))
 	}
 	var r reads.AlignedRead
 	idStr := strings.TrimPrefix(f[0], "read_")
 	id, err := strconv.ParseInt(idStr, 10, 64)
 	if err != nil {
-		return r, fmt.Errorf("snpio: line %d: bad read id %q", sr.line, f[0])
+		return r, sr.errf("id", "bad read id %q", f[0])
 	}
 	r.ID = id
 	seq, _ := dna.ParseSequence(f[1])
 	hits, err := strconv.Atoi(f[3])
 	if err != nil || hits < 1 || hits > 255 {
-		return r, fmt.Errorf("snpio: line %d: bad hit count %q", sr.line, f[3])
+		return r, sr.errf("hits", "bad hit count %q", f[3])
 	}
 	r.Hits = uint8(hits)
 	length, err := strconv.Atoi(f[4])
 	if err != nil || length != len(seq) || length != len(f[2]) {
-		return r, fmt.Errorf("snpio: line %d: length %q inconsistent with sequence", sr.line, f[4])
+		return r, sr.errf("length", "length %q inconsistent with sequence", f[4])
 	}
 	switch f[5] {
 	case "+":
@@ -143,12 +153,12 @@ func (sr *SOAPReader) parse(text string) (reads.AlignedRead, error) {
 	case "-":
 		r.Strand = 1
 	default:
-		return r, fmt.Errorf("snpio: line %d: bad strand %q", sr.line, f[5])
+		return r, sr.errf("strand", "bad strand %q", f[5])
 	}
 	sr.chr = f[6]
 	pos, err := strconv.Atoi(f[7])
 	if err != nil || pos < 1 {
-		return r, fmt.Errorf("snpio: line %d: bad position %q", sr.line, f[7])
+		return r, sr.errf("position", "bad position %q", f[7])
 	}
 	r.Pos = pos - 1
 
@@ -156,7 +166,7 @@ func (sr *SOAPReader) parse(text string) (reads.AlignedRead, error) {
 	for i := 0; i < length; i++ {
 		c := f[2][i]
 		if c < qualOffset {
-			return r, fmt.Errorf("snpio: line %d: bad quality character %q", sr.line, c)
+			return r, sr.errf("quality", "bad quality character %q", c)
 		}
 		quals[i] = dna.ClampQuality(int(c) - qualOffset)
 	}

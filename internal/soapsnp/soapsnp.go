@@ -11,6 +11,7 @@
 package soapsnp
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -51,6 +52,15 @@ type Config struct {
 	// byte-identical either way; the serial path remains the default so
 	// the Table I component timings are unaffected.
 	Prefetch bool
+	// Quarantine contains window-level failures instead of aborting the
+	// run, with the same semantics as gsnp.Config.Quarantine: malformed
+	// records and panicking windows are recorded in Report.Quarantined
+	// and the run continues; calibration-pass parse errors are skipped
+	// and counted. Output on the success path is unchanged.
+	Quarantine bool
+	// WindowHook, when non-nil, runs before each window's computation —
+	// the fault-injection seam (see internal/faults).
+	WindowHook func(ctx context.Context, window, start, end int) error
 }
 
 // DefaultWindow is SOAPsnp's window size from the paper's setup.
@@ -113,6 +123,17 @@ type Report struct {
 	// is set (zero otherwise): Fetch is read_site work that overlapped
 	// computation, Wait the residual blocking left in Times.Read.
 	Prefetch pipeline.PrefetchStats
+	// Quarantined lists the windows abandoned under Config.Quarantine.
+	Quarantined []pipeline.Quarantine
+	// CalSkipped counts malformed records skipped during the calibration
+	// pass under Config.Quarantine.
+	CalSkipped int
+}
+
+// Partial reports whether the run degraded: any quarantined window or
+// skipped calibration record means the output is incomplete.
+func (r *Report) Partial() bool {
+	return len(r.Quarantined) > 0 || r.CalSkipped > 0
 }
 
 // sparsityHistSize caps the non-zero histogram domain.
@@ -144,13 +165,34 @@ func (e *Engine) Tables() *bayes.Tables { return e.tables }
 // Run executes the seven-component pipeline over src, writing the result
 // table as text to w.
 func (e *Engine) Run(src pipeline.Source, w io.Writer) (*Report, error) {
+	return e.RunContext(context.Background(), src, w)
+}
+
+// RunContext is Run with cooperative cancellation: the engine checks ctx
+// at every window boundary and every ~1K input records, mirroring the GSNP
+// engine so per-task deadlines work against either engine.
+func (e *Engine) RunContext(ctx context.Context, src pipeline.Source, w io.Writer) (*Report, error) {
 	cfg := e.cfg
 	rep := &Report{Sites: len(cfg.Ref), NonZeroHist: make([]int64, sparsityHistSize)}
 
 	// Component 1: cal_p_matrix — read everything once, calibrate the
-	// score matrix, derive the log/adjust tables.
+	// score matrix, derive the log/adjust tables. Quarantine mode skips
+	// and counts malformed records here (the scan must see the whole
+	// input); window-level containment happens in pass two, where a
+	// failure has a site range to attach to.
 	t0 := time.Now()
-	cal, meanDepth, err := pipeline.CalibrationPass(src, cfg.Ref, nil)
+	calSrc := pipeline.SourceWithContext(ctx, src)
+	if cfg.Quarantine {
+		inner := calSrc
+		calSrc = pipeline.FuncSource(func() (pipeline.ReadIter, error) {
+			it, err := inner.Open()
+			if err != nil {
+				return nil, err
+			}
+			return pipeline.NewTolerantIter(it, func(pipeline.RecordError) { rep.CalSkipped++ }), nil
+		})
+	}
+	cal, meanDepth, err := pipeline.CalibrationPass(calSrc, cfg.Ref, nil)
 	if err != nil {
 		return nil, fmt.Errorf("soapsnp: cal_p_matrix: %w", err)
 	}
@@ -165,7 +207,7 @@ func (e *Engine) Run(src pipeline.Source, w io.Writer) (*Report, error) {
 	rep.Times.CalP = time.Since(t0)
 
 	// Pass two: windowed per-site computation.
-	it, err := src.Open()
+	it, err := pipeline.SourceWithContext(ctx, src).Open()
 	if err != nil {
 		return nil, fmt.Errorf("soapsnp: read_site: %w", err)
 	}
@@ -177,19 +219,31 @@ func (e *Engine) Run(src pipeline.Source, w io.Writer) (*Report, error) {
 		// read_site for window i+1 overlaps components 3-7 of window i;
 		// windows still arrive strictly in order, so output bytes are
 		// identical to the serial path. Times.Read records only the
-		// residual blocking wait.
-		pf := pipeline.NewWindowPrefetcher(win, len(cfg.Ref), cfg.Window, 1)
+		// residual blocking wait. Quarantine mode uses the resilient
+		// variant, whose producer keeps fetching past record failures.
+		var pf *pipeline.WindowPrefetcher
+		if cfg.Quarantine {
+			pf = pipeline.NewResilientWindowPrefetcher(win, len(cfg.Ref), cfg.Window, 1)
+		} else {
+			pf = pipeline.NewWindowPrefetcher(win, len(cfg.Ref), cfg.Window, 1)
+		}
 		defer pf.Stop()
 		for {
 			pw, ok := pf.Next()
 			if !ok {
 				break
 			}
-			if pw.Err != nil {
-				return nil, fmt.Errorf("soapsnp: read_site: %w", pw.Err)
-			}
-			if err := e.runWindow(pw.Reads, pw.Start, pw.End, out, rep); err != nil {
+			if err := ctx.Err(); err != nil {
 				return nil, err
+			}
+			werr := pw.Err
+			if werr == nil {
+				werr = e.windowAttempt(ctx, pw.Reads, pw.Start, pw.End, out, rep)
+			}
+			if werr != nil {
+				if ferr := e.quarantineOrFail(rep, pw.Start, pw.End, werr); ferr != nil {
+					return nil, ferr
+				}
 			}
 		}
 		rep.Prefetch = pf.Stats()
@@ -200,15 +254,20 @@ func (e *Engine) Run(src pipeline.Source, w io.Writer) (*Report, error) {
 			if end > len(cfg.Ref) {
 				end = len(cfg.Ref)
 			}
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			// Component 2: read_site.
 			t0 = time.Now()
-			rs, err := win.Reads(start, end)
-			if err != nil {
-				return nil, fmt.Errorf("soapsnp: read_site: %w", err)
-			}
+			rs, werr := win.Reads(start, end)
 			rep.Times.Read += time.Since(t0)
-			if err := e.runWindow(rs, start, end, out, rep); err != nil {
-				return nil, err
+			if werr == nil {
+				werr = e.windowAttempt(ctx, rs, start, end, out, rep)
+			}
+			if werr != nil {
+				if ferr := e.quarantineOrFail(rep, start, end, werr); ferr != nil {
+					return nil, ferr
+				}
 			}
 		}
 	}
@@ -326,6 +385,16 @@ func (e *Engine) runWindow(rs []reads.AlignedRead, start, end int, out *snpio.Re
 	// window; with the dense representation this touches every byte, the
 	// second-most expensive component of Table I.
 	t0 = time.Now()
+	e.resetWindow(n)
+	rep.Times.Recycle += time.Since(t0)
+	return nil
+}
+
+// resetWindow clears the dense per-site state for the first n sites — the
+// recycle component, also invoked after a quarantined window so that a
+// window abandoned mid-counting cannot leak observations into its
+// successor.
+func (e *Engine) resetWindow(n int) {
 	clear(e.baseOcc[:n*bayes.BaseOccSize])
 	for site := 0; site < n; site++ {
 		e.counts[site].Reset()
@@ -333,8 +402,39 @@ func (e *Engine) runWindow(rs []reads.AlignedRead, start, end int, out *snpio.Re
 			e.quals[site][b] = e.quals[site][b][:0]
 		}
 	}
-	rep.Times.Recycle += time.Since(t0)
-	return nil
+}
+
+// windowAttempt runs the window hook and components 3-7 for one window,
+// converting a panic into a *pipeline.PanicError when quarantine is
+// enabled (without quarantine, panics propagate and crash as before).
+func (e *Engine) windowAttempt(ctx context.Context, rs []reads.AlignedRead, start, end int, out *snpio.ResultWriter, rep *Report) (err error) {
+	if e.cfg.Quarantine {
+		defer func() {
+			if pe := pipeline.Recovered(recover()); pe != nil {
+				err = pe
+			}
+		}()
+	}
+	if e.cfg.WindowHook != nil {
+		if herr := e.cfg.WindowHook(ctx, start/e.cfg.Window, start, end); herr != nil {
+			return herr
+		}
+	}
+	return e.runWindow(rs, start, end, out, rep)
+}
+
+// quarantineOrFail records a containable window failure, resets the dense
+// window state the abandoned window may have half-filled, and lets the run
+// continue (nil return); non-containable failures, or any failure without
+// Config.Quarantine, come back wrapped for the caller to abort with.
+func (e *Engine) quarantineOrFail(rep *Report, start, end int, err error) error {
+	if e.cfg.Quarantine && pipeline.Containable(err) {
+		rep.Quarantined = append(rep.Quarantined,
+			pipeline.NewQuarantine(e.cfg.Chr, start/e.cfg.Window, start, end, err))
+		e.resetWindow(end - start)
+		return nil
+	}
+	return fmt.Errorf("soapsnp: window [%d,%d): %w", start, end, err)
 }
 
 // DenseLikelihood is Algorithm 1: the likelihood calculation for one site
@@ -423,6 +523,13 @@ func (e *Engine) likelihoodParallel(n int, rep *Report) {
 	}
 	hists := make([][]int64, workers)
 	var wg sync.WaitGroup
+	// A panic on a worker goroutine would crash the process — nothing on a
+	// fresh goroutine's stack recovers — defeating window quarantine.
+	// Workers trap the first panic and the dispatcher re-raises it after
+	// every worker has drained, so no shard is still writing the window
+	// buffers when the engine's containment unwinds past them.
+	var panicMu sync.Mutex
+	var panicked *pipeline.PanicError
 	chunk := (n + workers - 1) / workers
 	for wkr := 0; wkr < workers; wkr++ {
 		lo := wkr * chunk
@@ -435,7 +542,16 @@ func (e *Engine) likelihoodParallel(n int, rep *Report) {
 		}
 		wg.Add(1)
 		go func(wkr, lo, hi int) {
-			defer wg.Done()
+			defer func() {
+				if pe := pipeline.Recovered(recover()); pe != nil {
+					panicMu.Lock()
+					if panicked == nil {
+						panicked = pe
+					}
+					panicMu.Unlock()
+				}
+				wg.Done()
+			}()
 			dep := make([]uint16, 2*e.cfg.ReadLen)
 			hist := make([]int64, sparsityHistSize)
 			for site := lo; site < hi; site++ {
@@ -450,6 +566,9 @@ func (e *Engine) likelihoodParallel(n int, rep *Report) {
 		}(wkr, lo, hi)
 	}
 	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
 	for _, hist := range hists {
 		for k, c := range hist {
 			rep.NonZeroHist[k] += c
