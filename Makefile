@@ -1,15 +1,20 @@
 # CI entry points. `make ci` is the gate: vet, build, the full test
-# suite, and the race detector over every package that spawns goroutines
+# suite, the race detector over every package that spawns goroutines
 # (the scheduler, the window prefetcher and the engines that consume it,
-# and the parallel sort).
+# the parallel sort, and the gsnpd service), the service integration
+# tests against a real gsnpd binary, and a short fuzz pass over every
+# parser-facing fuzz target.
 
 GO ?= go
 
-RACE_PKGS = ./internal/pipeline ./internal/sched ./internal/gsnp ./internal/soapsnp ./internal/sortnet ./internal/faults ./internal/checkpoint
+RACE_PKGS = ./internal/pipeline ./internal/sched ./internal/gsnp ./internal/soapsnp ./internal/sortnet ./internal/faults ./internal/checkpoint ./internal/service
 
-.PHONY: ci vet build test race bench bench-json
+# Per-target budget for the fuzz smoke pass.
+FUZZ_TIME ?= 10s
 
-ci: vet build test race
+.PHONY: ci vet build test race service-e2e fuzz-smoke bench bench-json
+
+ci: vet build test race service-e2e fuzz-smoke
 
 vet:
 	$(GO) vet ./...
@@ -22,6 +27,29 @@ test:
 
 race:
 	$(GO) test -race $(RACE_PKGS)
+
+# End-to-end service checks: the in-process HTTP tests under the race
+# detector, then the black-box tests against a built gsnpd binary
+# (concurrent jobs byte-identical to serial runs, SIGTERM drain).
+service-e2e:
+	$(GO) test -race -run 'TestService' ./internal/service
+	$(GO) test -run 'TestGsnpd' .
+
+# Short fuzz pass over every fuzz target (each gets $(FUZZ_TIME)); the
+# committed corpora under testdata/fuzz/ seed the runs. `go test -fuzz`
+# takes one target per invocation, hence one line per target.
+fuzz-smoke:
+	$(GO) test -fuzz 'FuzzParseRow$$' -fuzztime $(FUZZ_TIME) ./internal/snpio
+	$(GO) test -fuzz 'FuzzSOAPReader$$' -fuzztime $(FUZZ_TIME) ./internal/snpio
+	$(GO) test -fuzz 'FuzzFASTQReader$$' -fuzztime $(FUZZ_TIME) ./internal/snpio
+	$(GO) test -fuzz 'FuzzSAMReader$$' -fuzztime $(FUZZ_TIME) ./internal/snpio
+	$(GO) test -fuzz 'FuzzBlockReader$$' -fuzztime $(FUZZ_TIME) ./internal/snpio
+	$(GO) test -fuzz 'FuzzTempReader$$' -fuzztime $(FUZZ_TIME) ./internal/snpio
+	$(GO) test -fuzz 'FuzzJobSpec$$' -fuzztime $(FUZZ_TIME) ./internal/service
+	$(GO) test -fuzz 'FuzzRLEDictDecode$$' -fuzztime $(FUZZ_TIME) ./internal/compress
+	$(GO) test -fuzz 'FuzzSparseDecode$$' -fuzztime $(FUZZ_TIME) ./internal/compress
+	$(GO) test -fuzz 'FuzzDictDecode$$' -fuzztime $(FUZZ_TIME) ./internal/compress
+	$(GO) test -fuzz 'FuzzUnpack2Bit$$' -fuzztime $(FUZZ_TIME) ./internal/compress
 
 # One pass over every paper table/figure benchmark plus the scheduler
 # benchmark; use -benchtime above 1x for stable numbers.

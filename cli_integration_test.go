@@ -22,7 +22,7 @@ var buildTools = sync.OnceValues(func() (string, error) {
 	if err != nil {
 		return "", err
 	}
-	for _, tool := range []string{"gsnp", "gsnp-gen", "gsnp-align", "gsnp-dump", "gsnp-experiments"} {
+	for _, tool := range []string{"gsnp", "gsnp-gen", "gsnp-align", "gsnp-dump", "gsnp-experiments", "gsnpd"} {
 		cmd := exec.Command("go", "build", "-o", filepath.Join(dir, tool), "./cmd/"+tool)
 		out, err := cmd.CombinedOutput()
 		if err != nil {

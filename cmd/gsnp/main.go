@@ -44,7 +44,6 @@
 package main
 
 import (
-	"compress/gzip"
 	"context"
 	"errors"
 	"flag"
@@ -52,39 +51,29 @@ import (
 	"io"
 	"os"
 	"path/filepath"
-	"sort"
 	"strings"
 	"time"
 
 	"gsnp/internal/checkpoint"
 	"gsnp/internal/faults"
-	"gsnp/internal/gpu"
+	"gsnp/internal/genomejob"
 	"gsnp/internal/gsnp"
 	"gsnp/internal/pipeline"
-	"gsnp/internal/reads"
 	"gsnp/internal/sched"
-	"gsnp/internal/snpio"
-	"gsnp/internal/soapsnp"
 )
 
-// options carries the parsed command line.
+// options carries the parsed command line. The engine configuration lives
+// in genomejob.Options — the decomposition/dispatch package shared with
+// the gsnpd service — so the CLI and the server run one code path.
 type options struct {
-	engine         string
-	format         string
-	window         int
-	workers        int
-	computeWorkers int
-	prefetch       bool
-	compress       bool
-	stats          bool
+	call    genomejob.Options
+	workers int
 
 	retries       int
 	retryBackoff  time.Duration
 	taskTimeout   time.Duration
-	quarantine    bool
 	resume        bool
 	failureReport string
-	injector      *faults.Injector
 }
 
 // errPartial marks a run that produced usable output alongside failures:
@@ -132,30 +121,33 @@ func run() error {
 	flag.Parse()
 
 	opts := options{
-		engine: *engine, format: *format, window: *window,
-		workers: *workers, computeWorkers: *computeW,
-		prefetch: *prefetch, compress: *compress, stats: *stats,
+		call: genomejob.Options{
+			Engine: *engine, Format: *format, Window: *window,
+			ComputeWorkers: *computeW, Prefetch: *prefetch,
+			Compress: *compress, Stats: *stats, Quarantine: *quarantine,
+		},
+		workers: *workers,
 		retries: *retries, retryBackoff: *backoff, taskTimeout: *taskTO,
-		quarantine: *quarantine, resume: *resume, failureReport: *failReport,
+		resume: *resume, failureReport: *failReport,
 	}
 	if *faultSpec != "" {
 		inj, err := faults.Parse(*faultSpec)
 		if err != nil {
 			return err
 		}
-		opts.injector = inj
+		opts.call.Injector = inj
 	}
-	switch opts.engine {
+	switch opts.call.Engine {
 	case "soapsnp":
-		if opts.compress {
+		if opts.call.Compress {
 			return fmt.Errorf("-compress requires a gsnp engine")
 		}
 	case "gsnp-cpu", "gsnp-gpu":
 	default:
-		return fmt.Errorf("unknown engine %q", opts.engine)
+		return fmt.Errorf("unknown engine %q", opts.call.Engine)
 	}
-	if opts.format != "soap" && opts.format != "sam" {
-		return fmt.Errorf("unknown alignment format %q", opts.format)
+	if opts.call.Format != "soap" && opts.call.Format != "sam" {
+		return fmt.Errorf("unknown alignment format %q", opts.call.Format)
 	}
 
 	if *genomeDir != "" {
@@ -181,34 +173,26 @@ func run() error {
 		ctx, cancel = context.WithTimeout(ctx, opts.taskTimeout)
 		defer cancel()
 	}
-	res, err := callOne(ctx, *refPath, *alnPath, *snpPath, out, os.Stderr, opts, nil)
+	unit := genomejob.Unit{Name: filepath.Base(*refPath), Ref: *refPath, Aln: *alnPath, SNP: *snpPath}
+	res, err := genomejob.Call(ctx, opts.call, unit, out, os.Stderr, nil)
 	if err != nil {
 		return err
 	}
-	if res.partial() {
-		for _, q := range res.quarantined {
+	if res.Partial() {
+		for _, q := range res.Quarantined {
 			fmt.Fprintf(os.Stderr, "gsnp: quarantined %v\n", q)
 		}
 		return fmt.Errorf("%w: %d window(s) quarantined, %d calibration record(s) skipped",
-			errPartial, len(res.quarantined), res.calSkipped)
+			errPartial, len(res.Quarantined), res.CalSkipped)
 	}
 	return nil
 }
-
-// callResult is what one chromosome's engine run reports back.
-type callResult struct {
-	sites       int
-	calSkipped  int
-	quarantined []pipeline.Quarantine
-}
-
-func (r callResult) partial() bool { return len(r.quarantined) > 0 || r.calSkipped > 0 }
 
 // chrOutput is one chromosome's buffered result in genome mode.
 type chrOutput struct {
 	outPath string
 	diag    string // buffered -stats diagnostics, printed in input order
-	res     callResult
+	res     genomejob.Result
 }
 
 // runGenome processes every chromosome of a directory — the 24-file
@@ -225,19 +209,14 @@ type chrOutput struct {
 // and the run as a whole returns errPartial (exit code 2) when usable
 // output coexists with failures.
 func runGenome(dir string, opts options) error {
-	fas, err := filepath.Glob(filepath.Join(dir, "*.fa"))
+	units, skipped, err := genomejob.Discover(dir, opts.call)
 	if err != nil {
 		return err
 	}
-	if len(fas) == 0 {
-		return fmt.Errorf("no .fa files in %s", dir)
+	for _, sk := range skipped {
+		fmt.Fprintf(os.Stderr, "gsnp: skipping %s: no alignment file %s\n", sk.Ref, sk.Aln)
 	}
-	sort.Strings(fas)
-	suffix := ".result"
-	if opts.compress {
-		suffix = ".result.gsnp"
-	}
-	fingerprint := checkpoint.Fingerprint(opts.engine, opts.format, opts.window, opts.compress)
+	fingerprint := checkpoint.Fingerprint(opts.call.Engine, opts.call.Format, opts.call.Window, opts.call.Compress)
 	cp, err := checkpoint.NewWriter(checkpoint.Path(dir), fingerprint, opts.resume)
 	if err != nil {
 		return err
@@ -245,24 +224,11 @@ func runGenome(dir string, opts options) error {
 
 	// taskRep[i] is the report slot of tasks[i]; checkpoint-skipped
 	// chromosomes get their report entry up front and never enter the pool.
-	reports := make([]checkpoint.TaskReport, 0, len(fas))
+	reports := make([]checkpoint.TaskReport, 0, len(units))
 	var taskRep []int
 	var tasks []sched.LocalTask[chrOutput, *gsnp.Arena]
-	for _, fa := range fas {
-		base := strings.TrimSuffix(fa, ".fa")
-		aln := base + "." + opts.format
-		if opts.format == "soap" {
-			aln = base + ".soap"
-		}
-		if _, err := os.Stat(aln); err != nil {
-			fmt.Fprintf(os.Stderr, "gsnp: skipping %s: no alignment file %s\n", fa, aln)
-			continue
-		}
-		snp := base + ".snp"
-		if _, err := os.Stat(snp); err != nil {
-			snp = ""
-		}
-		name := filepath.Base(fa)
+	for _, unit := range units {
+		name := unit.Name
 		if e, ok := cp.Done(name); ok {
 			fmt.Fprintf(os.Stderr, "gsnp: %s: skipped (checkpoint: %s)\n", name, e.Output)
 			reports = append(reports, checkpoint.TaskReport{
@@ -271,30 +237,30 @@ func runGenome(dir string, opts options) error {
 		}
 		reports = append(reports, checkpoint.TaskReport{Name: name})
 		taskRep = append(taskRep, len(reports)-1)
-		fa, outPath := fa, base+suffix
+		unit := unit
 		tasks = append(tasks, sched.LocalTask[chrOutput, *gsnp.Arena]{
 			Name: name,
 			Run: func(ctx context.Context, arena *gsnp.Arena) (chrOutput, error) {
 				var diag strings.Builder
-				f, err := os.Create(outPath)
+				f, err := os.Create(unit.OutPath)
 				if err != nil {
 					return chrOutput{}, err
 				}
-				res, err := callOne(ctx, fa, aln, snp, f, &diag, opts, arena)
+				res, err := genomejob.Call(ctx, opts.call, unit, f, &diag, arena)
 				if cerr := f.Close(); err == nil {
 					err = cerr
 				}
-				out := chrOutput{outPath: outPath, diag: diag.String(), res: res}
+				out := chrOutput{outPath: unit.OutPath, diag: diag.String(), res: res}
 				if err != nil {
 					// Leave no half-written output behind: a later -resume
 					// must recompute this chromosome from scratch.
-					os.Remove(outPath)
+					os.Remove(unit.OutPath)
 					return out, err
 				}
 				// Degraded completions stay on disk but are never
 				// checkpointed, so -resume recomputes them.
-				if !res.partial() {
-					if cerr := cp.Complete(name, outPath, res.sites); cerr != nil {
+				if !res.Partial() {
+					if cerr := cp.Complete(name, unit.OutPath, res.Sites); cerr != nil {
 						return out, cerr
 					}
 				}
@@ -342,31 +308,31 @@ func runGenome(dir string, opts options) error {
 				fmt.Fprint(os.Stderr, r.Value.diag)
 			}
 			rep.Output = filepath.Base(r.Value.outPath)
-			rep.Sites = r.Value.res.sites
-			rep.CalSkipped = r.Value.res.calSkipped
-			rep.Quarantined = r.Value.res.quarantined
+			rep.Sites = r.Value.res.Sites
+			rep.CalSkipped = r.Value.res.CalSkipped
+			rep.Quarantined = r.Value.res.Quarantined
 			line := fmt.Sprintf("gsnp: %s -> %s", r.Name, filepath.Base(r.Value.outPath))
-			if r.Value.res.partial() {
+			if r.Value.res.Partial() {
 				partialN++
-				quarantinedN += len(r.Value.res.quarantined)
+				quarantinedN += len(r.Value.res.Quarantined)
 				rep.Status = checkpoint.StatusPartial
 				line += fmt.Sprintf(" [PARTIAL: %d window(s) quarantined, %d calibration record(s) skipped]",
-					len(r.Value.res.quarantined), r.Value.res.calSkipped)
-				for _, q := range r.Value.res.quarantined {
+					len(r.Value.res.Quarantined), r.Value.res.CalSkipped)
+				for _, q := range r.Value.res.Quarantined {
 					fmt.Fprintf(os.Stderr, "gsnp: quarantined %v\n", q)
 				}
 			} else {
 				okN++
 				rep.Status = checkpoint.StatusOK
 			}
-			if opts.stats {
+			if opts.call.Stats {
 				line += fmt.Sprintf(" (worker %d, %v, %s)",
-					r.Worker, r.Wall.Round(time.Millisecond), siteRate(r.Value.res.sites, r.Wall))
+					r.Worker, r.Wall.Round(time.Millisecond), siteRate(r.Value.res.Sites, r.Wall))
 			}
 			fmt.Fprintln(os.Stderr, line)
 		}
 	}
-	if opts.stats {
+	if opts.call.Stats {
 		fmt.Fprintf(os.Stderr, "gsnp: scheduler: %d workers ran %d chromosomes in %v (task time %v, speedup %.2fx, longest %s %v)\n",
 			stats.Workers, stats.Ran, stats.Wall.Round(time.Millisecond),
 			stats.TaskWall.Round(time.Millisecond), stats.Speedup(),
@@ -397,170 +363,4 @@ func siteRate(sites int, wall time.Duration) string {
 		return "n/a"
 	}
 	return fmt.Sprintf("%.2f Msites/s", float64(sites)/wall.Seconds()/1e6)
-}
-
-// callOne runs one chromosome through the selected engine, writing result
-// rows to out and diagnostics to diag. arena, when non-nil, supplies the
-// recycled window working set (gsnp engines only).
-func callOne(ctx context.Context, refPath, alnPath, snpPath string, out, diag io.Writer, opts options, arena *gsnp.Arena) (callResult, error) {
-	var zero callResult
-	refFile, err := os.Open(refPath)
-	if err != nil {
-		return zero, err
-	}
-	recs, err := snpio.ReadFASTA(refFile)
-	if cerr := refFile.Close(); err == nil {
-		err = cerr
-	}
-	if err != nil {
-		return zero, err
-	}
-	if len(recs) != 1 {
-		return zero, fmt.Errorf("reference must hold exactly one sequence, found %d", len(recs))
-	}
-	ref := recs[0]
-
-	var known snpio.KnownSNPs
-	if snpPath != "" {
-		f, err := os.Open(snpPath)
-		if err != nil {
-			return zero, err
-		}
-		all, err := snpio.ReadKnownSNPs(f)
-		if cerr := f.Close(); err == nil {
-			err = cerr
-		}
-		if err != nil {
-			return zero, err
-		}
-		known = all[ref.Name]
-	}
-
-	// The pipeline reads its input twice (cal_p_matrix, then the windowed
-	// pass); the source reopens the alignment file per pass. Files ending
-	// in .gz are decompressed transparently.
-	var src pipeline.Source = pipeline.FuncSource(func() (pipeline.ReadIter, error) {
-		f, err := os.Open(alnPath)
-		if err != nil {
-			return nil, err
-		}
-		it := &fileIter{f: f}
-		var r io.Reader = f
-		if strings.HasSuffix(alnPath, ".gz") {
-			zr, err := gzip.NewReader(f)
-			if err != nil {
-				f.Close()
-				return nil, err
-			}
-			it.zr = zr
-			r = zr
-		}
-		if opts.format == "sam" {
-			it.it = snpio.NewSAMReader(r)
-		} else {
-			it.it = snpio.NewSOAPReader(r)
-		}
-		return it, nil
-	})
-
-	// Fault injection (testing): each chromosome is an injector stream, so
-	// schedules are deterministic per chromosome regardless of worker
-	// interleaving; the stream also provides the engine's window hook.
-	var hook func(ctx context.Context, window, start, end int) error
-	if opts.injector != nil {
-		st := opts.injector.Stream(ref.Name)
-		src = st.WrapSource(src)
-		hook = st.WindowHook
-	}
-
-	switch opts.engine {
-	case "soapsnp":
-		eng := soapsnp.New(soapsnp.Config{
-			Chr: ref.Name, Ref: ref.Seq, Known: known,
-			Window: opts.window, Prefetch: opts.prefetch,
-			Quarantine: opts.quarantine, WindowHook: hook,
-		})
-		rep, err := eng.RunContext(ctx, src, out)
-		if err != nil {
-			return zero, err
-		}
-		if opts.stats {
-			fmt.Fprintf(diag, "soapsnp: %d sites, %d SNPs, mean depth %.1fX\n%v\n",
-				rep.Sites, rep.SNPs, rep.MeanDepth, rep.Times)
-			if opts.prefetch {
-				fmt.Fprintf(diag, "prefetch: %v\n", rep.Prefetch)
-			}
-		}
-		return callResult{sites: rep.Sites, calSkipped: rep.CalSkipped, quarantined: rep.Quarantined}, nil
-	default: // gsnp-cpu, gsnp-gpu
-		cfg := gsnp.Config{
-			Chr: ref.Name, Ref: ref.Seq, Known: known,
-			Window: opts.window, CompressOutput: opts.compress,
-			Prefetch: opts.prefetch, ComputeWorkers: opts.computeWorkers,
-			Arena:      arena,
-			Quarantine: opts.quarantine, WindowHook: hook,
-		}
-		if opts.engine == "gsnp-gpu" {
-			cfg.Mode = gsnp.ModeGPU
-			// One device per call: chromosomes scheduled concurrently in
-			// genome mode must not share simulated-device state.
-			cfg.Device = gpu.NewDevice(gpu.M2050())
-		} else {
-			cfg.Mode = gsnp.ModeCPU
-		}
-		eng, err := gsnp.New(cfg)
-		if err != nil {
-			return zero, err
-		}
-		rep, err := eng.RunContext(ctx, src, out)
-		if err != nil {
-			return zero, err
-		}
-		if opts.stats {
-			fmt.Fprintf(diag, "%s: %d sites, %d SNPs, mean depth %.1fX, %d output bytes\n%v\n",
-				opts.engine, rep.Sites, rep.SNPs, rep.MeanDepth, rep.OutputBytes, rep.Times)
-			if opts.prefetch {
-				fmt.Fprintf(diag, "prefetch: %v\n", rep.Prefetch)
-			}
-			if cfg.Device != nil {
-				fmt.Fprintf(diag, "\nsimulated device profile (%s):\n%s",
-					cfg.Device.Config().Name, cfg.Device.FormatProfile())
-			}
-		}
-		return callResult{sites: rep.Sites, calSkipped: rep.CalSkipped, quarantined: rep.Quarantined}, nil
-	}
-}
-
-// fileIter adapts an alignment reader over an open file to
-// pipeline.ReadIter, closing the decompressor (for .gz inputs) and the
-// file when the stream ends — at EOF or on any stream-fatal read error, so
-// an aborted pass doesn't leak the descriptor. Record-scoped parse errors
-// leave the stream open: quarantine mode skips the record and keeps
-// reading. A close failure surfaces instead of EOF so truncated gzip
-// streams are reported rather than silently accepted.
-type fileIter struct {
-	f  *os.File
-	zr *gzip.Reader
-	it pipeline.ReadIter
-}
-
-func (it *fileIter) Next() (reads.AlignedRead, error) {
-	r, err := it.it.Next()
-	if err != nil && it.f != nil {
-		var re pipeline.RecordError
-		if errors.As(err, &re) {
-			return r, err
-		}
-		if it.zr != nil {
-			if cerr := it.zr.Close(); cerr != nil && err == io.EOF {
-				err = cerr
-			}
-			it.zr = nil
-		}
-		if cerr := it.f.Close(); cerr != nil && err == io.EOF {
-			err = cerr
-		}
-		it.f = nil
-	}
-	return r, err
 }

@@ -1,0 +1,126 @@
+// Command gsnpd is the long-running multi-genome calling service: the
+// gsnp -genome-dir batch mode grown into a server. It accepts
+// genome-calling jobs over HTTP/JSON, decomposes each into
+// per-chromosome tasks, shards all active jobs' tasks across one shared
+// worker pool with round-robin fairness across jobs (a 24-chromosome
+// whole genome cannot starve a single-chromosome request), and streams
+// per-chromosome results back as they complete.
+//
+// Usage:
+//
+//	gsnpd [-addr 127.0.0.1:8844] [-workers N] [-retries N]
+//	      [-retry-backoff D] [-task-timeout D] [-spool DIR]
+//	      [-drain-timeout D]
+//
+// API:
+//
+//	POST   /jobs              submit a job; body: {"genome_dir": "/data"}
+//	                          or {"inputs": [{"name","ref","aln"}, ...]},
+//	                          plus engine options (engine, format, window,
+//	                          compress, quarantine, ...)
+//	GET    /jobs              list jobs
+//	GET    /jobs/{id}         job status with per-chromosome outcomes
+//	GET    /jobs/{id}/stream  NDJSON stream of per-chromosome results
+//	DELETE /jobs/{id}         cancel a job (others are unaffected)
+//	GET    /healthz           liveness and drain state
+//
+// On SIGTERM/SIGINT the server drains gracefully: new submissions get
+// 503, running jobs finish (bounded by -drain-timeout), streams deliver
+// their final records, then the process exits 0. A second signal forces
+// immediate cancellation of every job.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"gsnp/internal/service"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "gsnpd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:8844", "listen address (host:port; port 0 picks a free port)")
+		workers = flag.Int("workers", 0, "shared worker pool size (0 = GOMAXPROCS)")
+		retries = flag.Int("retries", 0, "re-run a failed chromosome up to N times (exponential backoff)")
+		backoff = flag.Duration("retry-backoff", 100*time.Millisecond, "base delay between retries of a failed chromosome")
+		taskTO  = flag.Duration("task-timeout", 0, "per-chromosome deadline (0 = none)")
+		spool   = flag.String("spool", "", "directory for uploaded job inputs (default: a temp dir)")
+		drainTO = flag.Duration("drain-timeout", 10*time.Minute, "how long graceful shutdown waits for running jobs")
+	)
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "gsnpd: ", log.LstdFlags)
+	srv, err := service.New(service.Config{
+		Workers:      *workers,
+		Retries:      *retries,
+		RetryBackoff: *backoff,
+		TaskTimeout:  *taskTO,
+		SpoolDir:     *spool,
+		Logf:         logger.Printf,
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	// The listening line goes to stdout so scripts (and the integration
+	// test) can discover the bound port under -addr :0.
+	fmt.Printf("gsnpd: listening on http://%s\n", ln.Addr())
+
+	hs := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case err := <-serveErr:
+		srv.Close()
+		return err
+	case s := <-sig:
+		logger.Printf("received %v, draining (new jobs rejected; %v deadline)", s, *drainTO)
+	}
+
+	// A second signal forces shutdown: every job is cancelled and the
+	// drain below completes promptly.
+	go func() {
+		s := <-sig
+		logger.Printf("received second %v, forcing shutdown", s)
+		srv.Close()
+	}()
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTO)
+	defer cancel()
+	drainErr := srv.Drain(drainCtx)
+
+	// Let attached streams read their final records before the listener
+	// goes away.
+	shutCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	if err := hs.Shutdown(shutCtx); err != nil {
+		hs.Close()
+	}
+	if drainErr != nil {
+		return fmt.Errorf("drain: %w", drainErr)
+	}
+	logger.Printf("drained cleanly")
+	return nil
+}

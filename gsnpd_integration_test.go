@@ -1,0 +1,260 @@
+package gsnp_test
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// gsnpdStreamRecord mirrors service.StreamRecord for the black-box test
+// (decoded from the wire, not imported, so the test pins the JSON shape).
+type gsnpdStreamRecord struct {
+	Job       string `json:"job"`
+	Index     int    `json:"index"`
+	Name      string `json:"name"`
+	State     string `json:"state"`
+	Sites     int    `json:"sites"`
+	Error     string `json:"error"`
+	OutputB64 []byte `json:"output_b64"`
+	Final     bool   `json:"final"`
+}
+
+// startGsnpd launches the daemon on a kernel-assigned port and parses the
+// bound address from its "listening on" line. The returned cleanup kills
+// the process if it is still running.
+func startGsnpd(t *testing.T, args ...string) (*exec.Cmd, string, *bytes.Buffer) {
+	t.Helper()
+	bin, err := buildTools()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(filepath.Join(bin, "gsnpd"),
+		append([]string{"-addr", "127.0.0.1:0"}, args...)...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if cmd.ProcessState == nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	})
+
+	lines := bufio.NewScanner(stdout)
+	base := ""
+	for lines.Scan() {
+		if _, after, ok := strings.Cut(lines.Text(), "listening on "); ok {
+			base = strings.TrimSpace(after)
+			break
+		}
+	}
+	if base == "" {
+		cmd.Process.Kill()
+		cmd.Wait()
+		t.Fatalf("gsnpd never printed its listening line\nstderr:\n%s", stderr.String())
+	}
+	go io.Copy(io.Discard, stdout) // keep the pipe drained
+	return cmd, base, &stderr
+}
+
+// gsnpdSubmit posts a genome-dir job and returns its id.
+func gsnpdSubmit(t *testing.T, base, dir string) string {
+	t.Helper()
+	body := fmt.Sprintf(`{"genome_dir":%q,"engine":"gsnp-cpu","window":256}`, dir)
+	resp, err := http.Post(base+"/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /jobs: %d %s", resp.StatusCode, data)
+	}
+	var st struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(data, &st); err != nil || st.ID == "" {
+		t.Fatalf("bad job status %s: %v", data, err)
+	}
+	return st.ID
+}
+
+// gsnpdStream reads a job's NDJSON stream to its final record.
+func gsnpdStream(t *testing.T, base, id string) (map[string][]byte, string) {
+	t.Helper()
+	resp, err := http.Get(base + "/jobs/" + id + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out := make(map[string][]byte)
+	dec := json.NewDecoder(resp.Body)
+	for {
+		var rec gsnpdStreamRecord
+		if err := dec.Decode(&rec); err != nil {
+			t.Fatalf("stream %s truncated: %v", id, err)
+		}
+		if rec.Final {
+			return out, rec.State
+		}
+		if rec.State != "ok" {
+			t.Fatalf("chromosome %s: state %s (%s)", rec.Name, rec.State, rec.Error)
+		}
+		out[rec.Name] = rec.OutputB64
+	}
+}
+
+// TestGsnpdServiceEndToEnd is the binary-level acceptance scenario: a real
+// gsnpd process serves two concurrently submitted whole-genome jobs whose
+// streamed per-chromosome bytes must be identical to serial gsnp CLI runs,
+// then drains cleanly on SIGTERM and exits 0.
+func TestGsnpdServiceEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("service integration in -short mode")
+	}
+	// Two genome dirs; the serial gsnp CLI writes <chr>.result baselines
+	// into each.
+	dirA, dirB := t.TempDir(), t.TempDir()
+	run(t, "gsnp-gen", "-out", dirA, "-genome", "-scale", "12", "-seed", "301")
+	run(t, "gsnp-gen", "-out", dirB, "-genome", "-scale", "6", "-seed", "302")
+	run(t, "gsnp", "-genome-dir", dirA, "-engine", "gsnp-cpu", "-window", "256", "-workers", "1")
+	run(t, "gsnp", "-genome-dir", dirB, "-engine", "gsnp-cpu", "-window", "256", "-workers", "1")
+
+	cmd, base, stderr := startGsnpd(t, "-workers", "4")
+
+	// Health answers before any job exists.
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	idA := gsnpdSubmit(t, base, dirA)
+	idB := gsnpdSubmit(t, base, dirB)
+
+	var wg sync.WaitGroup
+	streams := make([]map[string][]byte, 2)
+	states := make([]string, 2)
+	for i, id := range []string{idA, idB} {
+		wg.Add(1)
+		go func(i int, id string) {
+			defer wg.Done()
+			streams[i], states[i] = gsnpdStream(t, base, id)
+		}(i, id)
+	}
+	wg.Wait()
+
+	for i, dir := range []string{dirA, dirB} {
+		if states[i] != "done" {
+			t.Fatalf("job %d final state %q, want done", i, states[i])
+		}
+		baselines, err := filepath.Glob(filepath.Join(dir, "*.result"))
+		if err != nil || len(baselines) == 0 {
+			t.Fatalf("no serial baselines in %s: %v", dir, err)
+		}
+		if len(streams[i]) != len(baselines) {
+			t.Fatalf("job %d streamed %d chromosomes, want %d", i, len(streams[i]), len(baselines))
+		}
+		for _, b := range baselines {
+			// Stream records carry the scheduler's task name: the .fa
+			// file's base name.
+			name := strings.TrimSuffix(filepath.Base(b), ".result") + ".fa"
+			want, err := os.ReadFile(b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, ok := streams[i][name]
+			if !ok {
+				t.Fatalf("job %d: chromosome %s missing from stream", i, name)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("job %d %s: streamed bytes differ from the serial gsnp run", i, name)
+			}
+		}
+	}
+
+	// Graceful shutdown: SIGTERM drains and the process exits 0.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("gsnpd exit after SIGTERM: %v\nstderr:\n%s", err, stderr.String())
+		}
+	case <-time.After(time.Minute):
+		cmd.Process.Kill()
+		t.Fatalf("gsnpd did not exit within a minute of SIGTERM\nstderr:\n%s", stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "drained cleanly") {
+		t.Errorf("gsnpd stderr misses the drain confirmation:\n%s", stderr.String())
+	}
+}
+
+// TestGsnpdRejectsWhileDraining: a job submitted after SIGTERM gets 503
+// while an in-flight job still completes.
+func TestGsnpdRejectsWhileDraining(t *testing.T) {
+	if testing.Short() {
+		t.Skip("service integration in -short mode")
+	}
+	dir := t.TempDir()
+	run(t, "gsnp-gen", "-out", dir, "-genome", "-scale", "8", "-seed", "303")
+
+	cmd, base, stderr := startGsnpd(t, "-workers", "1")
+	id := gsnpdSubmit(t, base, dir)
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+
+	// Once draining is visible, new submissions are refused.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Post(base+"/jobs", "application/json",
+			strings.NewReader(fmt.Sprintf(`{"genome_dir":%q}`, dir)))
+		if err != nil {
+			break // listener may already be down post-drain; the exit check decides
+		}
+		code := resp.StatusCode
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if code == http.StatusServiceUnavailable {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("submission during drain returned %d, want 503", code)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("gsnpd exit: %v\nstderr:\n%s", err, stderr.String())
+		}
+	case <-time.After(time.Minute):
+		cmd.Process.Kill()
+		t.Fatalf("gsnpd did not drain job %s within a minute\nstderr:\n%s", id, stderr.String())
+	}
+}

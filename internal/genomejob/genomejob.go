@@ -1,0 +1,321 @@
+// Package genomejob is the shared decomposition of a genome-calling job
+// into per-chromosome work units, used by both the gsnp CLI's -genome-dir
+// batch mode and the gsnpd service. A job is a set of <name>.fa/<name>.aln
+// pairs (the paper's production layout: 24 separate chromosome data sets);
+// each pair becomes one Unit, and Call runs one Unit through the selected
+// engine. Keeping discovery and engine dispatch here guarantees the CLI
+// and the service produce byte-identical output for the same inputs.
+package genomejob
+
+import (
+	"compress/gzip"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"gsnp/internal/faults"
+	"gsnp/internal/gpu"
+	"gsnp/internal/gsnp"
+	"gsnp/internal/pipeline"
+	"gsnp/internal/reads"
+	"gsnp/internal/snpio"
+	"gsnp/internal/soapsnp"
+)
+
+// Options selects the engine configuration shared by every unit of a job.
+type Options struct {
+	// Engine is soapsnp, gsnp-cpu or gsnp-gpu.
+	Engine string
+	// Format is the alignment format: soap or sam.
+	Format string
+	// Window is sites per window (0 = engine default).
+	Window int
+	// ComputeWorkers shards likelihood/posterior within a window
+	// (gsnp-cpu; 0 = GOMAXPROCS).
+	ComputeWorkers int
+	// Prefetch overlaps window read I/O with computation.
+	Prefetch bool
+	// Compress writes the GSNP compressed container (gsnp engines only).
+	Compress bool
+	// Quarantine contains malformed records and panicking windows instead
+	// of aborting the unit.
+	Quarantine bool
+	// Stats writes per-component timing diagnostics to Call's diag writer.
+	Stats bool
+	// Injector injects deterministic failures (testing; see internal/faults).
+	Injector *faults.Injector
+}
+
+// Validate rejects unknown engine/format combinations with the same rules
+// the CLI has always enforced.
+func (o *Options) Validate() error {
+	switch o.Engine {
+	case "soapsnp":
+		if o.Compress {
+			return fmt.Errorf("compress requires a gsnp engine")
+		}
+	case "gsnp-cpu", "gsnp-gpu":
+	default:
+		return fmt.Errorf("unknown engine %q", o.Engine)
+	}
+	if o.Format != "soap" && o.Format != "sam" {
+		return fmt.Errorf("unknown alignment format %q", o.Format)
+	}
+	if o.Window < 0 {
+		return fmt.Errorf("negative window %d", o.Window)
+	}
+	return nil
+}
+
+// OutSuffix is the output-file suffix the options imply (.result, or
+// .result.gsnp for compressed containers).
+func (o *Options) OutSuffix() string {
+	if o.Compress {
+		return ".result.gsnp"
+	}
+	return ".result"
+}
+
+// Unit is one chromosome's work: the input files and the output path a
+// batch run would write. Name identifies the unit in reports (the .fa
+// file's base name, matching the scheduler task names the CLI has always
+// printed).
+type Unit struct {
+	Name string
+	// Ref, Aln and SNP are input paths; SNP may be empty.
+	Ref, Aln, SNP string
+	// OutPath is where a batch run writes this unit's result (derived from
+	// Ref and Options.OutSuffix; the service ignores it and streams bytes
+	// instead).
+	OutPath string
+}
+
+// Skipped records a reference file Discover could not pair with an
+// alignment file.
+type Skipped struct {
+	Ref, Aln string
+}
+
+// Discover scans dir for <name>.fa references, pairing each with its
+// <name>.<format> alignment file and optional <name>.snp priors. Units
+// come back sorted by reference path — the deterministic input order the
+// scheduler's guarantees are anchored to. References with no alignment
+// file are returned in skipped rather than failing the whole job.
+func Discover(dir string, o Options) (units []Unit, skipped []Skipped, err error) {
+	fas, err := filepath.Glob(filepath.Join(dir, "*.fa"))
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(fas) == 0 {
+		return nil, nil, fmt.Errorf("no .fa files in %s", dir)
+	}
+	sort.Strings(fas)
+	for _, fa := range fas {
+		base := strings.TrimSuffix(fa, ".fa")
+		aln := base + "." + o.Format
+		if o.Format == "soap" {
+			aln = base + ".soap"
+		}
+		if _, err := os.Stat(aln); err != nil {
+			skipped = append(skipped, Skipped{Ref: fa, Aln: aln})
+			continue
+		}
+		snp := base + ".snp"
+		if _, err := os.Stat(snp); err != nil {
+			snp = ""
+		}
+		units = append(units, Unit{
+			Name:    filepath.Base(fa),
+			Ref:     fa,
+			Aln:     aln,
+			SNP:     snp,
+			OutPath: base + o.OutSuffix(),
+		})
+	}
+	return units, skipped, nil
+}
+
+// Result is what one unit's engine run reports back.
+type Result struct {
+	// Sites is the number of reference sites processed.
+	Sites int
+	// CalSkipped counts calibration records skipped under quarantine.
+	CalSkipped int
+	// Quarantined lists the windows quarantine mode contained.
+	Quarantined []pipeline.Quarantine
+}
+
+// Partial reports whether the unit completed degraded: output exists but
+// some windows or calibration records were lost to quarantine.
+func (r Result) Partial() bool { return len(r.Quarantined) > 0 || r.CalSkipped > 0 }
+
+// Call runs one unit through the selected engine, writing result rows to
+// out and (with Options.Stats) diagnostics to diag. arena, when non-nil,
+// supplies the recycled window working set (gsnp engines only).
+func Call(ctx context.Context, o Options, u Unit, out, diag io.Writer, arena *gsnp.Arena) (Result, error) {
+	var zero Result
+	refFile, err := os.Open(u.Ref)
+	if err != nil {
+		return zero, err
+	}
+	recs, err := snpio.ReadFASTA(refFile)
+	if cerr := refFile.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return zero, err
+	}
+	if len(recs) != 1 {
+		return zero, fmt.Errorf("reference must hold exactly one sequence, found %d", len(recs))
+	}
+	ref := recs[0]
+
+	var known snpio.KnownSNPs
+	if u.SNP != "" {
+		f, err := os.Open(u.SNP)
+		if err != nil {
+			return zero, err
+		}
+		all, err := snpio.ReadKnownSNPs(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return zero, err
+		}
+		known = all[ref.Name]
+	}
+
+	// The pipeline reads its input twice (cal_p_matrix, then the windowed
+	// pass); the source reopens the alignment file per pass. Files ending
+	// in .gz are decompressed transparently.
+	var src pipeline.Source = pipeline.FuncSource(func() (pipeline.ReadIter, error) {
+		f, err := os.Open(u.Aln)
+		if err != nil {
+			return nil, err
+		}
+		it := &fileIter{f: f}
+		var r io.Reader = f
+		if strings.HasSuffix(u.Aln, ".gz") {
+			zr, err := gzip.NewReader(f)
+			if err != nil {
+				f.Close()
+				return nil, err
+			}
+			it.zr = zr
+			r = zr
+		}
+		if o.Format == "sam" {
+			it.it = snpio.NewSAMReader(r)
+		} else {
+			it.it = snpio.NewSOAPReader(r)
+		}
+		return it, nil
+	})
+
+	// Fault injection (testing): each chromosome is an injector stream, so
+	// schedules are deterministic per chromosome regardless of worker
+	// interleaving; the stream also provides the engine's window hook.
+	var hook func(ctx context.Context, window, start, end int) error
+	if o.Injector != nil {
+		st := o.Injector.Stream(ref.Name)
+		src = st.WrapSource(src)
+		hook = st.WindowHook
+	}
+
+	switch o.Engine {
+	case "soapsnp":
+		eng := soapsnp.New(soapsnp.Config{
+			Chr: ref.Name, Ref: ref.Seq, Known: known,
+			Window: o.Window, Prefetch: o.Prefetch,
+			Quarantine: o.Quarantine, WindowHook: hook,
+		})
+		rep, err := eng.RunContext(ctx, src, out)
+		if err != nil {
+			return zero, err
+		}
+		if o.Stats {
+			fmt.Fprintf(diag, "soapsnp: %d sites, %d SNPs, mean depth %.1fX\n%v\n",
+				rep.Sites, rep.SNPs, rep.MeanDepth, rep.Times)
+			if o.Prefetch {
+				fmt.Fprintf(diag, "prefetch: %v\n", rep.Prefetch)
+			}
+		}
+		return Result{Sites: rep.Sites, CalSkipped: rep.CalSkipped, Quarantined: rep.Quarantined}, nil
+	default: // gsnp-cpu, gsnp-gpu
+		cfg := gsnp.Config{
+			Chr: ref.Name, Ref: ref.Seq, Known: known,
+			Window: o.Window, CompressOutput: o.Compress,
+			Prefetch: o.Prefetch, ComputeWorkers: o.ComputeWorkers,
+			Arena:      arena,
+			Quarantine: o.Quarantine, WindowHook: hook,
+		}
+		if o.Engine == "gsnp-gpu" {
+			cfg.Mode = gsnp.ModeGPU
+			// One device per call: units scheduled concurrently must not
+			// share simulated-device state.
+			cfg.Device = gpu.NewDevice(gpu.M2050())
+		} else {
+			cfg.Mode = gsnp.ModeCPU
+		}
+		eng, err := gsnp.New(cfg)
+		if err != nil {
+			return zero, err
+		}
+		rep, err := eng.RunContext(ctx, src, out)
+		if err != nil {
+			return zero, err
+		}
+		if o.Stats {
+			fmt.Fprintf(diag, "%s: %d sites, %d SNPs, mean depth %.1fX, %d output bytes\n%v\n",
+				o.Engine, rep.Sites, rep.SNPs, rep.MeanDepth, rep.OutputBytes, rep.Times)
+			if o.Prefetch {
+				fmt.Fprintf(diag, "prefetch: %v\n", rep.Prefetch)
+			}
+			if cfg.Device != nil {
+				fmt.Fprintf(diag, "\nsimulated device profile (%s):\n%s",
+					cfg.Device.Config().Name, cfg.Device.FormatProfile())
+			}
+		}
+		return Result{Sites: rep.Sites, CalSkipped: rep.CalSkipped, Quarantined: rep.Quarantined}, nil
+	}
+}
+
+// fileIter adapts an alignment reader over an open file to
+// pipeline.ReadIter, closing the decompressor (for .gz inputs) and the
+// file when the stream ends — at EOF or on any stream-fatal read error, so
+// an aborted pass doesn't leak the descriptor. Record-scoped parse errors
+// leave the stream open: quarantine mode skips the record and keeps
+// reading. A close failure surfaces instead of EOF so truncated gzip
+// streams are reported rather than silently accepted.
+type fileIter struct {
+	f  *os.File
+	zr *gzip.Reader
+	it pipeline.ReadIter
+}
+
+func (it *fileIter) Next() (reads.AlignedRead, error) {
+	r, err := it.it.Next()
+	if err != nil && it.f != nil {
+		var re pipeline.RecordError
+		if errors.As(err, &re) {
+			return r, err
+		}
+		if it.zr != nil {
+			if cerr := it.zr.Close(); cerr != nil && err == io.EOF {
+				err = cerr
+			}
+			it.zr = nil
+		}
+		if cerr := it.f.Close(); cerr != nil && err == io.EOF {
+			err = cerr
+		}
+		it.f = nil
+	}
+	return r, err
+}

@@ -1,0 +1,169 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"sort"
+
+	"gsnp/internal/sched"
+)
+
+// Handler returns the service's HTTP API:
+//
+//	POST   /jobs              submit a job (JobSpec body) -> 202 + JobStatus
+//	GET    /jobs              list job summaries
+//	GET    /jobs/{id}         one job's status
+//	GET    /jobs/{id}/stream  NDJSON stream of per-chromosome results as
+//	                          they complete, terminated by a Final record;
+//	                          attaches late without losing records
+//	DELETE /jobs/{id}         cancel the job -> 202 + JobStatus
+//	GET    /healthz           liveness + drain state
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs", s.handleList)
+	mux.HandleFunc("GET /jobs/{id}", s.handleGet)
+	mux.HandleFunc("GET /jobs/{id}/stream", s.handleStream)
+	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	return mux
+}
+
+// writeJSON writes v as the response body.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	enc.Encode(v)
+}
+
+// apiError is the JSON error document.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, apiError{Error: err.Error()})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusRequestEntityTooLarge, err)
+		return
+	}
+	spec, err := ParseJobSpec(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	js, err := s.submit(spec)
+	if err != nil {
+		code := http.StatusBadRequest
+		if errors.Is(err, ErrDraining) || errors.Is(err, sched.ErrPoolClosed) {
+			code = http.StatusServiceUnavailable
+		}
+		writeError(w, code, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, js.status())
+}
+
+func (s *Server) lookup(w http.ResponseWriter, r *http.Request) *jobState {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	js := s.jobs[id]
+	s.mu.Unlock()
+	if js == nil {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "no such job " + id})
+	}
+	return js
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	if js := s.lookup(w, r); js != nil {
+		writeJSON(w, http.StatusOK, js.status())
+	}
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	all := make([]*jobState, 0, len(s.jobs))
+	for _, js := range s.jobs {
+		all = append(all, js)
+	}
+	s.mu.Unlock()
+	list := make([]JobStatus, 0, len(all))
+	for _, js := range all {
+		list = append(list, js.status())
+	}
+	sort.Slice(list, func(i, j int) bool { return list[i].Created.Before(list[j].Created) })
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": list})
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	js := s.lookup(w, r)
+	if js == nil {
+		return
+	}
+	s.cancel(js)
+	writeJSON(w, http.StatusAccepted, js.status())
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	n := len(s.jobs)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "draining": draining, "jobs": n})
+}
+
+// handleStream replays the job's stream records from the beginning, then
+// follows live completions until the Final record. Every connected client
+// gets the full record sequence regardless of when it attached, and a
+// client disconnect never affects the job (results are collected by the
+// server, not the response writer).
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	js := s.lookup(w, r)
+	if js == nil {
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+
+	next := 0
+	for {
+		js.mu.Lock()
+		recs := js.stream[next:]
+		finished := js.finished
+		notify := js.notify
+		js.mu.Unlock()
+
+		for _, rec := range recs {
+			if err := enc.Encode(rec); err != nil {
+				return // client went away
+			}
+		}
+		next += len(recs)
+		if flusher != nil && len(recs) > 0 {
+			flusher.Flush()
+		}
+		if finished && len(recs) == 0 {
+			return
+		}
+		if finished {
+			continue // pick up records appended alongside the final state
+		}
+		select {
+		case <-notify:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}

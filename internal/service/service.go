@@ -1,0 +1,509 @@
+// Package service is the long-running multi-genome calling server behind
+// cmd/gsnpd: it accepts genome-calling jobs over HTTP/JSON, decomposes
+// each into per-chromosome tasks via internal/genomejob, shards all active
+// jobs' tasks across one shared sched.Pool with round-robin fairness
+// across jobs, and streams per-chromosome results back as they complete.
+//
+// The service inherits every guarantee the batch CLI has: per-chromosome
+// output bytes are identical to a serial gsnp run at any worker count,
+// failures are contained per chromosome by the pool's Policy (retries,
+// deadlines, panic recovery), quarantine degradation is surfaced in the
+// job status, and cancelling one job never perturbs another job's bytes.
+package service
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"gsnp/internal/genomejob"
+	"gsnp/internal/gsnp"
+	"gsnp/internal/pipeline"
+	"gsnp/internal/sched"
+)
+
+// Config configures a Server.
+type Config struct {
+	// Workers is the shared pool's size (<= 0 selects GOMAXPROCS).
+	Workers int
+	// Retries, RetryBackoff and TaskTimeout feed the pool's sched.Policy,
+	// with the same semantics as the CLI flags of the same names.
+	Retries      int
+	RetryBackoff time.Duration
+	TaskTimeout  time.Duration
+	// SpoolDir is where uploaded inputs are materialised; empty selects a
+	// fresh temporary directory.
+	SpoolDir string
+	// MaxBodyBytes caps POST /jobs bodies (0 = 256 MiB).
+	MaxBodyBytes int64
+	// Logf, when set, receives operational log lines.
+	Logf func(format string, args ...any)
+	// OnDequeue, when set, observes the shared pool's dispatch order
+	// (job id, task index) — the deterministic fairness hook, forwarded
+	// after the service's own bookkeeping.
+	OnDequeue func(job string, index int)
+}
+
+// chromResult is one chromosome's in-memory outcome inside the pool.
+type chromResult struct {
+	output []byte
+	res    genomejob.Result
+}
+
+// Server owns the shared worker pool and the job registry.
+type Server struct {
+	cfg      Config
+	pool     *sched.Pool[chromResult, *gsnp.Arena]
+	spool    string
+	ownSpool bool
+
+	mu       sync.Mutex
+	jobs     map[string]*jobState
+	seq      int
+	draining bool
+}
+
+// errJobCancelled is the cancellation cause DELETE /jobs/{id} installs.
+var errJobCancelled = errors.New("job cancelled by client")
+
+// New builds the server and starts its worker pool.
+func New(cfg Config) (*Server, error) {
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 256 << 20
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	s := &Server{cfg: cfg, jobs: make(map[string]*jobState)}
+	if cfg.SpoolDir != "" {
+		if err := os.MkdirAll(cfg.SpoolDir, 0o755); err != nil {
+			return nil, err
+		}
+		s.spool = cfg.SpoolDir
+	} else {
+		dir, err := os.MkdirTemp("", "gsnpd-spool-*")
+		if err != nil {
+			return nil, err
+		}
+		s.spool = dir
+		s.ownSpool = true
+	}
+	pol := sched.Policy{
+		Retries:         cfg.Retries,
+		Backoff:         cfg.RetryBackoff,
+		Timeout:         cfg.TaskTimeout,
+		RecoverPanics:   true,
+		ContinueOnError: true,
+		RetryIf: func(err error) bool {
+			var re pipeline.RecordError
+			return !errors.As(err, &re)
+		},
+	}
+	s.pool = sched.NewPool[chromResult, *gsnp.Arena](sched.PoolConfig{
+		Workers:   cfg.Workers,
+		Policy:    pol,
+		OnDequeue: s.onDequeue,
+	}, func(int) *gsnp.Arena { return gsnp.NewArena() })
+	return s, nil
+}
+
+// jobState is the registry entry for one job. The pool delivers results to
+// the collector goroutine, which appends stream records and updates the
+// per-chromosome statuses; stream readers wait on notify.
+type jobState struct {
+	id      string
+	spec    *JobSpec
+	created time.Time
+	units   []genomejob.Unit
+	handle  *sched.Job[chromResult] // set once, published by closing ready
+	ready   chan struct{}
+	dir     string // per-job spool dir for uploaded inputs ("" for genome_dir jobs)
+
+	mu        sync.Mutex
+	chroms    []ChromStatus
+	stream    []StreamRecord
+	notify    chan struct{}
+	state     string // queued | running | done | partial | failed | cancelled
+	cancelled bool
+	finished  bool
+}
+
+// Job/chromosome states reported over the API.
+const (
+	StateQueued    = "queued"
+	StateRunning   = "running"
+	StateDone      = "done"
+	StateOK        = "ok" // chromosome-level success
+	StatePartial   = "partial"
+	StateFailed    = "failed"
+	StateCancelled = "cancelled"
+	StatePending   = "pending"
+)
+
+// ChromStatus is one chromosome's status inside a job, in input order.
+type ChromStatus struct {
+	Name        string `json:"name"`
+	State       string `json:"state"`
+	Sites       int    `json:"sites,omitempty"`
+	Attempts    int    `json:"attempts,omitempty"`
+	Quarantined int    `json:"quarantined,omitempty"`
+	CalSkipped  int    `json:"cal_skipped,omitempty"`
+	WallMS      int64  `json:"wall_ms,omitempty"`
+	Error       string `json:"error,omitempty"`
+}
+
+// JobStatus is the GET /jobs/{id} document.
+type JobStatus struct {
+	ID          string        `json:"id"`
+	State       string        `json:"state"`
+	Created     time.Time     `json:"created"`
+	Engine      string        `json:"engine"`
+	Total       int           `json:"total"`
+	Completed   int           `json:"completed"`
+	Chromosomes []ChromStatus `json:"chromosomes"`
+}
+
+// StreamRecord is one line of GET /jobs/{id}/stream: a completed
+// chromosome (in completion order, Index recovering input order), or the
+// final job summary line (Final == true).
+type StreamRecord struct {
+	Job         string `json:"job"`
+	Index       int    `json:"index"`
+	Name        string `json:"name,omitempty"`
+	State       string `json:"state"`
+	Sites       int    `json:"sites,omitempty"`
+	Quarantined int    `json:"quarantined,omitempty"`
+	CalSkipped  int    `json:"cal_skipped,omitempty"`
+	Attempts    int    `json:"attempts,omitempty"`
+	WallMS      int64  `json:"wall_ms,omitempty"`
+	Error       string `json:"error,omitempty"`
+	// OutputB64 carries the chromosome's result bytes (text rows, or the
+	// compressed container under Compress), base64-encoded by the JSON
+	// marshaller.
+	OutputB64 []byte `json:"output_b64,omitempty"`
+	// Final marks the job summary line that terminates the stream.
+	Final bool `json:"final,omitempty"`
+}
+
+// submit registers and enqueues one parsed job spec. Caller must not hold
+// s.mu.
+func (s *Server) submit(spec *JobSpec) (*jobState, error) {
+	opts := spec.Options()
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil, ErrDraining
+	}
+	s.seq++
+	id := fmt.Sprintf("j%d", s.seq)
+	s.mu.Unlock()
+
+	js := &jobState{
+		id: id, spec: spec, created: time.Now(),
+		notify: make(chan struct{}),
+		ready:  make(chan struct{}),
+		state:  StateQueued,
+	}
+	fail := func(err error) (*jobState, error) {
+		if js.dir != "" {
+			os.RemoveAll(js.dir)
+		}
+		return nil, err
+	}
+
+	var units []genomejob.Unit
+	var err error
+	if spec.GenomeDir != "" {
+		units, _, err = genomejob.Discover(spec.GenomeDir, opts)
+	} else {
+		js.dir = filepath.Join(s.spool, id)
+		if err := spoolInputs(js.dir, spec); err != nil {
+			return fail(err)
+		}
+		units, _, err = genomejob.Discover(js.dir, opts)
+	}
+	if err != nil {
+		return fail(err)
+	}
+	if len(units) == 0 {
+		return fail(fmt.Errorf("job has no runnable chromosomes"))
+	}
+
+	js.units = units
+	js.chroms = make([]ChromStatus, len(units))
+	tasks := make([]sched.LocalTask[chromResult, *gsnp.Arena], len(units))
+	for i, u := range units {
+		js.chroms[i] = ChromStatus{Name: u.Name, State: StatePending}
+		u := u
+		tasks[i] = sched.LocalTask[chromResult, *gsnp.Arena]{
+			Name: u.Name,
+			Run: func(ctx context.Context, arena *gsnp.Arena) (chromResult, error) {
+				var buf bytes.Buffer
+				res, err := genomejob.Call(ctx, opts, u, &buf, io.Discard, arena)
+				if err != nil {
+					return chromResult{}, err
+				}
+				return chromResult{output: buf.Bytes(), res: res}, nil
+			},
+		}
+	}
+
+	// The registry entry must exist before the pool can dispatch the first
+	// task (the dequeue hook looks the job up by id); the handle is
+	// published through the ready channel for anyone who raced the gap.
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return fail(ErrDraining)
+	}
+	s.jobs[id] = js
+	s.mu.Unlock()
+
+	handle, err := s.pool.Submit(id, tasks)
+	if err != nil {
+		close(js.ready)
+		s.mu.Lock()
+		delete(s.jobs, id)
+		s.mu.Unlock()
+		return fail(err)
+	}
+	js.handle = handle
+	close(js.ready)
+	go s.collect(js)
+	s.cfg.Logf("job %s: submitted (%d chromosomes, engine %s)", id, len(units), spec.Engine)
+	return js, nil
+}
+
+// spoolInputs writes a job's uploaded inputs as a genome directory, so the
+// uploaded path and the genome-dir path share Discover and Call verbatim.
+func spoolInputs(dir string, spec *JobSpec) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	alnExt := "." + spec.Format
+	if spec.Format == "soap" {
+		alnExt = ".soap"
+	}
+	for _, in := range spec.Inputs {
+		files := map[string]string{
+			in.Name + ".fa":  in.Ref,
+			in.Name + alnExt: in.Aln,
+		}
+		if in.SNP != "" {
+			files[in.Name+".snp"] = in.SNP
+		}
+		for name, content := range files {
+			if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// onDequeue is the pool's dispatch hook: mark the chromosome (and its job)
+// running. It runs under the pool's scheduling lock, so it must not call
+// back into the pool.
+func (s *Server) onDequeue(job string, index int) {
+	s.mu.Lock()
+	js := s.jobs[job]
+	s.mu.Unlock()
+	if js != nil {
+		js.mu.Lock()
+		if js.chroms[index].State == StatePending {
+			js.chroms[index].State = StateRunning
+		}
+		if js.state == StateQueued {
+			js.state = StateRunning
+		}
+		js.mu.Unlock()
+	}
+	if s.cfg.OnDequeue != nil {
+		s.cfg.OnDequeue(job, index)
+	}
+}
+
+// collect drains one job's pool results into its stream, then finalises
+// the job and cleans up its spool directory.
+func (s *Server) collect(js *jobState) {
+	for r := range js.handle.Results() {
+		rec := StreamRecord{
+			Job: js.id, Index: r.Index, Name: r.Name,
+			Attempts: r.Attempts, WallMS: r.Wall.Milliseconds(),
+		}
+		switch {
+		case r.Skipped:
+			rec.State = StateCancelled
+			rec.Error = fmt.Sprint(r.Err)
+		case r.Err != nil:
+			rec.State = StateFailed
+			rec.Error = r.Err.Error()
+		case r.Value.res.Partial():
+			rec.State = StatePartial
+			rec.Sites = r.Value.res.Sites
+			rec.Quarantined = len(r.Value.res.Quarantined)
+			rec.CalSkipped = r.Value.res.CalSkipped
+			rec.OutputB64 = r.Value.output
+		default:
+			rec.State = StateOK
+			rec.Sites = r.Value.res.Sites
+			rec.OutputB64 = r.Value.output
+		}
+
+		js.mu.Lock()
+		cs := &js.chroms[r.Index]
+		cs.State = rec.State
+		cs.Sites = rec.Sites
+		cs.Attempts = rec.Attempts
+		cs.Quarantined = rec.Quarantined
+		cs.CalSkipped = rec.CalSkipped
+		cs.WallMS = rec.WallMS
+		cs.Error = rec.Error
+		js.stream = append(js.stream, rec)
+		close(js.notify)
+		js.notify = make(chan struct{})
+		js.mu.Unlock()
+	}
+
+	js.mu.Lock()
+	js.state = finalState(js)
+	js.finished = true
+	js.stream = append(js.stream, StreamRecord{
+		Job: js.id, Index: -1, State: js.state, Final: true,
+	})
+	close(js.notify)
+	js.mu.Unlock()
+	if js.dir != "" {
+		os.RemoveAll(js.dir)
+	}
+	s.cfg.Logf("job %s: %s", js.id, js.state)
+}
+
+// finalState derives the job-level outcome from its chromosomes. Called
+// with js.mu held.
+func finalState(js *jobState) string {
+	var ok, partial, failed, cancelled int
+	for _, c := range js.chroms {
+		switch c.State {
+		case StateOK:
+			ok++
+		case StatePartial:
+			partial++
+		case StateFailed:
+			failed++
+		case StateCancelled:
+			cancelled++
+		}
+	}
+	switch {
+	case js.cancelled || cancelled > 0:
+		return StateCancelled
+	case failed == 0 && partial == 0:
+		return StateDone
+	case ok == 0 && partial == 0:
+		return StateFailed
+	default:
+		return StatePartial
+	}
+}
+
+// status snapshots a job's API document.
+func (js *jobState) status() JobStatus {
+	js.mu.Lock()
+	defer js.mu.Unlock()
+	st := JobStatus{
+		ID: js.id, State: js.state, Created: js.created,
+		Engine: js.spec.Engine, Total: len(js.chroms),
+		Chromosomes: append([]ChromStatus(nil), js.chroms...),
+	}
+	for _, c := range st.Chromosomes {
+		switch c.State {
+		case StatePending, StateRunning:
+		default:
+			st.Completed++
+		}
+	}
+	return st
+}
+
+// cancel implements DELETE /jobs/{id}.
+func (s *Server) cancel(js *jobState) {
+	<-js.ready
+	if js.handle == nil {
+		return // never launched
+	}
+	js.mu.Lock()
+	already := js.finished || js.cancelled
+	if !already {
+		js.cancelled = true
+	}
+	js.mu.Unlock()
+	if !already {
+		js.handle.Cancel(errJobCancelled)
+		s.cfg.Logf("job %s: cancel requested", js.id)
+	}
+}
+
+// ErrDraining is returned to submissions while the server drains.
+var ErrDraining = errors.New("server is draining")
+
+// Drain stops accepting jobs and waits for every active job to finish (or
+// ctx to expire, in which case remaining jobs are cancelled). It then
+// closes the pool. Safe to call once during shutdown.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	jobs := make([]*jobState, 0, len(s.jobs))
+	for _, js := range s.jobs {
+		jobs = append(jobs, js)
+	}
+	s.mu.Unlock()
+
+	var err error
+	for _, js := range jobs {
+		<-js.ready
+		if js.handle == nil {
+			continue // never launched
+		}
+		select {
+		case <-js.handle.Done():
+		case <-ctx.Done():
+			err = ctx.Err()
+			s.pool.CancelAll(fmt.Errorf("drain deadline: %w", context.Cause(ctx)))
+			for _, j := range jobs {
+				<-j.ready
+				if j.handle != nil {
+					<-j.handle.Done()
+				}
+			}
+		}
+		if err != nil {
+			break
+		}
+	}
+	s.pool.Close()
+	if s.ownSpool {
+		os.RemoveAll(s.spool)
+	}
+	return err
+}
+
+// Close force-stops the server: every job is cancelled, then the pool
+// drains. Used for tests and forced shutdown.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	s.pool.CancelAll(errors.New("server shutting down"))
+	s.pool.Close()
+	if s.ownSpool {
+		os.RemoveAll(s.spool)
+	}
+}

@@ -77,11 +77,12 @@ func ReadFASTQ(r io.Reader) ([]align.RawRead, error) {
 			return nil, errf("quality", "quality length %d != sequence length %d", len(qualLine), len(seqLine))
 		}
 		var raw align.RawRead
-		idStr := strings.TrimPrefix(strings.Fields(head[1:])[0], "read_")
-		if id, err := strconv.ParseInt(idStr, 10, 64); err == nil {
-			raw.ID = id
-		} else {
-			raw.ID = int64(len(raws))
+		raw.ID = int64(len(raws))
+		if fields := strings.Fields(head[1:]); len(fields) > 0 {
+			idStr := strings.TrimPrefix(fields[0], "read_")
+			if id, err := strconv.ParseInt(idStr, 10, 64); err == nil {
+				raw.ID = id
+			}
 		}
 		raw.Seq, _ = dna.ParseSequence(seqLine) // Ns tolerated as A
 		raw.Quals = make([]dna.Quality, len(qualLine))

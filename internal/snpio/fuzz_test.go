@@ -45,6 +45,27 @@ func FuzzSOAPReader(f *testing.F) {
 	})
 }
 
+func FuzzFASTQReader(f *testing.F) {
+	f.Add("@read_1\nACGT\n+\nIIII\n")
+	f.Add("")
+	f.Add("@truncated\nACGT\n")
+	f.Add("@mismatch\nACGT\n+\nII\n")
+	f.Fuzz(func(t *testing.T, data string) {
+		// Must never panic; malformed records report errors.
+		rs, err := ReadFASTQ(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Parsed reads uphold the invariant the aligner depends on:
+		// equally long base and quality strings.
+		for i, r := range rs {
+			if len(r.Seq) != len(r.Quals) {
+				t.Fatalf("read %d: %d bases vs %d quals", i, len(r.Seq), len(r.Quals))
+			}
+		}
+	})
+}
+
 func FuzzSAMReader(f *testing.F) {
 	f.Add("@HD\tVN:1.6\nread_1\t0\tchr1\t10\t60\t4M\t*\t0\t0\tACGT\tIIII\n")
 	f.Add("")
