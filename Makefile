@@ -7,17 +7,47 @@
 
 GO ?= go
 
-RACE_PKGS = ./internal/pipeline ./internal/sched ./internal/gsnp ./internal/soapsnp ./internal/sortnet ./internal/faults ./internal/checkpoint ./internal/service
+# Every goroutine-spawning package runs under the race detector: the
+# schedulers, the prefetcher and its consumers, the parallel sort, the
+# simulated GPU device, the fault/checkpoint machinery, the gsnpd
+# service, and the shared genome-job decomposition both front-ends use.
+RACE_PKGS = ./internal/pipeline ./internal/sched ./internal/gsnp ./internal/soapsnp ./internal/sortnet ./internal/faults ./internal/checkpoint ./internal/service ./internal/genomejob ./internal/gpu
 
 # Per-target budget for the fuzz smoke pass.
 FUZZ_TIME ?= 10s
 
-.PHONY: ci vet build test race service-e2e fuzz-smoke bench bench-json
+# Pinned govulncheck version for the (network-requiring) vuln gate; the
+# offline build environment skips it gracefully. See tools.go.
+GOVULNCHECK_VERSION ?= v1.1.4
 
-ci: vet build test race service-e2e fuzz-smoke
+.PHONY: ci lint vet fmt-check vuln build test race service-e2e fuzz-smoke bench bench-json
+
+ci: lint fmt-check build test race service-e2e fuzz-smoke vuln
+
+# Standard vet plus the project multichecker (cmd/gsnplint): the four
+# GSNP invariant analyzers — determinism, arenalifetime, closecheck,
+# saturation — documented in DESIGN.md §9. Any finding fails the gate.
+lint: vet
+	$(GO) run ./cmd/gsnplint ./...
 
 vet:
 	$(GO) vet ./...
+
+# gofmt cleanliness over the whole tree (testdata fixtures included).
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# Known-vulnerability scan, pinned for reproducibility. The tool lives
+# outside the module (the offline-first rule forbids adding x/vuln to
+# go.mod when the module cache cannot fetch it), so probe availability
+# first and skip — loudly — when it cannot be fetched.
+vuln:
+	@if $(GO) run golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION) -version >/dev/null 2>&1; then \
+		$(GO) run golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION) ./... ; \
+	else \
+		echo "govulncheck $(GOVULNCHECK_VERSION) unavailable (offline build); skipping vulnerability scan"; \
+	fi
 
 build:
 	$(GO) build ./...

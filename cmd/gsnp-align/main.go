@@ -24,7 +24,7 @@ func main() {
 	}
 }
 
-func run() error {
+func run() (err error) {
 	var (
 		refPath = flag.String("ref", "", "reference FASTA file (required)")
 		fqPath  = flag.String("fastq", "", "raw reads FASTQ file (required)")
@@ -69,11 +69,18 @@ func run() error {
 
 	out := os.Stdout
 	if *outPath != "" && *outPath != "-" {
-		f, err := os.Create(*outPath)
-		if err != nil {
-			return err
+		f, cerr := os.Create(*outPath)
+		if cerr != nil {
+			return cerr
 		}
-		defer f.Close()
+		// Close flushes the written alignment to disk; on ENOSPC the error
+		// surfaces here, so it must reach the caller instead of a bare
+		// defer discarding it.
+		defer func() {
+			if cerr := f.Close(); cerr != nil && err == nil {
+				err = fmt.Errorf("close %s: %w", *outPath, cerr)
+			}
+		}()
 		out = f
 	}
 	if err := snpio.WriteSOAP(out, recs[0].Name, aligned); err != nil {

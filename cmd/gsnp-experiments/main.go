@@ -27,7 +27,7 @@ func main() {
 	}
 }
 
-func run() error {
+func run() (err error) {
 	var (
 		exp   = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
 		scale = flag.Int("scale", harness.DefaultScale().SitesPerMb, "sites per real megabase")
@@ -46,11 +46,15 @@ func run() error {
 
 	var w io.Writer = os.Stdout
 	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			return err
+		f, cerr := os.Create(*out)
+		if cerr != nil {
+			return cerr
 		}
-		defer f.Close()
+		defer func() {
+			if cerr := f.Close(); cerr != nil && err == nil {
+				err = fmt.Errorf("close %s: %w", *out, cerr)
+			}
+		}()
 		w = f
 	}
 

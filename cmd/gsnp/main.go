@@ -94,7 +94,7 @@ func main() {
 	}
 }
 
-func run() error {
+func run() (err error) {
 	var (
 		refPath   = flag.String("ref", "", "reference FASTA file")
 		alnPath   = flag.String("aln", "", "alignment file")
@@ -160,11 +160,15 @@ func run() error {
 
 	var out io.Writer = os.Stdout
 	if *outPath != "" && *outPath != "-" {
-		f, err := os.Create(*outPath)
-		if err != nil {
-			return err
+		f, cerr := os.Create(*outPath)
+		if cerr != nil {
+			return cerr
 		}
-		defer f.Close()
+		defer func() {
+			if cerr := f.Close(); cerr != nil && err == nil {
+				err = fmt.Errorf("close %s: %w", *outPath, cerr)
+			}
+		}()
 		out = f
 	}
 	ctx := context.Background()

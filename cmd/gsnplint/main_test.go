@@ -1,0 +1,48 @@
+package main
+
+import (
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// TestGsnplintCleanOnRepo is the CLI smoke test the Makefile gate relies
+// on: a built gsnplint binary run over the whole module exits 0. Any
+// new finding (or a reintroduced old one, like the bare defer f.Close()
+// sites this PR fixed) turns this test — and make ci — red.
+func TestGsnplintCleanOnRepo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the module twice; skipped in -short mode")
+	}
+	bin := buildLint(t)
+
+	cmd := exec.Command(bin, "./...")
+	cmd.Dir = "../.." // module root
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("gsnplint ./... failed: %v\n%s", err, out)
+	}
+}
+
+func buildLint(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "gsnplint")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building gsnplint: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestGsnplintRejectsUnknownAnalyzer pins the -run flag's validation.
+func TestGsnplintRejectsUnknownAnalyzer(t *testing.T) {
+	bin := buildLint(t)
+	cmd := exec.Command(bin, "-run", "nosuch", "./...")
+	cmd.Dir = "../.."
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("expected failure for -run nosuch, got success:\n%s", out)
+	}
+	if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != 2 {
+		t.Fatalf("expected exit code 2 for a usage error, got %v\n%s", err, out)
+	}
+}

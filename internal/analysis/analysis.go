@@ -1,0 +1,111 @@
+// Package analysis is a self-contained static-analysis framework plus the
+// four GSNP project analyzers (determinism, arenalifetime, closecheck,
+// saturation) that mechanically enforce the invariants DESIGN.md §9
+// documents in prose.
+//
+// The API deliberately mirrors golang.org/x/tools/go/analysis (Analyzer,
+// Pass, Diagnostic) so the analyzers could be ported to a stock
+// multichecker verbatim. We cannot depend on x/tools here: the build
+// environment is offline-first and the module is not in the local module
+// cache, and the repo's hard rule is that gates must work without
+// fetching anything. Everything below is standard library only — package
+// loading rides `go list -export` and the gc export-data importer, which
+// is the same machinery `go vet` itself uses.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags []Diagnostic
+}
+
+// Analyzer is one named invariant checker.
+type Analyzer struct {
+	Name string
+	// Doc is the one-paragraph rule statement shown by `gsnplint -help`.
+	Doc string
+	Run func(*Pass)
+}
+
+// Diagnostic is one finding, attributed to the analyzer that raised it.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      pos,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Run applies each analyzer to pkg and returns the surviving diagnostics:
+// findings suppressed by a well-formed //gsnplint:ignore directive are
+// dropped, and malformed directives become diagnostics themselves.
+// Results are sorted by file position.
+func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	dirs := directives(pkg)
+	var out []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.TypesInfo,
+		}
+		a.Run(pass)
+		out = append(out, dirs.filter(pkg.Fset, pass.diags)...)
+	}
+	out = append(out, dirs.problems...)
+	sort.Slice(out, func(i, j int) bool {
+		pi, pj := pkg.Fset.Position(out[i].Pos), pkg.Fset.Position(out[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return out[i].Analyzer < out[j].Analyzer
+	})
+	return out
+}
+
+// All returns the gsnplint analyzer suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{Determinism, ArenaLifetime, CloseCheck, Saturation}
+}
+
+// ByName resolves a comma-separated analyzer selection.
+func ByName(names []string) ([]*Analyzer, error) {
+	byName := map[string]*Analyzer{}
+	for _, a := range All() {
+		byName[a.Name] = a
+	}
+	var sel []*Analyzer
+	for _, n := range names {
+		a, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q", n)
+		}
+		sel = append(sel, a)
+	}
+	return sel, nil
+}

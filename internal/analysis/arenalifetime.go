@@ -1,0 +1,180 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ArenaLifetime enforces the PR 2 recycling contract: every slice owned
+// by a gsnp.Arena (including the per-window buffers behind it) is valid
+// only until the window that borrowed it is recycled. A reference that
+// outlives the window — stored into a long-lived struct, returned from
+// an exported function, sent on a channel, or captured by an unscoped
+// goroutine — would be silently overwritten by the next window.
+//
+// Scoped fan-out is allowed: a goroutine may borrow arena memory when
+// the spawning function provably joins it (a .Wait() call after the go
+// statement), which is exactly the compute-pool / runSharded shape.
+// Methods on the Arena itself are exempt — handing out grow-only
+// buffers is its API.
+var ArenaLifetime = &Analyzer{
+	Name: "arenalifetime",
+	Doc: "flag arena-owned slices escaping the window lifetime: field " +
+		"stores, exported returns, channel sends, unscoped goroutine capture",
+	Run: runArenaLifetime,
+}
+
+// isArenaType matches the arena storage types. Arena is matched by name
+// in any package (there is exactly one in the tree); the unexported
+// per-window struct is matched only inside package gsnp, where it lives.
+func isArenaType(t types.Type) bool {
+	return isNamed(t, "", "Arena") || isNamed(t, "gsnp", "window")
+}
+
+// arenaRooted reports whether e reads through an Arena/window value or a
+// variable in derived.
+func arenaRooted(info *types.Info, e ast.Expr, derived map[types.Object]bool) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		// A variable holding the arena itself also roots the chain, so
+		// writes back into the arena (w.buf = w.buf[:0]) are recognized
+		// as staying inside it.
+		return derived[objOf(info, e)] || isArenaType(info.TypeOf(e))
+	case *ast.SelectorExpr:
+		return isArenaType(info.TypeOf(e.X)) || arenaRooted(info, e.X, derived)
+	case *ast.SliceExpr:
+		return arenaRooted(info, e.X, derived)
+	case *ast.IndexExpr:
+		return arenaRooted(info, e.X, derived)
+	case *ast.StarExpr:
+		return arenaRooted(info, e.X, derived)
+	case *ast.CallExpr:
+		if calleeName(e) == "append" && len(e.Args) > 0 {
+			return arenaRooted(info, e.Args[0], derived)
+		}
+	}
+	return false
+}
+
+// arenaDerivedSlice reports whether e is a slice borrowed from the arena.
+func arenaDerivedSlice(info *types.Info, e ast.Expr, derived map[types.Object]bool) bool {
+	return isSlice(info.TypeOf(e)) && arenaRooted(info, e, derived)
+}
+
+func runArenaLifetime(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkArenaFunc(pass, fd)
+		}
+	}
+}
+
+// receiverIsArena reports whether fd is a method on Arena/window.
+func receiverIsArena(info *types.Info, fd *ast.FuncDecl) bool {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return false
+	}
+	return isArenaType(info.TypeOf(fd.Recv.List[0].Type))
+}
+
+func checkArenaFunc(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+
+	// Two passes over the assignments give simple transitive tracking:
+	// s := w.rows; t := s[:n] marks both s and t as arena-derived.
+	derived := map[types.Object]bool{}
+	for range 2 {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for i, rhs := range as.Rhs {
+				if len(as.Lhs) <= i || !arenaDerivedSlice(info, rhs, derived) {
+					continue
+				}
+				if id, ok := ast.Unparen(as.Lhs[i]).(*ast.Ident); ok {
+					if v := objOf(info, id); v != nil {
+						derived[v] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	exported := fd.Name.IsExported() && !receiverIsArena(info, fd)
+	inspectStack(fd.Body, func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			if !exported {
+				return true
+			}
+			for _, res := range n.Results {
+				if arenaDerivedSlice(info, res, derived) {
+					pass.Reportf(res.Pos(),
+						"arena-owned slice returned from exported %s: the caller's view is overwritten when the next window recycles the arena", fd.Name.Name)
+				}
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if len(n.Lhs) <= i || !arenaDerivedSlice(info, rhs, derived) {
+					continue
+				}
+				if sel, ok := ast.Unparen(n.Lhs[i]).(*ast.SelectorExpr); ok && !arenaRooted(info, sel.X, derived) {
+					pass.Reportf(n.Pos(),
+						"arena-owned slice stored in field %s: the struct outlives the window that owns the memory", sel.Sel.Name)
+				}
+			}
+		case *ast.SendStmt:
+			if arenaDerivedSlice(info, n.Value, derived) {
+				pass.Reportf(n.Pos(),
+					"arena-owned slice sent on a channel escapes the window lifetime")
+			}
+		case *ast.GoStmt:
+			checkArenaGo(pass, fd, n, derived)
+		}
+		return true
+	})
+}
+
+// checkArenaGo flags goroutines that borrow arena memory without a join.
+func checkArenaGo(pass *Pass, fd *ast.FuncDecl, g *ast.GoStmt, derived map[types.Object]bool) {
+	info := pass.TypesInfo
+	borrows := false
+	ast.Inspect(g.Call, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v := objOf(info, id)
+		if v == nil {
+			return true
+		}
+		if derived[v] || (v.Pos() < g.Pos() && isArenaType(v.Type())) {
+			borrows = true
+		}
+		return !borrows
+	})
+	if !borrows {
+		return
+	}
+	// Scoped fan-out: a .Wait() after the go statement joins the workers
+	// before the window can be recycled.
+	joined := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if ok && call.Pos() > g.Pos() && calleeName(call) == "Wait" {
+			joined = true
+		}
+		return !joined
+	})
+	if !joined {
+		pass.Reportf(g.Pos(),
+			"goroutine borrows arena memory with no .Wait() join in %s: the next window recycles the buffers while the goroutine runs", fd.Name.Name)
+	}
+}

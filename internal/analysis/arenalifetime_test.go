@@ -1,0 +1,27 @@
+package analysis
+
+import "testing"
+
+// TestArenaLifetimeFixture proves every escape class fires (exported
+// return, field store — direct and through a derived variable — channel
+// send, unjoined goroutine capture) while the arena's own API, writes
+// back into the arena, unexported helpers, joined fan-out, and window-
+// local slicing stay silent.
+func TestArenaLifetimeFixture(t *testing.T) {
+	runFixture(t, ArenaLifetime, "arena")
+}
+
+// TestArenaLifetimeRealTree pins that the production gsnp package obeys
+// its own contract with no suppressions: the recycle invariant holds by
+// construction, not by ignore directives.
+func TestArenaLifetimeRealTree(t *testing.T) {
+	pkgs, err := Load("../..", "./internal/gsnp")
+	if err != nil {
+		t.Fatalf("loading internal/gsnp: %v", err)
+	}
+	for _, pkg := range pkgs {
+		for _, d := range Run(pkg, []*Analyzer{ArenaLifetime}) {
+			t.Errorf("%s: [%s] %s", pkg.Fset.Position(d.Pos), d.Analyzer, d.Message)
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CloseCheck flags `defer f.Close()` on writable files and gzip writers:
+// Close is where buffered bytes hit the disk, so a discarded Close error
+// (ENOSPC, quota, NFS flush) silently truncates the output the run just
+// spent hours producing. Writable handles must be closed explicitly with
+// the error propagated, or closed in a deferred closure that joins the
+// error into the function's named return.
+//
+// Read-only files are exempt: their Close error cannot lose data.
+var CloseCheck = &Analyzer{
+	Name: "closecheck",
+	Doc: "flag defer f.Close() discarding the error on writable files " +
+		"and gzip writers",
+	Run: runCloseCheck,
+}
+
+func runCloseCheck(pass *Pass) {
+	for _, f := range pass.Files {
+		inspectStack(f, func(n ast.Node, stack []ast.Node) bool {
+			df, ok := n.(*ast.DeferStmt)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(df.Call.Fun).(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Close" || len(df.Call.Args) != 0 {
+				return true
+			}
+			if why := writableCloser(pass, sel.X, enclosingFunc(stack)); why != "" {
+				pass.Reportf(df.Pos(),
+					"defer %s discards the Close error of a %s; a full disk loses buffered output silently — close explicitly and propagate the error",
+					exprString(sel), why)
+			}
+			return true
+		})
+	}
+}
+
+// writableCloser classifies x as a writer whose Close reports data loss,
+// returning a short description or "".
+func writableCloser(pass *Pass, x ast.Expr, encl ast.Node) string {
+	info := pass.TypesInfo
+	if isNamed(info.TypeOf(x), "compress/gzip", "Writer") {
+		return "gzip writer"
+	}
+	id, ok := ast.Unparen(x).(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	v := objOf(info, id)
+	body := funcBody(encl)
+	if v == nil || body == nil {
+		return ""
+	}
+	// Find how the variable was opened in this function.
+	why := ""
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || why != "" {
+			return why == ""
+		}
+		for i, lhs := range as.Lhs {
+			lid, ok := ast.Unparen(lhs).(*ast.Ident)
+			if !ok || objOf(info, lid) != v || len(as.Rhs) == 0 {
+				continue
+			}
+			rhs := as.Rhs[0]
+			if len(as.Rhs) > i {
+				rhs = as.Rhs[i]
+			}
+			call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			switch calleeFullName(info, call) {
+			case "os.Create":
+				why = "file opened for writing"
+			case "os.OpenFile":
+				if len(call.Args) > 1 && !readOnlyFlags(info, call.Args[1]) {
+					why = "file opened for writing"
+				}
+			}
+		}
+		return why == ""
+	})
+	return why
+}
+
+// readOnlyFlags reports whether the os.OpenFile flag expression is
+// provably read-only (the literal os.O_RDONLY).
+func readOnlyFlags(info *types.Info, e ast.Expr) bool {
+	if sel, ok := ast.Unparen(e).(*ast.SelectorExpr); ok {
+		if c, ok := objOf(info, sel.Sel).(*types.Const); ok {
+			return c.Name() == "O_RDONLY"
+		}
+	}
+	return false
+}
+
+// exprString renders a selector chain for diagnostics.
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	default:
+		return "expr"
+	}
+}

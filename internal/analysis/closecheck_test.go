@@ -1,0 +1,10 @@
+package analysis
+
+import "testing"
+
+// TestCloseCheckFixture proves the analyzer flags deferred Closes on
+// os.Create/writable-OpenFile handles and gzip writers, and accepts
+// read-only files and the deferred error-joining closure.
+func TestCloseCheckFixture(t *testing.T) {
+	runFixture(t, CloseCheck, "closefix")
+}

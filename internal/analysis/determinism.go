@@ -1,0 +1,276 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// outputPkgSuffixes names the packages on the byte-identity path: every
+// byte they emit must be independent of map iteration order, scheduling,
+// wall-clock time and random state. Matching is by path suffix so test
+// fixtures under a different module root are gated identically.
+var outputPkgSuffixes = []string{
+	"internal/pipeline",
+	"internal/gsnp",
+	"internal/soapsnp",
+	"internal/compress",
+	"internal/genomejob",
+	"internal/service",
+}
+
+// Determinism enforces the paper's bit-identity contract (the
+// new_p_matrix precomputation exists precisely so GPU output matches the
+// CPU byte-for-byte): in output-producing packages it flags map
+// iteration whose body produces ordered output (appends to an outer
+// slice, sends on a channel, writes/encodes, or accumulates floats), and
+// any data-bearing use of math/rand or time.Now.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc: "flag unordered map ranges that feed outputs, and math/rand or " +
+		"time.Now values that flow into data, in output-producing packages",
+	Run: runDeterminism,
+}
+
+func runDeterminism(pass *Pass) {
+	if !isOutputPackage(pass.Pkg.Path()) {
+		return
+	}
+	for _, f := range pass.Files {
+		checkRandImports(pass, f)
+		inspectStack(f, func(n ast.Node, stack []ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.RangeStmt:
+				checkMapRange(pass, n, stack)
+			case *ast.CallExpr:
+				checkTimeNow(pass, n, stack)
+			}
+			return true
+		})
+	}
+}
+
+func isOutputPackage(path string) bool {
+	for _, s := range outputPkgSuffixes {
+		if strings.HasSuffix(path, s) {
+			return true
+		}
+	}
+	return false
+}
+
+func checkRandImports(pass *Pass, f *ast.File) {
+	for _, imp := range f.Imports {
+		path, _ := strconv.Unquote(imp.Path.Value)
+		if path == "math/rand" || path == "math/rand/v2" {
+			pass.Reportf(imp.Pos(),
+				"%s imported in an output-producing package: random state breaks byte-identical reruns", path)
+		}
+	}
+}
+
+// checkMapRange flags effects inside a `range` over a map whose result
+// depends on iteration order.
+func checkMapRange(pass *Pass, rs *ast.RangeStmt, stack []ast.Node) {
+	t := pass.TypesInfo.TypeOf(rs.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+	encl := enclosingFunc(stack)
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			pass.Reportf(n.Pos(), "send on a channel inside range over map: receiver observes map iteration order")
+		case *ast.AssignStmt:
+			checkMapRangeAssign(pass, rs, encl, n)
+		case *ast.CallExpr:
+			if name := calleeName(n); isWriteVerb(name) {
+				pass.Reportf(n.Pos(), "%s inside range over map emits output in map iteration order", name)
+				return false
+			}
+		}
+		return true
+	})
+}
+
+func checkMapRangeAssign(pass *Pass, rs *ast.RangeStmt, encl ast.Node, as *ast.AssignStmt) {
+	info := pass.TypesInfo
+	// v = append(v, ...) growing a slice that outlives the loop: the
+	// slice records iteration order. Exempt the canonical collect-and-sort
+	// pattern, where the slice is sorted after the loop.
+	for i, rhs := range as.Rhs {
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok || calleeName(call) != "append" || len(as.Lhs) <= i {
+			continue
+		}
+		switch lhs := ast.Unparen(as.Lhs[i]).(type) {
+		case *ast.Ident:
+			v := objOf(info, lhs)
+			if v == nil || declaredWithin(v, rs) || sortedAfter(info, encl, rs.End(), v) {
+				continue
+			}
+			pass.Reportf(as.Pos(),
+				"append to %q inside range over map records iteration order; collect and sort, or iterate sorted keys", lhs.Name)
+		case *ast.SelectorExpr:
+			pass.Reportf(as.Pos(),
+				"append to field %q inside range over map records iteration order", lhs.Sel.Name)
+		}
+	}
+	// Float accumulation is order-sensitive: FP addition does not
+	// associate, so a map-ordered sum differs between runs.
+	if as.Tok == token.ADD_ASSIGN || as.Tok == token.SUB_ASSIGN || as.Tok == token.MUL_ASSIGN {
+		for _, lhs := range as.Lhs {
+			t := info.TypeOf(lhs)
+			if t == nil {
+				continue
+			}
+			if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsFloat != 0 {
+				if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+					if v := objOf(info, id); v != nil && declaredWithin(v, rs) {
+						continue
+					}
+				}
+				pass.Reportf(as.Pos(),
+					"floating-point accumulation inside range over map is order-sensitive (FP addition does not associate)")
+			}
+		}
+	}
+}
+
+func isWriteVerb(name string) bool {
+	for _, p := range []string{"Write", "Fprint", "Print", "Encode"} {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}
+
+func declaredWithin(v types.Object, n ast.Node) bool {
+	return v.Pos() >= n.Pos() && v.Pos() <= n.End()
+}
+
+// sortedAfter reports whether v is passed to a sorting call after pos in
+// the enclosing function — the collect-then-sort idiom that restores a
+// deterministic order.
+func sortedAfter(info *types.Info, encl ast.Node, pos token.Pos, v types.Object) bool {
+	body := funcBody(encl)
+	if body == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos || found {
+			return !found
+		}
+		// Matches sort.Slice/sort.Strings/slices.Sort/slices.SortFunc and
+		// project-local sorters with Sort in the name.
+		full := calleeFullName(info, call)
+		if (strings.HasPrefix(full, "sort.") || strings.HasPrefix(full, "slices.") ||
+			strings.Contains(calleeName(call), "Sort")) && usesVar(info, call, v) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// checkTimeNow flags time.Now results that flow into data rather than
+// timing. Durations (Since/Sub), comparisons and deadline plumbing are
+// timing; anything that stores, returns, formats or encodes the
+// timestamp puts wall-clock bytes into output.
+func checkTimeNow(pass *Pass, call *ast.CallExpr, stack []ast.Node) {
+	if calleeFullName(pass.TypesInfo, call) != "time.Now" {
+		return
+	}
+	if len(stack) == 0 {
+		return
+	}
+	switch parent := stack[len(stack)-1].(type) {
+	case *ast.CallExpr:
+		if name := calleeFullName(pass.TypesInfo, parent); timingCallee(name, calleeName(parent)) {
+			return
+		}
+		pass.Reportf(call.Pos(), "time.Now result passed to %s: wall-clock data in an output-producing package", calleeName(parent))
+	case *ast.SelectorExpr:
+		if timingMethod(parent.Sel.Name) {
+			return
+		}
+		pass.Reportf(call.Pos(), "time.Now().%s feeds data, not timing", parent.Sel.Name)
+	case *ast.AssignStmt:
+		// t := time.Now() — every use of t must stay in the timing domain.
+		for i, rhs := range parent.Rhs {
+			if ast.Unparen(rhs) != call || len(parent.Lhs) <= i {
+				continue
+			}
+			id, ok := ast.Unparen(parent.Lhs[i]).(*ast.Ident)
+			if !ok {
+				pass.Reportf(call.Pos(), "time.Now stored outside a local variable")
+				continue
+			}
+			v := objOf(pass.TypesInfo, id)
+			if v == nil {
+				continue
+			}
+			checkTimeVarUses(pass, enclosingFunc(stack), v)
+		}
+	case *ast.BinaryExpr, *ast.ExprStmt:
+		// comparisons and bare calls are timing-only
+	default:
+		pass.Reportf(call.Pos(), "time.Now used in a data position (composite literal, return, or field)")
+	}
+}
+
+func timingCallee(fullName, bare string) bool {
+	switch fullName {
+	case "time.Since", "time.Until", "context.WithDeadline", "context.WithTimeout":
+		return true
+	}
+	// Method calls taking the timestamp as an argument (end.Sub(start))
+	// stay in the timing domain, as does any deadline setter.
+	return timingMethod(bare) || strings.Contains(bare, "Deadline")
+}
+
+func timingMethod(name string) bool {
+	switch name {
+	case "Sub", "Before", "After", "Equal", "Compare", "Add", "Round", "Truncate":
+		return true
+	}
+	return false
+}
+
+// checkTimeVarUses validates every use of a variable bound to time.Now.
+func checkTimeVarUses(pass *Pass, encl ast.Node, v types.Object) {
+	body := funcBody(encl)
+	if body == nil {
+		return
+	}
+	info := pass.TypesInfo
+	inspectStack(body, func(n ast.Node, stack []ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || objOf(info, id) != v || len(stack) == 0 {
+			return true
+		}
+		switch parent := stack[len(stack)-1].(type) {
+		case *ast.AssignStmt, *ast.ValueSpec, *ast.BinaryExpr:
+			// the defining assignment, re-binding, or a comparison
+		case *ast.SelectorExpr:
+			if parent.Sel != id && !timingMethod(parent.Sel.Name) {
+				pass.Reportf(id.Pos(), "wall-clock value %q used via .%s outside the timing domain", v.Name(), parent.Sel.Name)
+			}
+		case *ast.CallExpr:
+			if !timingCallee(calleeFullName(info, parent), calleeName(parent)) {
+				pass.Reportf(id.Pos(), "wall-clock value %q passed to %s: timestamps in data break byte-identical reruns", v.Name(), calleeName(parent))
+			}
+		default:
+			pass.Reportf(id.Pos(), "wall-clock value %q used in a data position", v.Name())
+		}
+		return true
+	})
+}

@@ -1,0 +1,35 @@
+package analysis
+
+import "testing"
+
+// TestDeterminismFixture proves the analyzer fires on every seeded
+// order-dependence (map-ordered sends, appends, writes, float sums,
+// math/rand, data-bearing time.Now) and stays silent on the sanctioned
+// idioms interleaved with them (collect-then-sort, loop-local scratch,
+// integer sums, duration timing).
+func TestDeterminismFixture(t *testing.T) {
+	runFixture(t, Determinism, "internal/pipeline")
+}
+
+// TestDeterminismIgnoresNonOutputPackages pins the package gate: the
+// same violations in a package off the output path raise nothing.
+func TestDeterminismIgnoresNonOutputPackages(t *testing.T) {
+	runFixtureClean(t, Determinism, "other")
+}
+
+// TestOutputPackageGate pins the suffix matching used by the gate.
+func TestOutputPackageGate(t *testing.T) {
+	for path, want := range map[string]bool{
+		"gsnp/internal/pipeline":    true,
+		"gsnp/internal/gsnp":        true,
+		"gsnp/internal/service":     true,
+		"fixture/internal/pipeline": true,
+		"gsnp/internal/sched":       false,
+		"gsnp/internal/snpio":       false,
+		"fixture/other":             false,
+	} {
+		if got := isOutputPackage(path); got != want {
+			t.Errorf("isOutputPackage(%q) = %v, want %v", path, got, want)
+		}
+	}
+}

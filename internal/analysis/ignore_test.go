@@ -1,0 +1,88 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+	"testing"
+)
+
+// TestIgnoreDirectives pins the whole suppression contract on the
+// ignorefix fixture: well-formed directives (trailing, preceding, and
+// "all") silence the named analyzer; directives with no reason or an
+// unknown analyzer become findings themselves and suppress nothing;
+// a directive naming the wrong analyzer leaves the finding standing.
+func TestIgnoreDirectives(t *testing.T) {
+	pkgs, err := Load("testdata/src", "./ignorefix")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	pkg := pkgs[0]
+
+	// Collect diagnostics keyed by the name of the enclosing function,
+	// which the fixture uses as the case label.
+	got := map[string][]Diagnostic{}
+	for _, d := range Run(pkg, []*Analyzer{Saturation}) {
+		got[enclosingFixtureFunc(t, pkg, d)] = append(got[enclosingFixtureFunc(t, pkg, d)], d)
+	}
+
+	type want struct{ analyzer, substr string }
+	cases := map[string][]want{
+		"TrailingDirective":  nil,
+		"PrecedingDirective": nil,
+		"AllDirective":       nil,
+		"MissingReason": {
+			{"saturation", "raw ++"},
+			{"gsnplint", "malformed directive"},
+		},
+		"UnknownAnalyzer": {
+			{"saturation", "raw ++"},
+			{"gsnplint", "unknown analyzer"},
+		},
+		"WrongAnalyzer": {
+			{"saturation", "raw ++"},
+		},
+		"NotSuppressed": {
+			{"saturation", "raw ++"},
+		},
+	}
+	for fn, wants := range cases {
+		ds := got[fn]
+		if len(ds) != len(wants) {
+			t.Errorf("%s: got %d diagnostics %v, want %d", fn, len(ds), ds, len(wants))
+			continue
+		}
+		for _, w := range wants {
+			found := false
+			for _, d := range ds {
+				if d.Analyzer == w.analyzer && strings.Contains(d.Message, w.substr) {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("%s: no [%s] diagnostic containing %q in %v", fn, w.analyzer, w.substr, ds)
+			}
+		}
+		delete(got, fn)
+	}
+	for fn, ds := range got {
+		t.Errorf("unexpected diagnostics in %s: %v", fn, ds)
+	}
+}
+
+// enclosingFixtureFunc maps a diagnostic back to the fixture function
+// containing it.
+func enclosingFixtureFunc(t *testing.T, pkg *Package, d Diagnostic) string {
+	t.Helper()
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && d.Pos >= fd.Pos() && d.Pos <= fd.End() {
+				return fd.Name.Name
+			}
+		}
+	}
+	t.Fatalf("no fixture function encloses %s", pkg.Fset.Position(d.Pos))
+	return ""
+}

@@ -1,0 +1,74 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Saturation closes the PR 1 overflow class for good: pileup counters
+// (pipeline.SiteCounts fields) wrap at their type maximum if incremented
+// raw, scrambling the best/second-base ranking at deep repeat regions.
+// All accumulation must go through the saturating helpers (SiteCounts
+// methods such as Add, and SatDepth for wide-to-narrow clamps); raw ++
+// or += on a SiteCounts field anywhere else is flagged.
+var Saturation = &Analyzer{
+	Name: "saturation",
+	Doc: "flag raw ++/+= on SiteCounts pileup-counter fields outside " +
+		"the saturating helper methods",
+	Run: runSaturation,
+}
+
+func runSaturation(pass *Pass) {
+	info := pass.TypesInfo
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			// The saturating helpers are the methods of SiteCounts itself:
+			// they are the one place a guarded raw increment is the point.
+			if fd.Recv != nil && len(fd.Recv.List) > 0 &&
+				isNamed(info.TypeOf(fd.Recv.List[0].Type), "", "SiteCounts") {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.IncDecStmt:
+					if n.Tok == token.INC && isSiteCountsField(info, n.X) {
+						pass.Reportf(n.Pos(),
+							"raw ++ on a SiteCounts counter wraps at the type maximum; use the saturating helpers (SiteCounts.Add / SatDepth)")
+					}
+				case *ast.AssignStmt:
+					if n.Tok != token.ADD_ASSIGN {
+						return true
+					}
+					for _, lhs := range n.Lhs {
+						if isSiteCountsField(info, lhs) {
+							pass.Reportf(n.Pos(),
+								"raw += on a SiteCounts counter wraps at the type maximum; use the saturating helpers (SiteCounts.Add / SatDepth)")
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// isSiteCountsField matches c.Depth, c.Count[b], c.QualSum[b], ... — a
+// selector on a SiteCounts value, possibly through an index.
+func isSiteCountsField(info *types.Info, e ast.Expr) bool {
+	e = ast.Unparen(e)
+	if ix, ok := e.(*ast.IndexExpr); ok {
+		e = ast.Unparen(ix.X)
+	}
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	// counts[i].Depth selects on the IndexExpr whose type is already the
+	// SiteCounts element type; pointers are unwrapped by isNamed.
+	return isNamed(info.TypeOf(sel.X), "", "SiteCounts")
+}

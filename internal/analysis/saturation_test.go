@@ -1,0 +1,10 @@
+package analysis
+
+import "testing"
+
+// TestSaturationFixture proves raw ++/+= on SiteCounts counters is
+// flagged everywhere except inside the saturating helper methods, and
+// that unrelated arithmetic is untouched.
+func TestSaturationFixture(t *testing.T) {
+	runFixture(t, Saturation, "sat")
+}

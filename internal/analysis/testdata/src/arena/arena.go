@@ -1,0 +1,79 @@
+// Package gsnp is an arenalifetime fixture: it mirrors the shape of the
+// real internal/gsnp arena (an Arena owning a per-window struct of
+// grow-only slices) so the analyzer's type matching works unchanged.
+package gsnp
+
+import "sync"
+
+type window struct {
+	rows []int
+}
+
+// Arena owns every per-window buffer.
+type Arena struct {
+	w   window
+	buf []byte
+}
+
+// Buf hands out the buffer for use within the current window: handing
+// out grow-only storage is the Arena's API, so its methods are exempt.
+func (a *Arena) Buf() []byte { return a.buf }
+
+// Reset shrinks in place; writes back into the arena are not escapes.
+func (a *Arena) Reset() { a.buf = a.buf[:0] }
+
+// Leak returns arena memory across the package API.
+func Leak(a *Arena) []byte {
+	return a.buf // want "arena-owned slice returned from exported Leak"
+}
+
+// Rows leaks through the nested window struct.
+func Rows(a *Arena) []int {
+	return a.w.rows // want "arena-owned slice returned from exported Rows"
+}
+
+// scratch is fine: unexported callers stay inside the window lifetime.
+func scratch(a *Arena) []byte { return a.buf }
+
+type sink struct{ b []byte }
+
+// Store parks arena memory in a struct that outlives the window.
+func Store(a *Arena, s *sink) {
+	s.b = a.buf // want "arena-owned slice stored in field b"
+}
+
+// StoreDerived tracks the escape through an intermediate variable.
+func StoreDerived(a *Arena, s *sink) {
+	head := a.buf[:2]
+	s.b = head // want "arena-owned slice stored in field b"
+}
+
+// Send leaks arena memory to whoever drains the channel.
+func Send(a *Arena, ch chan []byte) {
+	ch <- a.buf // want "arena-owned slice sent on a channel"
+}
+
+// Spawn lets a goroutine outlive the window it borrows from.
+func Spawn(a *Arena) {
+	go use(a.buf) // want "goroutine borrows arena memory with no .Wait"
+}
+
+// SpawnJoined is the compute-pool shape: the Wait joins the borrowers
+// before the window can be recycled.
+func SpawnJoined(a *Arena, wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		use(a.buf)
+	}()
+	wg.Wait()
+}
+
+// Local slicing and reslicing inside the window is the normal idiom.
+func Local(a *Arena) int {
+	head := a.buf[:1]
+	tail := a.buf[1:]
+	return len(head) + len(tail)
+}
+
+func use([]byte) {}

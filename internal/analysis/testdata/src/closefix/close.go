@@ -1,0 +1,75 @@
+// Package closefix is the closecheck fixture: deferred Closes that
+// discard a writable handle's error, next to the idiomatic fixes.
+package closefix
+
+import (
+	"compress/gzip"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Bad loses the flush error of a file opened for writing.
+func Bad(p string, data []byte) error {
+	f, err := os.Create(p)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want "defer f.Close discards the Close error of a file opened for writing"
+	_, err = f.Write(data)
+	return err
+}
+
+// BadGzip loses the footer flush of a gzip stream.
+func BadGzip(w io.Writer, data []byte) error {
+	zw := gzip.NewWriter(w)
+	defer zw.Close() // want "defer zw.Close discards the Close error of a gzip writer"
+	_, err := zw.Write(data)
+	return err
+}
+
+// BadOpenFile opens for writing via flags.
+func BadOpenFile(p string) error {
+	f, err := os.OpenFile(p, os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want "defer f.Close discards the Close error of a file opened for writing"
+	return nil
+}
+
+// OkRead closes a read-only file: its Close error cannot lose data.
+func OkRead(p string) ([]byte, error) {
+	f, err := os.Open(p)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return io.ReadAll(f)
+}
+
+// OkReadOnlyFlags is read-only through OpenFile.
+func OkReadOnlyFlags(p string) error {
+	f, err := os.OpenFile(p, os.O_RDONLY, 0)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return nil
+}
+
+// OkJoin is the sanctioned shape: the deferred closure folds the Close
+// error into the function's named return.
+func OkJoin(p string, data []byte) (err error) {
+	f, err := os.Create(p)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("close %s: %w", p, cerr)
+		}
+	}()
+	_, err = f.Write(data)
+	return err
+}

@@ -1,0 +1,48 @@
+// Package ignorefix exercises the one sanctioned suppression mechanism:
+// //gsnplint:ignore <analyzer> <reason>, same line or the line above,
+// with the written reason mandatory. Expectations live in ignore_test.go
+// (the malformed cases stack two findings on the directive's own line,
+// which the // want comment syntax cannot express).
+package ignorefix
+
+type SiteCounts struct{ Depth uint16 }
+
+// TrailingDirective suppresses on the flagged line itself.
+func TrailingDirective(c *SiteCounts) {
+	c.Depth++ //gsnplint:ignore saturation fixture for the trailing-comment form
+}
+
+// PrecedingDirective suppresses from the line above.
+func PrecedingDirective(c *SiteCounts) {
+	//gsnplint:ignore saturation fixture for the standalone-comment form
+	c.Depth++
+}
+
+// MissingReason shows that a justification is not optional: the
+// directive itself becomes a finding and suppresses nothing.
+func MissingReason(c *SiteCounts) {
+	c.Depth++ //gsnplint:ignore saturation
+}
+
+// UnknownAnalyzer directives are findings too, and suppress nothing.
+func UnknownAnalyzer(c *SiteCounts) {
+	//gsnplint:ignore nosuchanalyzer the analyzer name is checked
+	c.Depth++
+}
+
+// WrongAnalyzer names a real analyzer that did not raise the finding,
+// so the finding survives.
+func WrongAnalyzer(c *SiteCounts) {
+	//gsnplint:ignore determinism reason aimed at the wrong analyzer
+	c.Depth++
+}
+
+// AllDirective suppresses every analyzer on the line.
+func AllDirective(c *SiteCounts) {
+	c.Depth++ //gsnplint:ignore all fixture for the catch-all form
+}
+
+// NotSuppressed is the control: no directive, a plain finding.
+func NotSuppressed(c *SiteCounts) {
+	c.Depth++
+}

@@ -1,0 +1,112 @@
+// Package pipeline is a determinism-analyzer fixture. Its import path
+// ends in internal/pipeline, so it is gated as an output-producing
+// package exactly like the real one.
+package pipeline
+
+import (
+	"fmt"
+	"io"
+	"math/rand" // want "math/rand imported in an output-producing package"
+	"sort"
+	"time"
+)
+
+// SendInOrder leaks map order through a channel.
+func SendInOrder(m map[string]int, ch chan int) {
+	for _, v := range m {
+		ch <- v // want "send on a channel inside range over map"
+	}
+}
+
+// CollectUnsorted records map order in a result slice.
+func CollectUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want "append to \"keys\" inside range over map"
+	}
+	return keys
+}
+
+// CollectSorted is the sanctioned collect-then-sort idiom.
+func CollectSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// LocalScratch appends only to a slice scoped inside the loop body.
+func LocalScratch(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		var local []int
+		local = append(local, vs...)
+		n += len(local)
+	}
+	return n
+}
+
+// EmitDirect writes output in map iteration order.
+func EmitDirect(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want "Fprintf inside range over map emits output"
+	}
+}
+
+// SumFloats accumulates floats in map order; FP addition does not
+// associate, so the sum differs run to run.
+func SumFloats(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want "floating-point accumulation inside range over map"
+	}
+	return sum
+}
+
+// SumInts is exact arithmetic: any order gives the same total.
+func SumInts(m map[string]int) int {
+	sum := 0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+// Roll feeds random state into data.
+func Roll() int { return rand.Int() }
+
+// Timed keeps time.Now strictly in the timing domain.
+func Timed(f func()) time.Duration {
+	start := time.Now()
+	f()
+	return time.Since(start)
+}
+
+// TimedSub is the end.Sub(start) spelling of the same pattern.
+func TimedSub(f func()) time.Duration {
+	start := time.Now()
+	f()
+	end := time.Now()
+	return end.Sub(start)
+}
+
+// Stamp puts wall-clock bytes into output.
+func Stamp(w io.Writer) {
+	t := time.Now()
+	fmt.Fprintln(w, t) // want "wall-clock value \"t\" passed to Fprintln"
+}
+
+// Record stores a timestamp into a long-lived struct.
+type Record struct{ TS time.Time }
+
+// StampField stores wall-clock data in a field.
+func StampField(r *Record) {
+	r.TS = time.Now() // want "time.Now stored outside a local variable"
+}
+
+// Format renders the clock into a string.
+func Format() string {
+	return time.Now().Format(time.RFC3339) // want "time.Now\(\).Format feeds data"
+}

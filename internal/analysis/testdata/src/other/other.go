@@ -1,0 +1,16 @@
+// Package other is NOT on the output path (its import path matches no
+// output-package suffix), so the determinism analyzer must stay silent
+// even on patterns it would flag in internal/pipeline.
+package other
+
+import "time"
+
+// Relay would be a finding in an output package.
+func Relay(m map[string]int, ch chan int) {
+	for _, v := range m {
+		ch <- v
+	}
+}
+
+// Stamp would be a finding in an output package.
+func Stamp() string { return time.Now().String() }

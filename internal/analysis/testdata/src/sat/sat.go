@@ -1,0 +1,47 @@
+// Package sat is the saturation fixture: raw increments on pileup
+// counters outside the saturating helpers, next to the allowed forms.
+package sat
+
+// SiteCounts mirrors pipeline.SiteCounts: fixed-width counters that
+// must saturate, never wrap.
+type SiteCounts struct {
+	Depth   uint16
+	Count   [4]uint16
+	QualSum [4]uint32
+}
+
+const satU16 = 1<<16 - 1
+
+// Add is a saturating helper: methods on SiteCounts are the one place a
+// guarded raw increment is the point.
+func (c *SiteCounts) Add(b int, q uint32) {
+	if c.Depth < satU16 {
+		c.Depth++
+	}
+	if c.Count[b] < satU16 {
+		c.Count[b]++
+	}
+	if s := c.QualSum[b] + q; s >= c.QualSum[b] {
+		c.QualSum[b] = s
+	}
+}
+
+// Raw reintroduces the PR 1 overflow class.
+func Raw(c *SiteCounts, b int, q uint32) {
+	c.Depth++         // want "raw \+\+ on a SiteCounts counter"
+	c.Count[b] += 2   // want "raw \+= on a SiteCounts counter"
+	c.QualSum[b] += q // want "raw \+= on a SiteCounts counter"
+}
+
+// RawIndexed wraps counters reached through a slice of sites.
+func RawIndexed(cs []SiteCounts, i int) {
+	cs[i].Depth++ // want "raw \+\+ on a SiteCounts counter"
+}
+
+// Unrelated counters are not pileup counters.
+func Unrelated(n int) int {
+	n++
+	total := 0
+	total += n
+	return total
+}

@@ -1,0 +1,143 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// inspectStack walks n, calling f with every node and the stack of its
+// ancestors (outermost first, not including the node itself). Returning
+// false from f prunes the subtree.
+func inspectStack(n ast.Node, f func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(n, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		keep := f(n, stack)
+		stack = append(stack, n)
+		if !keep {
+			// Still push so the matching nil pop stays balanced; prune by
+			// telling Inspect to skip children.
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		return true
+	})
+}
+
+// enclosingFunc returns the innermost function body on the stack.
+func enclosingFunc(stack []ast.Node) ast.Node {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			return stack[i]
+		}
+	}
+	return nil
+}
+
+// funcBody returns the body of a FuncDecl or FuncLit.
+func funcBody(fn ast.Node) *ast.BlockStmt {
+	switch fn := fn.(type) {
+	case *ast.FuncDecl:
+		return fn.Body
+	case *ast.FuncLit:
+		return fn.Body
+	}
+	return nil
+}
+
+// namedOf unwraps pointers and aliases down to a named type, or nil.
+func namedOf(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	t = types.Unalias(t)
+	if p, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(p.Elem())
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// isNamed reports whether t (possibly behind a pointer) is the named type
+// pkgSuffix.name. An empty pkgSuffix matches any package; otherwise the
+// defining package's path must end in pkgSuffix (so both the real module
+// path and test-fixture module paths match) or its package name must
+// equal pkgSuffix.
+func isNamed(t types.Type, pkgSuffix, name string) bool {
+	n := namedOf(t)
+	if n == nil || n.Obj() == nil || n.Obj().Name() != name {
+		return false
+	}
+	if pkgSuffix == "" {
+		return true
+	}
+	pkg := n.Obj().Pkg()
+	if pkg == nil {
+		return false
+	}
+	return strings.HasSuffix(pkg.Path(), pkgSuffix) || pkg.Name() == pkgSuffix
+}
+
+// isSlice reports whether t's underlying type is a slice.
+func isSlice(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Slice)
+	return ok
+}
+
+// objOf resolves an identifier to its object (use or def).
+func objOf(info *types.Info, id *ast.Ident) types.Object {
+	if o := info.Uses[id]; o != nil {
+		return o
+	}
+	return info.Defs[id]
+}
+
+// calleeFullName returns the fully qualified name of a called function
+// ("time.Now", "os.Create") or "" when the callee is not a static
+// package-level function or method.
+func calleeFullName(info *types.Info, call *ast.CallExpr) string {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return ""
+	}
+	if fn, ok := objOf(info, id).(*types.Func); ok {
+		return fn.FullName()
+	}
+	return ""
+}
+
+// calleeName returns the bare name of the called function or method.
+func calleeName(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+// usesVar reports whether any identifier inside n resolves to v.
+func usesVar(info *types.Info, n ast.Node, v types.Object) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && objOf(info, id) == v {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

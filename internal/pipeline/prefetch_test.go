@@ -54,8 +54,8 @@ type flakyIter struct {
 
 type flakyRecordError struct{ line int }
 
-func (e *flakyRecordError) Error() string            { return fmt.Sprintf("flaky record %d", e.line) }
-func (e *flakyRecordError) Record() (int, int64)     { return e.line, -1 }
+func (e *flakyRecordError) Error() string        { return fmt.Sprintf("flaky record %d", e.line) }
+func (e *flakyRecordError) Record() (int, int64) { return e.line, -1 }
 func (it *flakyIter) Next() (reads.AlignedRead, error) {
 	if it.n >= it.total {
 		return reads.AlignedRead{}, io.EOF

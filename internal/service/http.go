@@ -93,6 +93,7 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	all := make([]*jobState, 0, len(s.jobs))
 	for _, js := range s.jobs {
+		//gsnplint:ignore determinism the listing is sorted by Created below; status() must run outside s.mu, so the sort happens on the derived list
 		all = append(all, js)
 	}
 	s.mu.Unlock()

@@ -206,6 +206,7 @@ func (s *Server) submit(spec *JobSpec) (*jobState, error) {
 	s.mu.Unlock()
 
 	js := &jobState{
+		//gsnplint:ignore determinism arrival timestamp is job metadata for listing order, never part of a result stream
 		id: id, spec: spec, created: time.Now(),
 		notify: make(chan struct{}),
 		ready:  make(chan struct{}),
@@ -291,16 +292,17 @@ func spoolInputs(dir string, spec *JobSpec) error {
 	if spec.Format == "soap" {
 		alnExt = ".soap"
 	}
+	type spoolFile struct{ name, content string }
 	for _, in := range spec.Inputs {
-		files := map[string]string{
-			in.Name + ".fa":  in.Ref,
-			in.Name + alnExt: in.Aln,
+		files := []spoolFile{
+			{in.Name + ".fa", in.Ref},
+			{in.Name + alnExt, in.Aln},
 		}
 		if in.SNP != "" {
-			files[in.Name+".snp"] = in.SNP
+			files = append(files, spoolFile{in.Name + ".snp", in.SNP})
 		}
-		for name, content := range files {
-			if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+		for _, f := range files {
+			if err := os.WriteFile(filepath.Join(dir, f.name), []byte(f.content), 0o644); err != nil {
 				return err
 			}
 		}
@@ -462,6 +464,7 @@ func (s *Server) Drain(ctx context.Context) error {
 	s.draining = true
 	jobs := make([]*jobState, 0, len(s.jobs))
 	for _, js := range s.jobs {
+		//gsnplint:ignore determinism drain awaits every job whatever the order; nothing observable depends on it
 		jobs = append(jobs, js)
 	}
 	s.mu.Unlock()

@@ -423,13 +423,13 @@ func TestServiceBadSpecs(t *testing.T) {
 	for _, body := range []string{
 		``,
 		`{`,
-		`{"engine":"gsnp-cpu"}`,                        // neither genome_dir nor inputs
-		`{"genome_dir":"/x","inputs":[{"name":"a"}]}`,  // both
-		`{"genome_dir":"/x","engine":"warp"}`,          // unknown engine
-		`{"genome_dir":"/x","unknown_field":1}`,        // unknown field
+		`{"engine":"gsnp-cpu"}`, // neither genome_dir nor inputs
+		`{"genome_dir":"/x","inputs":[{"name":"a"}]}`,         // both
+		`{"genome_dir":"/x","engine":"warp"}`,                 // unknown engine
+		`{"genome_dir":"/x","unknown_field":1}`,               // unknown field
 		`{"inputs":[{"name":"../evil","ref":"r","aln":"a"}]}`, // path escape
-		`{"inputs":[{"name":"a","ref":"r"}]}`,          // missing aln
-		`{"genome_dir":"/x"}{"genome_dir":"/y"}`,       // trailing data
+		`{"inputs":[{"name":"a","ref":"r"}]}`,                 // missing aln
+		`{"genome_dir":"/x"}{"genome_dir":"/y"}`,              // trailing data
 	} {
 		resp, err := http.Post(ts.URL+"/jobs", "application/json", strings.NewReader(body))
 		if err != nil {
