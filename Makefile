@@ -90,5 +90,5 @@ bench:
 # ns/window, B/op, allocs/op and sites/s per configuration, the perf
 # trajectory artifact. Compare BENCH_pipeline.json across commits.
 bench-json:
-	$(GO) test -run xxx -bench BenchmarkRunWindow -benchmem ./internal/gsnp \
+	$(GO) test -run xxx -bench BenchmarkRunWindow -benchmem ./internal/gsnp ./internal/gpu \
 		| $(GO) run ./cmd/gsnp-benchjson > BENCH_pipeline.json

@@ -27,8 +27,14 @@ var ArenaLifetime = &Analyzer{
 // isArenaType matches the arena storage types. Arena is matched by name
 // in any package (there is exactly one in the tree); the unexported
 // per-window struct is matched only inside package gsnp, where it lives.
+// The simulated GPU keeps its own recycled arenas — the per-block launch
+// scratch (thread contexts, shared-memory arrays, coalescing samples) —
+// whose storage is likewise valid only until the device recycles it, so
+// the same escape rules apply inside package gpu.
 func isArenaType(t types.Type) bool {
-	return isNamed(t, "", "Arena") || isNamed(t, "gsnp", "window")
+	return isNamed(t, "", "Arena") || isNamed(t, "gsnp", "window") ||
+		isNamed(t, "gpu", "blockScratch") || isNamed(t, "gpu", "blockRT") ||
+		isNamed(t, "gpu", "Thread")
 }
 
 // arenaRooted reports whether e reads through an Arena/window value or a

@@ -11,13 +11,22 @@ func TestArenaLifetimeFixture(t *testing.T) {
 	runFixture(t, ArenaLifetime, "arena")
 }
 
-// TestArenaLifetimeRealTree pins that the production gsnp package obeys
-// its own contract with no suppressions: the recycle invariant holds by
-// construction, not by ignore directives.
+// TestArenaLifetimeGPUFixture covers the GPU launch-scratch types
+// (blockScratch, blockRT, Thread): the same escape classes fire on
+// scratch-owned memory while the recycle idioms of the simulator —
+// free-list pushes, derived thread contexts, sample writeback, joined
+// per-thread goroutines — stay silent.
+func TestArenaLifetimeGPUFixture(t *testing.T) {
+	runFixture(t, ArenaLifetime, "gpu")
+}
+
+// TestArenaLifetimeRealTree pins that the production gsnp and gpu
+// packages obey their own contract with no suppressions: the recycle
+// invariant holds by construction, not by ignore directives.
 func TestArenaLifetimeRealTree(t *testing.T) {
-	pkgs, err := Load("../..", "./internal/gsnp")
+	pkgs, err := Load("../..", "./internal/gsnp", "./internal/gpu")
 	if err != nil {
-		t.Fatalf("loading internal/gsnp: %v", err)
+		t.Fatalf("loading internal/gsnp, internal/gpu: %v", err)
 	}
 	for _, pkg := range pkgs {
 		for _, d := range Run(pkg, []*Analyzer{ArenaLifetime}) {

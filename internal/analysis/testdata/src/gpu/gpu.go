@@ -1,0 +1,95 @@
+// Package gpu is an arenalifetime fixture: it mirrors the shape of the
+// real internal/gpu launch scratch (a device free-list of blockScratch
+// values owning thread contexts, shared-memory arrays and coalescing
+// samples) so the analyzer's type matching works unchanged. Scratch
+// memory is recycled launch-to-launch; a reference that outlives the
+// block would be overwritten by the next launch.
+package gpu
+
+import "sync"
+
+// Thread is the per-lane kernel context, recycled per block.
+type Thread struct {
+	sample []int64
+}
+
+// blockRT is the per-block runtime state.
+type blockRT struct {
+	sharedU32 []uint32
+}
+
+// blockScratch is the recycled per-block execution state.
+type blockScratch struct {
+	rt      blockRT
+	threads []Thread
+	samples [][]int64
+}
+
+// device owns the scratch free-list; it is long-lived but not itself an
+// arena type, so pushing scratch back onto it is the recycle idiom, not
+// an escape.
+type device struct {
+	scratch []*blockScratch
+}
+
+// putScratch returns a scratch to the free-list: the recycle push.
+func (d *device) putScratch(sc *blockScratch) {
+	d.scratch = append(d.scratch, sc)
+}
+
+// runBlock shows the production idioms that must stay silent: borrowing
+// thread contexts through a derived variable, wiring the sample stream
+// into a thread context (both roots are scratch), storing it back after
+// the block, and joined goroutine fan-out over the contexts.
+func (d *device) runBlock(sc *blockScratch, wg *sync.WaitGroup) {
+	threads := sc.threads
+	for l := range threads {
+		threads[l].sample = sc.samples[l][:0]
+	}
+	for l := range threads {
+		wg.Add(1)
+		go func(t *Thread) {
+			defer wg.Done()
+			t.sample = append(t.sample, 1)
+		}(&threads[l])
+	}
+	wg.Wait()
+	for l := range threads {
+		sc.samples[l] = threads[l].sample
+	}
+}
+
+// LeakShared returns scratch-owned shared memory across the package API.
+func LeakShared(sc *blockScratch) []uint32 {
+	return sc.rt.sharedU32 // want "arena-owned slice returned from exported LeakShared"
+}
+
+// LeakSample leaks a thread's sample stream.
+func LeakSample(t *Thread) []int64 {
+	return t.sample // want "arena-owned slice returned from exported LeakSample"
+}
+
+type profile struct{ addrs []int64 }
+
+// Record parks a sample stream in a struct that outlives the launch.
+func Record(sc *blockScratch, p *profile) {
+	p.addrs = sc.samples[0] // want "arena-owned slice stored in field addrs"
+}
+
+// RecordDerived tracks the escape through the thread-context variable.
+func RecordDerived(sc *blockScratch, p *profile) {
+	threads := sc.threads
+	p.addrs = threads[0].sample // want "arena-owned slice stored in field addrs"
+}
+
+// Publish leaks shared memory to whoever drains the channel.
+func Publish(sc *blockScratch, ch chan []uint32) {
+	ch <- sc.rt.sharedU32 // want "arena-owned slice sent on a channel"
+}
+
+// SpawnUnjoined lets a goroutine outlive the block it borrows from.
+func SpawnUnjoined(sc *blockScratch) {
+	go use(sc.rt.sharedU32) // want "goroutine borrows arena memory with no .Wait"
+}
+
+func use([]uint32) {}

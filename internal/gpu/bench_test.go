@@ -1,0 +1,103 @@
+package gpu
+
+import (
+	"math/bits"
+	"testing"
+)
+
+// BenchmarkRunWindowSimKernels drives the simulator with one GPU window's
+// worth of kernel traffic — an atomic counting scatter over the
+// observations, a reduce, an exclusive scan over the sites, and a phased
+// shared-memory bitonic pass — isolating the simulator's own per-launch
+// cost from the pipeline around it. One op is one synthetic window
+// (windowSites sites, obsPerSite observations each), so sites/s here is
+// the ceiling the simulator imposes on BenchmarkRunWindowGPU, and
+// allocs/op pins the launch/buffer recycling of the device itself.
+func BenchmarkRunWindowSimKernels(b *testing.B) {
+	const (
+		windowSites = 8000
+		obsPerSite  = 10
+		m           = windowSites * obsPerSite
+	)
+	d := NewDevice(M2050())
+
+	window := func() {
+		obs := Alloc[uint32](d, m)
+		siteCount := Alloc[uint32](d, windowSites)
+		bounds := Alloc[uint32](d, windowSites)
+		host := obs.Host()
+		for i := range host {
+			host[i] = uint32(i % windowSites)
+		}
+		obs.CopyIn(host)
+		d.MustLaunch(LaunchConfig{Name: "count_sites", Grid: (m + 255) / 256, Block: 256}, func(t *Thread) {
+			i := t.GlobalID()
+			if i >= m {
+				return
+			}
+			site := int(Ld(t, obs, i))
+			AtomicAddU32(t, siteCount, site, 1)
+		})
+		ReduceU32(d, siteCount)
+		ExclusiveScanU32(d, siteCount, bounds)
+		// One full shared-memory bitonic network per 256-lane block, the
+		// phased form the sort pipeline uses.
+		merges := 0
+		for k := 2; k <= 256; k *= 2 {
+			merges += bits.Len(uint(k)) - 1
+		}
+		d.MustLaunchPhased(LaunchConfig{Name: "batch_bitonic", Grid: (m + 255) / 256, Block: 256, SharedU32: 256}, merges+2, func(t *Thread, p int) bool {
+			switch {
+			case p == 0:
+				v := ^uint32(0)
+				if i := t.GlobalID(); i < m {
+					v = Ld(t, obs, i)
+				}
+				t.SetSharedU32(t.Lane, v)
+				return true
+			case p <= merges:
+				// Walk the (k, j) network in order.
+				q := p - 1
+				k := 2
+				for {
+					steps := bits.Len(uint(k)) - 1
+					if q < steps {
+						break
+					}
+					q -= steps
+					k *= 2
+				}
+				j := k >> (q + 1)
+				partner := t.Lane ^ j
+				if partner > t.Lane {
+					a := t.SharedU32(t.Lane)
+					bv := t.SharedU32(partner)
+					t.Exec(2)
+					if (a > bv) == (t.Lane&k == 0) {
+						t.SetSharedU32(t.Lane, bv)
+						t.SetSharedU32(partner, a)
+					}
+				}
+				return true
+			default:
+				if i := t.GlobalID(); i < m {
+					St(t, obs, i, t.SharedU32(t.Lane))
+				}
+				return false
+			}
+		})
+		bounds.Free()
+		siteCount.Free()
+		obs.Free()
+	}
+
+	window() // warm the scratch and buffer free-lists
+	sites := 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		window()
+		sites += windowSites
+	}
+	b.ReportMetric(float64(sites)/b.Elapsed().Seconds(), "sites/s")
+}

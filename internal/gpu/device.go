@@ -5,6 +5,7 @@ import (
 	"math"
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // Device is a simulated GPU. It is safe for concurrent use; launches and
@@ -20,6 +21,21 @@ type Device struct {
 	constUsed int
 	nextBufID int64
 	launches  []LaunchStats
+
+	// gen tags launches with the stats generation they started under.
+	// ResetStats advances it, and finishLaunch discards the device-total
+	// commit of a launch from an older generation, so counters reset
+	// between launches can never be polluted by in-flight work.
+	gen uint64
+
+	// scratch and bufFree are the device-side arena of the recycle
+	// component: scratch recycles per-block execution state (thread
+	// contexts, shared memory, sample storage) across launches, and
+	// bufFree recycles buffer backing storage keyed by element size.
+	// Steady-state launches and allocations touch neither the Go heap
+	// nor the garbage collector.
+	scratch []*blockScratch
+	bufFree map[int64][]any
 }
 
 // NewDevice creates a simulated device. Zero fields of cfg are filled with
@@ -41,13 +57,16 @@ func (d *Device) Stats() Stats {
 }
 
 // ResetStats zeroes the cumulative counters and the simulated clock.
-// Allocations are unaffected.
+// Allocations are unaffected. A launch in flight when ResetStats is called
+// still returns its own LaunchStats but does not commit to the device
+// totals: the reset defines a clean measurement origin.
 func (d *Device) ResetStats() {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.totals = Stats{}
 	d.simTime = 0
-	d.launches = nil
+	d.launches = d.launches[:0]
+	d.gen++
 }
 
 // SimTime returns the simulated device-clock time consumed so far, in
@@ -89,16 +108,66 @@ type LaunchConfig struct {
 	// Sync must be set when the kernel calls Thread.Sync. Synchronous
 	// launches run each block's threads as goroutines joined by a cyclic
 	// barrier; asynchronous launches run them sequentially (much faster
-	// on the host).
+	// on the host). Kernels whose barrier structure is static should use
+	// LaunchPhased instead, which needs no goroutines at all.
 	Sync bool
 }
 
 // Kernel is the body executed once per simulated thread.
 type Kernel func(t *Thread)
 
+// PhasedKernel is the body of a barrier-structured kernel run by
+// LaunchPhased: it is invoked once per thread per phase, with an implicit
+// block-wide barrier between consecutive phases. Returning true means the
+// lane reaches the barrier at the end of the phase (charged exactly like a
+// Thread.Sync call); returning false retires the lane after the phase's
+// work, with no further invocations or barrier charges — the analogue of
+// returning from a Kernel body before the next __syncthreads. Per-lane
+// state that must survive a barrier lives in Thread.Reg, the simulated
+// register file. Lanes run sequentially within a phase, so a phased launch
+// spawns no per-thread goroutines and allocates nothing in steady state.
+type PhasedKernel func(t *Thread, phase int) bool
+
 // Launch executes the kernel over cfg.Grid x cfg.Block threads, meters it,
 // advances the simulated clock and returns the per-launch statistics.
 func (d *Device) Launch(cfg LaunchConfig, kernel Kernel) (LaunchStats, error) {
+	return d.launch(cfg, kernel, nil, 0)
+}
+
+// MustLaunch is Launch but panics on configuration errors; convenient for
+// kernels whose geometry is computed and known valid.
+func (d *Device) MustLaunch(cfg LaunchConfig, kernel Kernel) LaunchStats {
+	ls, err := d.Launch(cfg, kernel)
+	if err != nil {
+		panic(err)
+	}
+	return ls
+}
+
+// LaunchPhased executes a barrier-structured kernel as a sequence of
+// phases with an implicit block-wide barrier between them. Metering is
+// identical to the equivalent Launch with LaunchConfig.Sync — each lane
+// pays the Sync issue cost per barrier it reaches — but execution is
+// sequential per block: no goroutines, no host barrier, no allocations.
+func (d *Device) LaunchPhased(cfg LaunchConfig, phases int, kernel PhasedKernel) (LaunchStats, error) {
+	if phases < 1 {
+		return LaunchStats{}, fmt.Errorf("gpu: launch %q: phased launch needs at least 1 phase, got %d", cfg.Name, phases)
+	}
+	return d.launch(cfg, nil, kernel, phases)
+}
+
+// MustLaunchPhased is LaunchPhased but panics on configuration errors.
+func (d *Device) MustLaunchPhased(cfg LaunchConfig, phases int, kernel PhasedKernel) LaunchStats {
+	ls, err := d.LaunchPhased(cfg, phases, kernel)
+	if err != nil {
+		panic(err)
+	}
+	return ls
+}
+
+// launch is the common body of Launch and LaunchPhased: exactly one of
+// kernel and phased is non-nil.
+func (d *Device) launch(cfg LaunchConfig, kernel Kernel, phased PhasedKernel, phases int) (LaunchStats, error) {
 	if cfg.Grid <= 0 || cfg.Block <= 0 {
 		return LaunchStats{}, fmt.Errorf("gpu: launch %q: invalid geometry %dx%d", cfg.Name, cfg.Grid, cfg.Block)
 	}
@@ -112,57 +181,50 @@ func (d *Device) Launch(cfg LaunchConfig, kernel Kernel) (LaunchStats, error) {
 		return LaunchStats{}, fmt.Errorf("gpu: launch %q: %d B shared memory requested, %d B available", cfg.Name, shBytes, d.cfg.SharedMemPerBlock)
 	}
 
-	acc := &launchAccumulator{}
-	// Block 0 is the coalescing sample, as in a sampling profiler.
+	d.mu.Lock()
+	gen := d.gen
+	d.mu.Unlock()
+
+	var acc launchAccumulator
 	workers := runtime.GOMAXPROCS(0)
 	if workers > cfg.Grid {
 		workers = cfg.Grid
 	}
-	blockCh := make(chan int)
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for bid := range blockCh {
-				func() {
-					// Kernel panics must surface on the launching
-					// goroutine, not kill an anonymous worker.
-					defer func() {
-						if r := recover(); r != nil {
-							acc.mu.Lock()
-							if acc.panicked == nil {
-								acc.panicked = r
-							}
-							acc.mu.Unlock()
-						}
-					}()
-					d.runBlock(cfg, kernel, bid, acc)
-				}()
-			}
-		}()
+	if workers <= 1 {
+		// Single-worker fast path: blocks run inline on the launching
+		// goroutine with one recycled scratch — the steady state on a
+		// single-CPU host is completely goroutine- and allocation-free.
+		sc := d.getScratch()
+		for bid := 0; bid < cfg.Grid; bid++ {
+			d.runBlockCaught(cfg, kernel, phased, phases, bid, &acc, sc)
+		}
+		d.putScratch(sc)
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				sc := d.getScratch()
+				defer d.putScratch(sc)
+				for {
+					bid := int(next.Add(1)) - 1
+					if bid >= cfg.Grid {
+						return
+					}
+					d.runBlockCaught(cfg, kernel, phased, phases, bid, &acc, sc)
+				}
+			}()
+		}
+		wg.Wait()
 	}
-	for bid := 0; bid < cfg.Grid; bid++ {
-		blockCh <- bid
-	}
-	close(blockCh)
-	wg.Wait()
 	if acc.panicked != nil {
 		panic(acc.panicked)
 	}
 
-	ls := d.finishLaunch(cfg, acc)
+	ls := d.finishLaunch(cfg, &acc, gen)
 	return ls, nil
-}
-
-// MustLaunch is Launch but panics on configuration errors; convenient for
-// kernels whose geometry is computed and known valid.
-func (d *Device) MustLaunch(cfg LaunchConfig, kernel Kernel) LaunchStats {
-	ls, err := d.Launch(cfg, kernel)
-	if err != nil {
-		panic(err)
-	}
-	return ls
 }
 
 // launchAccumulator gathers counters and the coalescing sample across
@@ -183,35 +245,129 @@ func (a *launchAccumulator) add(s Stats, trans, warpMI int64) {
 	a.mu.Unlock()
 }
 
-// runBlock executes one block of the launch.
-func (d *Device) runBlock(cfg LaunchConfig, kernel Kernel, bid int, acc *launchAccumulator) {
-	rt := &blockRT{
-		dev:       d,
-		sharedF64: make([]float64, cfg.SharedF64),
-		sharedU32: make([]uint32, cfg.SharedU32),
+// blockScratch is the recycled per-block execution state: the thread
+// contexts, shared-memory arrays, coalescing-sample storage (block 0) and
+// the legacy sync barrier. One scratch serves one host worker at a time
+// and returns to the device free-list after the launch, so steady-state
+// launches allocate nothing. Everything a scratch owns is valid only while
+// its block runs — nothing may escape the launch.
+type blockScratch struct {
+	rt      blockRT
+	threads []Thread
+	samples [][]int64
+	retired []bool
+	bar     *barrier
+}
+
+// getScratch pops a recycled block scratch, or makes an empty one.
+func (d *Device) getScratch() *blockScratch {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if n := len(d.scratch); n > 0 {
+		sc := d.scratch[n-1]
+		d.scratch[n-1] = nil
+		d.scratch = d.scratch[:n-1]
+		return sc
 	}
+	return &blockScratch{}
+}
+
+// putScratch returns a scratch to the free-list for the next launch.
+func (d *Device) putScratch(sc *blockScratch) {
+	d.mu.Lock()
+	d.scratch = append(d.scratch, sc)
+	d.mu.Unlock()
+}
+
+// grow returns s with length n, reusing capacity when possible. Contents
+// are unspecified; callers clear or overwrite as their semantics require.
+func grow[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}
+
+// runBlockCaught runs one block, trapping a kernel panic in acc so it
+// surfaces on the launching goroutine after the remaining blocks drain,
+// not on an anonymous worker.
+func (d *Device) runBlockCaught(cfg LaunchConfig, kernel Kernel, phased PhasedKernel, phases, bid int, acc *launchAccumulator, sc *blockScratch) {
+	defer func() {
+		if r := recover(); r != nil {
+			acc.mu.Lock()
+			if acc.panicked == nil {
+				acc.panicked = r
+			}
+			acc.mu.Unlock()
+		}
+	}()
+	d.runBlock(cfg, kernel, phased, phases, bid, acc, sc)
+}
+
+// runBlock executes one block of the launch on the recycled scratch.
+func (d *Device) runBlock(cfg LaunchConfig, kernel Kernel, phased PhasedKernel, phases, bid int, acc *launchAccumulator, sc *blockScratch) {
+	rt := &sc.rt
+	rt.dev = d
+	// Blocks observe freshly zeroed shared memory, exactly as the
+	// per-block make calls used to guarantee.
+	rt.sharedF64 = grow(rt.sharedF64, cfg.SharedF64)
+	clear(rt.sharedF64)
+	rt.sharedU32 = grow(rt.sharedU32, cfg.SharedU32)
+	clear(rt.sharedU32)
+
+	sc.threads = grow(sc.threads, cfg.Block)
+	threads := sc.threads
+	// Block 0 is the coalescing sample, as in a sampling profiler.
 	sampling := bid == 0
-	threads := make([]*Thread, cfg.Block)
-	for l := 0; l < cfg.Block; l++ {
-		t := &Thread{
-			Dev:      d,
-			Block:    bid,
-			Lane:     l,
-			BlockDim: cfg.Block,
-			GridDim:  cfg.Grid,
-			block:    rt,
+	if sampling {
+		for len(sc.samples) < cfg.Block {
+			sc.samples = append(sc.samples, nil)
 		}
+	}
+	for l := range threads {
+		t := &threads[l]
+		*t = Thread{Dev: d, Block: bid, Lane: l, BlockDim: cfg.Block, GridDim: cfg.Grid, block: rt}
 		if sampling {
-			t.sample = make([]int64, 0, 256)
+			if sc.samples[l] == nil {
+				sc.samples[l] = make([]int64, 0, 256)
+			}
+			t.sample = sc.samples[l][:0]
 		}
-		threads[l] = t
 	}
 
-	if cfg.Sync {
-		rt.bar = newBarrier(cfg.Block)
+	switch {
+	case phased != nil:
+		// Sequential lockstep: all live lanes run phase p before any lane
+		// sees phase p+1 — the barrier is the iteration order. A lane
+		// returning true pays the barrier cost it just arrived at; a lane
+		// returning false retires silently, like a kernel body returning.
+		sc.retired = grow(sc.retired, cfg.Block)
+		clear(sc.retired)
+		alive := cfg.Block
+		for p := 0; p < phases && alive > 0; p++ {
+			for l := range threads {
+				if sc.retired[l] {
+					continue
+				}
+				t := &threads[l]
+				if phased(t, p) {
+					t.instr += syncCost
+				} else {
+					sc.retired[l] = true
+					alive--
+				}
+			}
+		}
+	case cfg.Sync:
+		if sc.bar == nil {
+			sc.bar = newBarrier(cfg.Block)
+		} else {
+			sc.bar.reset(cfg.Block)
+		}
+		rt.bar = sc.bar
 		var wg sync.WaitGroup
 		wg.Add(cfg.Block)
-		for _, t := range threads {
+		for l := range threads {
 			go func(t *Thread) {
 				defer wg.Done()
 				defer rt.bar.leave()
@@ -225,17 +381,19 @@ func (d *Device) runBlock(cfg LaunchConfig, kernel Kernel, bid int, acc *launchA
 					}
 				}()
 				kernel(t)
-			}(t)
+			}(&threads[l])
 		}
 		wg.Wait()
-	} else {
-		for _, t := range threads {
-			kernel(t)
+		rt.bar = nil
+	default:
+		for l := range threads {
+			kernel(&threads[l])
 		}
 	}
 
 	var s Stats
-	for _, t := range threads {
+	for l := range threads {
+		t := &threads[l]
 		s.Instructions += t.instr
 		s.GlobalLoads += t.gld
 		s.GlobalStores += t.gst
@@ -254,9 +412,9 @@ func (d *Device) runBlock(cfg LaunchConfig, kernel Kernel, bid int, acc *launchA
 			w1 = len(threads)
 		}
 		var maxInstr int64
-		for _, t := range threads[w0:w1] {
-			if t.instr > maxInstr {
-				maxInstr = t.instr
+		for l := w0; l < w1; l++ {
+			if threads[l].instr > maxInstr {
+				maxInstr = threads[l].instr
 			}
 		}
 		s.WarpInstructions += maxInstr
@@ -264,6 +422,11 @@ func (d *Device) runBlock(cfg LaunchConfig, kernel Kernel, bid int, acc *launchA
 	var trans, warpMI int64
 	if sampling {
 		trans, warpMI = d.coalesce(threads)
+		for l := range threads {
+			// Keep any capacity the sample streams grew for the next
+			// sampled block.
+			sc.samples[l] = threads[l].sample
+		}
 	}
 	acc.add(s, trans, warpMI)
 }
@@ -271,7 +434,7 @@ func (d *Device) runBlock(cfg LaunchConfig, kernel Kernel, bid int, acc *launchA
 // coalesce analyses the sampled global-access address streams of one block.
 // The k-th access of each lane in a warp forms one SIMT memory instruction;
 // its cost is the number of distinct SegmentBytes-sized segments touched.
-func (d *Device) coalesce(threads []*Thread) (transactions, warpMemInst int64) {
+func (d *Device) coalesce(threads []Thread) (transactions, warpMemInst int64) {
 	ws := d.cfg.WarpSize
 	seg := int64(d.cfg.SegmentBytes)
 	for w0 := 0; w0 < len(threads); w0 += ws {
@@ -280,19 +443,19 @@ func (d *Device) coalesce(threads []*Thread) (transactions, warpMemInst int64) {
 			w1 = len(threads)
 		}
 		maxLen := 0
-		for _, t := range threads[w0:w1] {
-			if len(t.sample) > maxLen {
-				maxLen = len(t.sample)
+		for l := w0; l < w1; l++ {
+			if len(threads[l].sample) > maxLen {
+				maxLen = len(threads[l].sample)
 			}
 		}
 		var segs [64]int64 // distinct segments of one warp instruction
 		for k := 0; k < maxLen; k++ {
 			n := 0
-			for _, t := range threads[w0:w1] {
-				if k >= len(t.sample) {
+			for l := w0; l < w1; l++ {
+				if k >= len(threads[l].sample) {
 					continue
 				}
-				s := t.sample[k] / seg
+				s := threads[l].sample[k] / seg
 				dup := false
 				for i := 0; i < n; i++ {
 					if segs[i] == s {
@@ -315,8 +478,10 @@ func (d *Device) coalesce(threads []*Thread) (transactions, warpMemInst int64) {
 }
 
 // finishLaunch extrapolates the coalescing sample, applies the timing model
-// and commits the launch to the device totals.
-func (d *Device) finishLaunch(cfg LaunchConfig, acc *launchAccumulator) LaunchStats {
+// and commits the launch to the device totals — unless a ResetStats landed
+// after the launch started, in which case the totals commit is dropped and
+// only the per-launch record is returned to the caller.
+func (d *Device) finishLaunch(cfg LaunchConfig, acc *launchAccumulator, gen uint64) LaunchStats {
 	s := acc.stats
 	s.Kernels = 1
 	ws := float64(d.cfg.WarpSize)
@@ -353,9 +518,11 @@ func (d *Device) finishLaunch(cfg LaunchConfig, acc *launchAccumulator) LaunchSt
 	}
 
 	d.mu.Lock()
-	d.totals.Add(s)
-	d.simTime += s.SimSeconds
-	d.launches = append(d.launches, ls)
+	if d.gen == gen {
+		d.totals.Add(s)
+		d.simTime += s.SimSeconds
+		d.launches = append(d.launches, ls)
+	}
 	d.mu.Unlock()
 	return ls
 }
@@ -397,6 +564,14 @@ func newBarrier(parties int) *barrier {
 	b := &barrier{parties: parties}
 	b.cond = sync.NewCond(&b.mu)
 	return b
+}
+
+// reset re-arms a recycled barrier for the next block. The caller owns the
+// barrier exclusively (the previous block's threads have all joined), so
+// no locking is needed.
+func (b *barrier) reset(parties int) {
+	b.parties = parties
+	b.waiting = 0
 }
 
 func (b *barrier) await() {

@@ -14,12 +14,67 @@ type Buffer[T any] struct {
 	data     []T
 	id       int64
 	elemSize int64
+	freed    bool
+}
+
+// maxFreeListEntries bounds each element-size class of the storage
+// free-list. The window pipeline keeps well under this many buffers live
+// per size class; anything beyond it is dropped for the garbage collector
+// so a pathological allocation pattern cannot pin unbounded host memory.
+const maxFreeListEntries = 64
+
+// takeStorage pops a recycled backing array with capacity for n elements
+// from the device free-list. The caller must hold d.mu. Entries of the
+// right byte size but a different element type are left in place for their
+// own type's allocations.
+func takeStorage[T any](d *Device, es int64, n int) []T {
+	if n == 0 {
+		return nil
+	}
+	list := d.bufFree[es]
+	for i := len(list) - 1; i >= 0; i-- {
+		s, ok := list[i].([]T)
+		if !ok || cap(s) < n {
+			continue
+		}
+		last := len(list) - 1
+		list[i] = list[last]
+		list[last] = nil
+		d.bufFree[es] = list[:last]
+		return s[:n]
+	}
+	return nil
+}
+
+// putStorage returns a backing array to the free-list for the next Alloc
+// of the same element size. The caller must hold d.mu.
+func (d *Device) putStorage(es int64, data any) {
+	if d.bufFree == nil {
+		d.bufFree = make(map[int64][]any)
+	}
+	list := d.bufFree[es]
+	if len(list) >= maxFreeListEntries {
+		return
+	}
+	d.bufFree[es] = append(list, data)
+}
+
+// noteDoubleFree counts a redundant Free absorbed by the guard.
+func (d *Device) noteDoubleFree() {
+	d.mu.Lock()
+	d.totals.DoubleFrees++
+	d.mu.Unlock()
 }
 
 // Alloc reserves an n-element device buffer. It panics if the device memory
 // capacity would be exceeded — the simulated analogue of cudaMalloc failing,
 // kept as a panic because allocations in this codebase are sized from
 // window configuration and exceeding 3 GB indicates a programming error.
+//
+// Backing storage is recycled from the device free-list when a previously
+// freed buffer of the same element type has enough capacity, so the
+// steady-state window loop allocates nothing; recycled storage is zeroed
+// first, preserving the fresh-allocation semantics kernels rely on.
 func Alloc[T any](dev *Device, n int) *Buffer[T] {
 	var zero T
 	es := int64(unsafe.Sizeof(zero))
@@ -33,16 +88,34 @@ func Alloc[T any](dev *Device, n int) *Buffer[T] {
 	dev.allocated += bytes
 	dev.nextBufID++
 	id := dev.nextBufID
+	data := takeStorage[T](dev, es, n)
 	dev.mu.Unlock()
-	return &Buffer[T]{dev: dev, data: make([]T, n), id: id, elemSize: es}
+	if data == nil {
+		data = make([]T, n)
+	} else {
+		clear(data)
+	}
+	return &Buffer[T]{dev: dev, data: data, id: id, elemSize: es}
 }
 
-// Free releases the buffer's device memory accounting. Using the buffer
+// Free releases the buffer's device-memory accounting exactly once and
+// returns the backing storage to the device free-list. Using the buffer
 // after Free is a programming error (the storage is cleared to surface it).
+// A second Free on the same buffer is a guarded no-op counted in
+// Stats.DoubleFrees: without the guard it would corrupt the accounting and
+// push the storage onto the free-list twice, aliasing two live buffers.
 func (b *Buffer[T]) Free() {
+	if b.freed {
+		b.dev.noteDoubleFree()
+		return
+	}
+	b.freed = true
 	bytes := b.elemSize * int64(len(b.data))
 	b.dev.mu.Lock()
 	b.dev.allocated -= bytes
+	if cap(b.data) > 0 {
+		b.dev.putStorage(b.elemSize, b.data)
+	}
 	b.dev.mu.Unlock()
 	b.data = nil
 }
@@ -55,7 +128,9 @@ func (b *Buffer[T]) Len() int { return len(b.data) }
 func (b *Buffer[T]) Host() []T { return b.data }
 
 // CopyIn copies src into the buffer (host-to-device), advancing the
-// simulated clock at PCIe bandwidth.
+// simulated clock at PCIe bandwidth. Passing the buffer's own Host slice
+// is allowed: it meters the transfer a real upload of staged data would
+// cost without needing a second host array.
 func (b *Buffer[T]) CopyIn(src []T) {
 	n := copy(b.data, src)
 	b.dev.advanceCopy(int64(n)*b.elemSize, true)
@@ -100,16 +175,19 @@ func AtomicAddU32(t *Thread, b *Buffer[uint32], i int, delta uint32) uint32 {
 // memory is cached on-chip; loads are metered as instructions and constant
 // loads but never contribute global-memory transactions.
 type ConstBuffer[T any] struct {
-	dev  *Device
-	data []T
+	dev   *Device
+	data  []T
+	freed bool
 }
 
 // NewConst uploads data to constant memory. It returns an error when the
 // device's constant-memory capacity would be exceeded — callers decide
 // whether to fall back to global memory, as GSNP's DICT dictionaries do.
+// Like Alloc, it recycles freed backing storage from the device free-list.
 func NewConst[T any](dev *Device, data []T) (*ConstBuffer[T], error) {
 	var zero T
-	bytes := int(unsafe.Sizeof(zero)) * len(data)
+	es := int64(unsafe.Sizeof(zero))
+	bytes := int(es) * len(data)
 	dev.mu.Lock()
 	if dev.constUsed+bytes > dev.cfg.ConstMemBytes {
 		used := dev.constUsed
@@ -117,19 +195,33 @@ func NewConst[T any](dev *Device, data []T) (*ConstBuffer[T], error) {
 		return nil, fmt.Errorf("gpu: constant memory exhausted: %d B requested, %d/%d B in use", bytes, used, dev.cfg.ConstMemBytes)
 	}
 	dev.constUsed += bytes
+	cp := takeStorage[T](dev, es, len(data))
 	dev.mu.Unlock()
-	cp := make([]T, len(data))
+	if cp == nil {
+		cp = make([]T, len(data))
+	}
 	copy(cp, data)
 	dev.advanceCopy(int64(bytes), true)
 	return &ConstBuffer[T]{dev: dev, data: cp}, nil
 }
 
-// FreeConst releases the constant-memory accounting of cb.
+// Free releases the constant-memory accounting of cb exactly once and
+// recycles the backing storage. A second Free is a guarded no-op counted
+// in Stats.DoubleFrees, as for Buffer.Free.
 func (cb *ConstBuffer[T]) Free() {
+	if cb.freed {
+		cb.dev.noteDoubleFree()
+		return
+	}
+	cb.freed = true
 	var zero T
-	bytes := int(unsafe.Sizeof(zero)) * len(cb.data)
+	es := int64(unsafe.Sizeof(zero))
+	bytes := int(es) * len(cb.data)
 	cb.dev.mu.Lock()
 	cb.dev.constUsed -= bytes
+	if cap(cb.data) > 0 {
+		cb.dev.putStorage(es, cb.data)
+	}
 	cb.dev.mu.Unlock()
 	cb.data = nil
 }

@@ -8,12 +8,18 @@ import "math/bits"
 // binary search. They are written as kernels against the simulator so their
 // memory behaviour is metered like any other device code.
 
-// primBlock is the thread-block size used by the primitive kernels.
+// primBlock is the thread-block size used by the primitive kernels, and
+// primLog its base-2 logarithm (the number of stride rounds in the
+// tree-shaped reduce and scan kernels).
 const primBlock = 256
+
+var primLog = bits.Len(uint(primBlock)) - 1
 
 // ReduceU32 sums the device buffer with a shared-memory tree reduction per
 // block followed by a host combine of the per-block partials, the standard
-// two-level GPU reduction.
+// two-level GPU reduction. The barrier structure is static (load, primLog
+// halving strides, store), so it runs as a phased launch: identical
+// metering to the synchronous form, no per-thread goroutines.
 func ReduceU32(d *Device, in *Buffer[uint32]) uint64 {
 	n := in.Len()
 	if n == 0 {
@@ -22,23 +28,28 @@ func ReduceU32(d *Device, in *Buffer[uint32]) uint64 {
 	grid := (n + primBlock - 1) / primBlock
 	partial := Alloc[uint32](d, grid)
 	defer partial.Free()
-	d.MustLaunch(LaunchConfig{Name: "reduce_u32", Grid: grid, Block: primBlock, SharedU32: primBlock, Sync: true}, func(t *Thread) {
-		i := t.GlobalID()
-		v := uint32(0)
-		if i < n {
-			v = Ld(t, in, i)
-		}
-		t.SetSharedU32(t.Lane, v)
-		t.Sync()
-		for stride := primBlock / 2; stride > 0; stride /= 2 {
+	d.MustLaunchPhased(LaunchConfig{Name: "reduce_u32", Grid: grid, Block: primBlock, SharedU32: primBlock}, primLog+2, func(t *Thread, p int) bool {
+		switch {
+		case p == 0:
+			i := t.GlobalID()
+			v := uint32(0)
+			if i < n {
+				v = Ld(t, in, i)
+			}
+			t.SetSharedU32(t.Lane, v)
+			return true
+		case p <= primLog:
+			stride := primBlock >> p
 			if t.Lane < stride {
 				t.Exec(1)
 				t.SetSharedU32(t.Lane, t.SharedU32(t.Lane)+t.SharedU32(t.Lane+stride))
 			}
-			t.Sync()
-		}
-		if t.Lane == 0 {
-			St(t, partial, t.Block, t.SharedU32(0))
+			return true
+		default:
+			if t.Lane == 0 {
+				St(t, partial, t.Block, t.SharedU32(0))
+			}
+			return false
 		}
 	})
 	var sum uint64
@@ -65,45 +76,60 @@ func ExclusiveScanU32(d *Device, in, out *Buffer[uint32]) uint64 {
 	blockTotals := Alloc[uint32](d, grid)
 	defer blockTotals.Free()
 
-	d.MustLaunch(LaunchConfig{Name: "scan_u32", Grid: grid, Block: primBlock, SharedU32: 2 * primBlock, Sync: true}, func(t *Thread) {
-		i := t.GlobalID()
-		v := uint32(0)
-		if i < n {
-			v = Ld(t, in, i)
-		}
-		// Double-buffered inclusive Hillis-Steele scan.
-		cur, nxt := 0, primBlock
-		t.SetSharedU32(cur+t.Lane, v)
-		t.Sync()
-		for stride := 1; stride < primBlock; stride *= 2 {
+	// Double-buffered inclusive Hillis-Steele scan, phased: one load
+	// round, primLog doubling strides, one store round. Each lane carries
+	// its own input value across the barriers in a register (Reg[0]) so
+	// the exclusive result costs no extra shared-memory traffic.
+	d.MustLaunchPhased(LaunchConfig{Name: "scan_u32", Grid: grid, Block: primBlock, SharedU32: 2 * primBlock}, primLog+2, func(t *Thread, p int) bool {
+		switch {
+		case p == 0:
+			i := t.GlobalID()
+			v := uint32(0)
+			if i < n {
+				v = Ld(t, in, i)
+			}
+			t.Reg[0] = uint64(v)
+			t.SetSharedU32(t.Lane, v)
+			return true
+		case p <= primLog:
+			stride := 1 << (p - 1)
+			cur := ((p - 1) & 1) * primBlock
+			nxt := primBlock - cur
 			x := t.SharedU32(cur + t.Lane)
 			if t.Lane >= stride {
 				t.Exec(1)
 				x += t.SharedU32(cur + t.Lane - stride)
 			}
 			t.SetSharedU32(nxt+t.Lane, x)
-			t.Sync()
-			cur, nxt = nxt, cur
-		}
-		incl := t.SharedU32(cur + t.Lane)
-		if i < n {
-			St(t, out, i, incl-v) // exclusive = inclusive - self
-		}
-		if t.Lane == primBlock-1 {
-			St(t, blockTotals, t.Block, incl)
+			return true
+		default:
+			// After primLog buffer swaps from offset 0 the inclusive
+			// values sit at offset 0 iff primLog is even.
+			incl := t.SharedU32((primLog&1)*primBlock + t.Lane)
+			i := t.GlobalID()
+			if i < n {
+				St(t, out, i, incl-uint32(t.Reg[0])) // exclusive = inclusive - self
+			}
+			if t.Lane == primBlock-1 {
+				St(t, blockTotals, t.Block, incl)
+			}
+			return false
 		}
 	})
 
 	// Host carry propagation across blocks (cheap: one value per block).
+	// The carries are staged directly in the device buffer's backing
+	// storage; the self-CopyIn meters the upload without a second host
+	// array.
+	carryBuf := Alloc[uint32](d, grid)
+	defer carryBuf.Free()
 	totals := blockTotals.Host()
+	carries := carryBuf.Host()
 	var carry uint64
-	carries := make([]uint32, grid)
 	for b := 0; b < grid; b++ {
 		carries[b] = uint32(carry)
 		carry += uint64(totals[b])
 	}
-	carryBuf := Alloc[uint32](d, grid)
-	defer carryBuf.Free()
 	carryBuf.CopyIn(carries)
 	d.MustLaunch(LaunchConfig{Name: "scan_carry", Grid: grid, Block: primBlock}, func(t *Thread) {
 		i := t.GlobalID()

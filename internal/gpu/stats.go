@@ -37,6 +37,11 @@ type Stats struct {
 	// volumes.
 	H2DBytes int64
 	D2HBytes int64
+	// DoubleFrees counts redundant Buffer/ConstBuffer Free calls absorbed
+	// by the double-free guard. Always zero in a correct program; the
+	// guard exists because a second Free would push the same backing
+	// storage onto the recycle free-list twice, aliasing two live buffers.
+	DoubleFrees int64
 	// SimSeconds is the simulated device-clock time consumed.
 	SimSeconds float64
 }
@@ -56,6 +61,7 @@ func (s *Stats) Add(o Stats) {
 	s.GlobalTransactions += o.GlobalTransactions
 	s.H2DBytes += o.H2DBytes
 	s.D2HBytes += o.D2HBytes
+	s.DoubleFrees += o.DoubleFrees
 	s.SimSeconds += o.SimSeconds
 }
 
@@ -75,6 +81,7 @@ func (s Stats) Sub(o Stats) Stats {
 		GlobalTransactions: s.GlobalTransactions - o.GlobalTransactions,
 		H2DBytes:           s.H2DBytes - o.H2DBytes,
 		D2HBytes:           s.D2HBytes - o.D2HBytes,
+		DoubleFrees:        s.DoubleFrees - o.DoubleFrees,
 		SimSeconds:         s.SimSeconds - o.SimSeconds,
 	}
 }

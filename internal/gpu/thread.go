@@ -17,6 +17,13 @@ type Thread struct {
 	// GridDim is the number of blocks.
 	GridDim int
 
+	// Reg models two per-lane registers for PhasedKernel bodies: register
+	// state survives barriers on real hardware, and phased kernels need a
+	// place to carry values across phase boundaries without re-reading
+	// memory (which would change the metered counts). Reads and writes
+	// are free, like register traffic.
+	Reg [2]uint64
+
 	block  *blockRT
 	sample []int64 // sampled global-access addresses (block 0 only)
 

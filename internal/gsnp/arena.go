@@ -171,15 +171,23 @@ func (p *computePool) takePanic() *pipeline.PanicError {
 
 func (p *computePool) stop() { close(p.jobs) }
 
-// runSharded splits sites [0, w.n) into ComputeWorkers contiguous ranges
-// and runs kind over them in parallel. Each shard writes only its own
-// disjoint index range of the output arrays and likelihood shards use
-// per-worker dep_count scratch, so results are byte-identical to the
-// serial order at any worker count.
+// runSharded splits sites [0, w.n) into contiguous ranges and runs kind
+// over them in parallel. Each shard writes only its own disjoint index
+// range of the output arrays and likelihood shards use per-worker
+// dep_count scratch, so results are byte-identical to the serial order at
+// any worker count. The effective width adapts to the window: requesting
+// more workers than the host has CPUs, or more shards than the window has
+// sites to amortise the dispatch cost, silently serializes (sharding never
+// changes output bytes, only wall time).
 func (e *Engine) runSharded(w *window, kind uint8) {
 	k := e.cfg.ComputeWorkers
-	if e.pool == nil || k < 1 {
+	switch {
+	case e.pool == nil || k < 1:
 		k = 1
+	case e.cfg.forceShardWorkers > 0:
+		k = e.cfg.forceShardWorkers
+	default:
+		k = effectiveComputeWorkers(k, w.n)
 	}
 	if k > w.n {
 		k = w.n

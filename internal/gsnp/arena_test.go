@@ -5,8 +5,11 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"os"
+	"runtime"
 	"testing"
+	"time"
 
 	"gsnp/internal/dna"
 	"gsnp/internal/gpu"
@@ -74,19 +77,91 @@ func TestComputeWorkersByteIdentity(t *testing.T) {
 	// The tentpole guarantee: sharding likelihood_comp + posterior over
 	// sites must not perturb a single output byte, because shards write
 	// disjoint index ranges with per-worker dep_count scratch.
+	// forceShardWorkers pins the dispatch width so the parallel pool path
+	// is really exercised even on hosts where the adaptive cap (CPU count,
+	// minShardSites) would serialize these small windows.
 	ds := testDataset(t, 3000, 9, 555)
 	_, want := runGSNP(t, ds, Config{Mode: ModeCPU, Window: 700, ComputeWorkers: 1})
 	for _, cw := range []int{2, 4, 7} {
-		_, got := runGSNP(t, ds, Config{Mode: ModeCPU, Window: 700, ComputeWorkers: cw})
+		_, got := runGSNP(t, ds, Config{Mode: ModeCPU, Window: 700, ComputeWorkers: cw, forceShardWorkers: cw})
 		if !bytes.Equal(got, want) {
 			t.Errorf("ComputeWorkers=%d output differs from single-threaded", cw)
 		}
 	}
+	// The adaptive path (no forcing): whatever width it picks, bytes match.
+	_, gotAdaptive := runGSNP(t, ds, Config{Mode: ModeCPU, Window: 700, ComputeWorkers: 4})
+	if !bytes.Equal(gotAdaptive, want) {
+		t.Error("adaptive ComputeWorkers output differs from single-threaded")
+	}
 	// Stacked with the other concurrency knobs.
-	_, got := runGSNP(t, ds, Config{Mode: ModeCPU, Window: 700, ComputeWorkers: 4, SortWorkers: 4, Prefetch: true})
+	_, got := runGSNP(t, ds, Config{Mode: ModeCPU, Window: 700, ComputeWorkers: 4, forceShardWorkers: 4, SortWorkers: 4, Prefetch: true})
 	if !bytes.Equal(got, want) {
 		t.Error("ComputeWorkers+SortWorkers+Prefetch output differs from serial")
 	}
+}
+
+func TestEffectiveComputeWorkers(t *testing.T) {
+	mp := runtime.GOMAXPROCS(0)
+	cases := []struct {
+		k, n, want int
+	}{
+		// Tiny windows serialize regardless of the request.
+		{k: 8, n: minShardSites - 1, want: 1},
+		{k: 8, n: 1, want: 1},
+		// One shard's worth of sites: still serial (floor is 1).
+		{k: 8, n: minShardSites, want: 1},
+		// Large window: bounded by the host CPU count only.
+		{k: 4, n: 100 * minShardSites, want: min(4, mp)},
+		{k: 1, n: 100 * minShardSites, want: 1},
+	}
+	for _, c := range cases {
+		if got := effectiveComputeWorkers(c.k, c.n); got != c.want {
+			t.Errorf("effectiveComputeWorkers(%d, %d) = %d, want %d (GOMAXPROCS=%d)", c.k, c.n, got, c.want, mp)
+		}
+	}
+}
+
+// TestComputeWorkersNoRegression pins the cw=4 bugfix: with the adaptive
+// cap in place, requesting more compute workers than the window or host
+// can use must not make the bench window slower than serial. The old
+// behaviour dispatched pool shards unconditionally, and on a small host
+// that pure overhead made cw=4 measurably slower than cw=1.
+func TestComputeWorkersNoRegression(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing comparison skipped in -short mode")
+	}
+	ds := seqsim.BuildDataset(seqsim.ChromosomeSpec{
+		Name: "chrB", Length: 40000, Depth: 10, MaskFraction: 0.1, Seed: 7,
+	})
+	measure := func(cw int) float64 {
+		eng, wins := newDirectEngine(t, ds, Config{Mode: ModeCPU, Window: 8000, SortWorkers: 1, ComputeWorkers: cw})
+		runAll := func() {
+			for _, dw := range wins {
+				if err := eng.runWindow(dw.rs, dw.start, dw.end); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		runAll() // warm the arena
+		best := math.Inf(1)
+		for trial := 0; trial < 5; trial++ {
+			start := time.Now()
+			runAll()
+			if d := time.Since(start).Seconds(); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	t1 := measure(1)
+	t4 := measure(4)
+	// Generous slack: the fix makes cw=4 at worst equal to cw=1 (it
+	// serializes when no parallelism is available), so anything beyond
+	// noise is a regression.
+	if t4 > t1*1.25 {
+		t.Errorf("cw=4 window pass took %.2fms, cw=1 took %.2fms: adaptive cap failed to remove the dispatch overhead", t4*1e3, t1*1e3)
+	}
+	t.Logf("bench window pass: cw=1 %.2fms, cw=4 %.2fms", t1*1e3, t4*1e3)
 }
 
 func TestArenaReuseAcrossRuns(t *testing.T) {
@@ -128,7 +203,7 @@ func TestArenaReuseAcrossRuns(t *testing.T) {
 // separately by the byte-identity tests.
 func TestRunWindowSteadyStateAllocsCPU(t *testing.T) {
 	ds := testDataset(t, 4000, 10, 321)
-	eng, wins := newDirectEngine(t, ds, Config{Mode: ModeCPU, Window: 800, SortWorkers: 1, ComputeWorkers: 4})
+	eng, wins := newDirectEngine(t, ds, Config{Mode: ModeCPU, Window: 800, SortWorkers: 1, ComputeWorkers: 4, forceShardWorkers: 4})
 
 	runAll := func() {
 		for _, dw := range wins {
@@ -148,12 +223,40 @@ func TestRunWindowSteadyStateAllocsCPU(t *testing.T) {
 	t.Logf("steady-state CPU allocs/window: %.2f over %d windows", perWindow, len(wins))
 }
 
-// TestRunWindowSteadyStateStagingGPU gates the GPU side of the recycler.
-// The simulated device allocates per launch (thread contexts, per-window
-// device buffers sized by ExclusiveScan), so an absolute allocation bound
-// is meaningless here; what the arena owns is the host staging, and that
-// must be reused: after a warm-up pass, re-running the same windows must
-// leave every staging buffer's backing array in place.
+// TestRunWindowSteadyStateAllocsGPU is the GPU counterpart of the CPU
+// allocation gate: with the device free-lists (buffer storage, block
+// scratch) and the arena staging warm, a GPU-mode window must run within a
+// hard allocation budget. The remaining steady-state allocations are the
+// per-launch kernel closures and the Buffer descriptor structs — a few
+// per launch, ~15 launches per window — so the budget is a small constant,
+// down from the ~560K allocs/window of the unrecycled simulator.
+func TestRunWindowSteadyStateAllocsGPU(t *testing.T) {
+	const budget = 256
+	ds := testDataset(t, 2400, 10, 322)
+	eng, wins := newDirectEngine(t, ds, Config{Mode: ModeGPU, Device: gpu.NewDevice(gpu.M2050()), Window: 800})
+
+	runAll := func() {
+		for _, dw := range wins {
+			if err := eng.runWindow(dw.rs, dw.start, dw.end); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Warm the arena, the device free-lists and the launch scratch.
+	runAll()
+	runAll()
+
+	perWindow := testing.AllocsPerRun(5, runAll) / float64(len(wins))
+	if perWindow > budget {
+		t.Errorf("steady-state GPU window allocates %.1f times (gate: %d)", perWindow, budget)
+	}
+	t.Logf("steady-state GPU allocs/window: %.2f over %d windows", perWindow, len(wins))
+}
+
+// TestRunWindowSteadyStateStagingGPU gates pointer stability of the GPU
+// window's host staging: after a warm-up pass, re-running the same windows
+// must leave every staging buffer's backing array in place — reuse, not
+// equal-sized reallocation.
 func TestRunWindowSteadyStateStagingGPU(t *testing.T) {
 	ds := testDataset(t, 2400, 10, 322)
 	eng, wins := newDirectEngine(t, ds, Config{Mode: ModeGPU, Device: gpu.NewDevice(gpu.M2050()), Window: 800})
@@ -280,10 +383,10 @@ func BenchmarkRunWindowCPU(b *testing.B) {
 	}
 }
 
-// BenchmarkRunWindowGPU is the GPU counterpart; allocations here are
-// dominated by the simulator's per-launch machinery, so B/op tracks the
-// simulation, not the pipeline — the interesting metrics are ns/window
-// and sites/s, plus the staging-reuse gate above.
+// BenchmarkRunWindowGPU is the GPU counterpart. With the device free-lists
+// and phased kernel execution in place the simulator itself recycles its
+// per-launch machinery, so allocs/op is a real pipeline metric here,
+// gated hard by TestRunWindowSteadyStateAllocsGPU above.
 func BenchmarkRunWindowGPU(b *testing.B) {
 	ds := seqsim.BuildDataset(seqsim.ChromosomeSpec{
 		Name: "chrB", Length: 16000, Depth: 10, MaskFraction: 0.1, Seed: 7,

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"time"
 
 	"gsnp/internal/bayes"
@@ -67,6 +68,33 @@ func New(cfg Config) (*Engine, error) {
 
 // Tables exposes the calibrated tables after a run.
 func (e *Engine) Tables() *bayes.Tables { return e.tables }
+
+// minShardSites is the smallest per-shard site count worth handing to a
+// pool helper. Dispatching one shard (channel send, WaitGroup traffic,
+// helper wakeup, join) costs on the order of ten microseconds of host
+// time, while the likelihood + posterior passes cost well under a
+// microsecond per site, so a shard needs a few thousand sites before the
+// handoff is noise. 2048 keeps the dispatch overhead under ~1% of shard
+// compute; see DESIGN.md "Adaptive compute sharding" for the measurement.
+const minShardSites = 2048
+
+// effectiveComputeWorkers adapts the requested compute-worker count to one
+// window: capped at the host CPU count (extra workers on a CPU-bound pass
+// add handoffs but no parallelism — the source of the cw=4 regression on
+// small hosts) and at one shard per minShardSites sites (tiny windows
+// serialize rather than paying dispatch latency per sliver).
+func effectiveComputeWorkers(k, n int) int {
+	if mp := runtime.GOMAXPROCS(0); k > mp {
+		k = mp
+	}
+	if floor := n / minShardSites; k > floor {
+		k = floor
+	}
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
 
 // simSpan measures the simulated device time consumed by f.
 func (e *Engine) simSpan(f func()) time.Duration {

@@ -128,7 +128,15 @@ type Config struct {
 	// GOMAXPROCS; the paper-comparison harness pins it to 1. Sites are
 	// sharded into contiguous disjoint index ranges with per-worker
 	// dep_count scratch, so output is byte-identical at every setting.
+	// The count is an upper bound: each window caps it at the host CPU
+	// count and at one shard per minShardSites sites, so small windows
+	// and single-CPU hosts serialize instead of paying dispatch overhead
+	// for no parallelism.
 	ComputeWorkers int
+	// forceShardWorkers pins the sharded-dispatch width, bypassing the
+	// adaptive cap. Test seam: byte-identity and pool tests must exercise
+	// helper dispatch even on hosts where the cap would serialize.
+	forceShardWorkers int
 	// Arena supplies the per-window working-set recycler (component 7).
 	// Nil selects a process-wide pool; the whole-genome scheduler hands
 	// each of its workers a private Arena so consecutive chromosome runs

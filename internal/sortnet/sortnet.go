@@ -92,20 +92,14 @@ func MultipassBitonic(d *gpu.Device, b *Batches) Stats {
 	var st Stats
 	start := d.Stats()
 	for ci, class := range multipassClasses {
+		if class == 1 {
+			continue // single-element arrays are already sorted
+		}
 		lo := 1
 		if ci > 0 {
 			lo = multipassClasses[ci-1] + 1
 		}
-		var members []int
-		for i := 0; i < b.NumArrays(); i++ {
-			if s := b.SizeOf(i); s >= lo && s <= class {
-				members = append(members, i)
-			}
-		}
-		if class == 1 {
-			continue // single-element arrays are already sorted
-		}
-		sortClass(d, b, members, class, &st)
+		sortClass(d, b, lo, class, class, &st)
 	}
 	sortOversized(b)
 	st.SimSeconds = d.Stats().Sub(start).SimSeconds
@@ -127,13 +121,7 @@ func SinglePassBitonic(d *gpu.Device, b *Batches) Stats {
 	if class > maxClassSize {
 		class = maxClassSize
 	}
-	var members []int
-	for i := 0; i < b.NumArrays(); i++ {
-		if s := b.SizeOf(i); s > 1 && s <= class {
-			members = append(members, i)
-		}
-	}
-	sortClass(d, b, members, class, &st)
+	sortClass(d, b, 2, class, class, &st)
 	sortOversized(b)
 	st.SimSeconds = d.Stats().Sub(start).SimSeconds
 	return st
@@ -146,13 +134,13 @@ func SinglePassBitonic(d *gpu.Device, b *Batches) Stats {
 func NonEqBitonic(d *gpu.Device, b *Batches) Stats {
 	var st Stats
 	start := d.Stats()
-	var members []int
+	n := 0
 	for i := 0; i < b.NumArrays(); i++ {
 		if s := b.SizeOf(i); s > 1 && s <= maxClassSize {
-			members = append(members, i)
+			n++
 		}
 	}
-	if len(members) == 0 {
+	if n == 0 {
 		sortOversized(b)
 		return st
 	}
@@ -160,49 +148,77 @@ func NonEqBitonic(d *gpu.Device, b *Batches) Stats {
 	// One launch; every block sorts one array padded to its own power of
 	// two inside a fixed 256-slot shared buffer. Threads beyond the
 	// array's padded size idle through the barriers — the imbalance.
-	n := len(members)
+	// Membership is recomputed per pass rather than materialised, so the
+	// window loop stays allocation-free.
 	bounds := gpu.Alloc[uint32](d, 2*n)
 	defer bounds.Free()
 	hostBounds := bounds.Host()
 	var maxPadTotal int64
-	for k, ai := range members {
-		hostBounds[2*k] = uint32(b.Bounds[ai])
-		hostBounds[2*k+1] = uint32(b.SizeOf(ai))
-		maxPadTotal += int64(ceilPow2(b.SizeOf(ai)))
+	k := 0
+	for i := 0; i < b.NumArrays(); i++ {
+		s := b.SizeOf(i)
+		if s <= 1 || s > maxClassSize {
+			continue
+		}
+		hostBounds[2*k] = uint32(b.Bounds[i])
+		hostBounds[2*k+1] = uint32(s)
+		maxPadTotal += int64(ceilPow2(s))
+		k++
 	}
 	data := gpu.Alloc[uint32](d, len(b.Data))
 	defer data.Free()
 	data.CopyIn(b.Data)
 
-	d.MustLaunch(gpu.LaunchConfig{
+	// Phase 0 stages the descriptor, phase 1 loads the array, then one
+	// phase per (k, j) network step. Blocks with a smaller pad run a
+	// prefix of the full maxClassSize network (k ascends, j descends
+	// within k), write back and retire early, exactly as their goroutines
+	// used to leave the barrier early.
+	merges := nkjPhases(maxClassSize)
+	d.MustLaunchPhased(gpu.LaunchConfig{
 		Name: "bitonic_noneq", Grid: n, Block: maxClassSize,
-		SharedU32: maxClassSize + 2, Sync: true,
-	}, func(t *gpu.Thread) {
-		// Lane 0 stages the block's array descriptor through shared
-		// memory; a naive per-lane load would multiply global traffic.
-		if t.Lane == 0 {
-			t.SetSharedU32(maxClassSize, gpu.Ld(t, bounds, 2*t.Block))
-			t.SetSharedU32(maxClassSize+1, gpu.Ld(t, bounds, 2*t.Block+1))
-		}
-		t.Sync()
-		off := int(t.SharedU32(maxClassSize))
-		size := int(t.SharedU32(maxClassSize + 1))
-		pad := ceilPow2(size)
-		if t.Lane >= pad {
-			// Lanes beyond this array's padded size retire; the block
-			// still occupies a full 256-thread slot, the imbalance this
-			// baseline suffers from.
-			return
-		}
-		v := padValue
-		if t.Lane < size {
-			v = gpu.Ld(t, data, off+t.Lane)
-		}
-		t.SetSharedU32(t.Lane, v)
-		t.Sync()
-		bitonicShared(t, t.Lane, pad, pad)
-		if t.Lane < size {
-			gpu.St(t, data, off+t.Lane, t.SharedU32(t.Lane))
+		SharedU32: maxClassSize + 2,
+	}, merges+3, func(t *gpu.Thread, p int) bool {
+		switch {
+		case p == 0:
+			// Lane 0 stages the block's array descriptor through shared
+			// memory; a naive per-lane load would multiply global traffic.
+			if t.Lane == 0 {
+				t.SetSharedU32(maxClassSize, gpu.Ld(t, bounds, 2*t.Block))
+				t.SetSharedU32(maxClassSize+1, gpu.Ld(t, bounds, 2*t.Block+1))
+			}
+			return true
+		case p == 1:
+			off := t.SharedU32(maxClassSize)
+			size := t.SharedU32(maxClassSize + 1)
+			t.Reg[0] = uint64(off)
+			t.Reg[1] = uint64(size)
+			pad := ceilPow2(int(size))
+			if t.Lane >= pad {
+				// Lanes beyond this array's padded size retire; the block
+				// still occupies a full 256-thread slot, the imbalance
+				// this baseline suffers from.
+				return false
+			}
+			v := padValue
+			if t.Lane < int(size) {
+				v = gpu.Ld(t, data, int(off)+t.Lane)
+			}
+			t.SetSharedU32(t.Lane, v)
+			return true
+		default:
+			off := int(t.Reg[0])
+			size := int(t.Reg[1])
+			pad := ceilPow2(size)
+			if p-2 < nkjPhases(pad) {
+				kk, jj := kjAt(p - 2)
+				bitonicPhase(t, t.Lane, kk, jj, pad, pad)
+				return true
+			}
+			if t.Lane < size {
+				gpu.St(t, data, off+t.Lane, t.SharedU32(t.Lane))
+			}
+			return false
 		}
 	})
 	st.Launches++
@@ -213,28 +229,46 @@ func NonEqBitonic(d *gpu.Device, b *Batches) Stats {
 	return st
 }
 
-// sortClass pads every member array to class size, sorts the batch with
-// the equal-size bitonic kernel and writes the results back.
-func sortClass(d *gpu.Device, b *Batches, members []int, class int, st *Stats) {
-	if len(members) == 0 {
+// sortClass pads every array whose size falls in [lo, hi] to class size,
+// sorts the batch with the equal-size bitonic kernel and writes the
+// results back. Membership is recomputed per pass instead of materialising
+// a member list, keeping the window loop allocation-free.
+func sortClass(d *gpu.Device, b *Batches, lo, hi, class int, st *Stats) {
+	n := 0
+	for i := 0; i < b.NumArrays(); i++ {
+		if s := b.SizeOf(i); s >= lo && s <= hi {
+			n++
+		}
+	}
+	if n == 0 {
 		return
 	}
 	class = ceilPow2(class)
-	n := len(members)
 	batch := gpu.Alloc[uint32](d, n*class)
 	defer batch.Free()
 	host := batch.Host()
-	for k, ai := range members {
-		arr := b.Array(ai)
-		copy(host[k*class:], arr)
-		for j := len(arr); j < class; j++ {
+	k := 0
+	for i := 0; i < b.NumArrays(); i++ {
+		s := b.SizeOf(i)
+		if s < lo || s > hi {
+			continue
+		}
+		copy(host[k*class:], b.Array(i))
+		for j := s; j < class; j++ {
 			host[k*class+j] = padValue
 		}
+		k++
 	}
 	st.Launches += int64(batchBitonicEqual(d, batch, class))
 	st.ElementsSorted += int64(n * class)
-	for k, ai := range members {
-		copy(b.Array(ai), host[k*class:k*class+b.SizeOf(ai)])
+	k = 0
+	for i := 0; i < b.NumArrays(); i++ {
+		s := b.SizeOf(i)
+		if s < lo || s > hi {
+			continue
+		}
+		copy(b.Array(i), host[k*class:k*class+s])
+		k++
 	}
 }
 
@@ -251,47 +285,76 @@ func batchBitonicEqual(d *gpu.Device, batch *gpu.Buffer[uint32], class int) int 
 		}
 	}
 	grid := (total + block - 1) / block
-	d.MustLaunch(gpu.LaunchConfig{
+	merges := nkjPhases(class)
+	d.MustLaunchPhased(gpu.LaunchConfig{
 		Name: "batch_bitonic", Grid: grid, Block: block,
-		SharedU32: block, Sync: true,
-	}, func(t *gpu.Thread) {
-		i := t.GlobalID()
-		v := padValue
-		if i < total {
-			v = gpu.Ld(t, batch, i)
-		}
-		t.SetSharedU32(t.Lane, v)
-		t.Sync()
-		bitonicShared(t, t.Lane, class, t.BlockDim)
-		if i < total {
-			gpu.St(t, batch, i, t.SharedU32(t.Lane))
+		SharedU32: block,
+	}, merges+2, func(t *gpu.Thread, p int) bool {
+		switch {
+		case p == 0:
+			i := t.GlobalID()
+			v := padValue
+			if i < total {
+				v = gpu.Ld(t, batch, i)
+			}
+			t.SetSharedU32(t.Lane, v)
+			return true
+		case p <= merges:
+			kk, jj := kjAt(p - 1)
+			bitonicPhase(t, t.Lane, kk, jj, class, t.BlockDim)
+			return true
+		default:
+			i := t.GlobalID()
+			if i < total {
+				gpu.St(t, batch, i, t.SharedU32(t.Lane))
+			}
+			return false
 		}
 	})
 	return 1
 }
 
-// bitonicShared runs the bitonic network over the block's shared buffer,
-// sorting each aligned sub-array of the given size independently and
-// ascending. All threads of the block must call it (it contains barriers).
-func bitonicShared(t *gpu.Thread, lane, size, blockDim int) {
+// nkjPhases is the number of (k, j) compare-exchange steps of a bitonic
+// network over size elements: log2(size) * (log2(size)+1) / 2.
+func nkjPhases(size int) int {
+	l := bits.Len(uint(size)) - 1
+	return l * (l + 1) / 2
+}
+
+// kjAt maps a flat step index back to its (k, j) pair in network order —
+// k ascends 2, 4, ... and within each k the stride j halves from k/2 down
+// to 1 — so the step sequence of a smaller power of two is a prefix of a
+// larger one's, which is what lets non-equal-size blocks share one phase
+// counter.
+func kjAt(q int) (k, j int) {
+	for k = 2; ; k *= 2 {
+		steps := bits.Len(uint(k)) - 1 // log2(k) strides for this k
+		if q < steps {
+			return k, k >> (q + 1)
+		}
+		q -= steps
+	}
+}
+
+// bitonicPhase performs one (k, j) compare-exchange step of the bitonic
+// network over the block's shared buffer, sorting each aligned
+// size-element sub-array independently and ascending. It is one phase of a
+// PhasedKernel body; the barrier that separated steps in the synchronous
+// form is implicit between phases.
+func bitonicPhase(t *gpu.Thread, lane, k, j, size, blockDim int) {
 	pos := lane & (size - 1) // position within the aligned sub-array
-	for k := 2; k <= size; k *= 2 {
-		for j := k / 2; j > 0; j /= 2 {
-			partner := lane ^ j
-			if partner > lane && partner < blockDim {
-				a := t.SharedU32(lane)
-				bv := t.SharedU32(partner)
-				// Direction from the in-array position: the final merge
-				// (k == size) has pos&k == 0 everywhere, so every
-				// sub-array ends ascending.
-				up := pos&k == 0
-				t.Exec(2)
-				if (a > bv) == up {
-					t.SetSharedU32(lane, bv)
-					t.SetSharedU32(partner, a)
-				}
-			}
-			t.Sync()
+	partner := lane ^ j
+	if partner > lane && partner < blockDim {
+		a := t.SharedU32(lane)
+		bv := t.SharedU32(partner)
+		// Direction from the in-array position: the final merge
+		// (k == size) has pos&k == 0 everywhere, so every sub-array ends
+		// ascending.
+		up := pos&k == 0
+		t.Exec(2)
+		if (a > bv) == up {
+			t.SetSharedU32(lane, bv)
+			t.SetSharedU32(partner, a)
 		}
 	}
 }
