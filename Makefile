@@ -10,8 +10,9 @@ GO ?= go
 # Every goroutine-spawning package runs under the race detector: the
 # schedulers, the prefetcher and its consumers, the parallel sort, the
 # simulated GPU device, the fault/checkpoint machinery, the gsnpd
-# service, and the shared genome-job decomposition both front-ends use.
-RACE_PKGS = ./internal/pipeline ./internal/sched ./internal/gsnp ./internal/soapsnp ./internal/sortnet ./internal/faults ./internal/checkpoint ./internal/service ./internal/genomejob ./internal/gpu
+# service with its result cache, and the shared genome-job decomposition
+# both front-ends use.
+RACE_PKGS = ./internal/pipeline ./internal/sched ./internal/gsnp ./internal/soapsnp ./internal/sortnet ./internal/faults ./internal/checkpoint ./internal/service ./internal/resultcache ./internal/genomejob ./internal/gpu
 
 # Per-target budget for the fuzz smoke pass.
 FUZZ_TIME ?= 10s
@@ -86,9 +87,11 @@ fuzz-smoke:
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x .
 
-# Window-level pipeline benchmarks (one op = one window) recorded as JSON:
-# ns/window, B/op, allocs/op and sites/s per configuration, the perf
-# trajectory artifact. Compare BENCH_pipeline.json across commits.
+# Window-level pipeline benchmarks (one op = one window) plus the gsnpd
+# serving benchmarks (cache hit vs cold execution) recorded as JSON:
+# ns/op, B/op, allocs/op per configuration, the perf trajectory
+# artifact. Compare BENCH_pipeline.json across commits.
 bench-json:
-	$(GO) test -run xxx -bench BenchmarkRunWindow -benchmem ./internal/gsnp ./internal/gpu \
+	{ $(GO) test -run xxx -bench BenchmarkRunWindow -benchmem ./internal/gsnp ./internal/gpu ; \
+	  $(GO) test -run xxx -bench 'BenchmarkServe' -benchmem ./internal/service ; } \
 		| $(GO) run ./cmd/gsnp-benchjson > BENCH_pipeline.json

@@ -315,9 +315,13 @@ func TestCLIFaultToleranceGenome(t *testing.T) {
 
 	// Resume with the faults gone: checkpointed chromosomes are skipped,
 	// degraded ones recomputed, and the directory converges to the clean
-	// serial baseline byte for byte.
+	// serial baseline byte for byte. Quarantine is part of the checkpoint
+	// fingerprint (a quarantined run may omit windows), so the resume must
+	// carry the same -quarantine flag; only clean chromosomes were
+	// checkpointed, and with no faults injected nothing quarantines, so
+	// the converged output is still byte-identical to the clean baseline.
 	code, _, stderr = runCode(t, "gsnp",
-		"-genome-dir", faultDir, "-engine", "gsnp-cpu", "-window", "256", "-resume")
+		"-genome-dir", faultDir, "-engine", "gsnp-cpu", "-window", "256", "-resume", "-quarantine")
 	if code != 0 {
 		t.Fatalf("resume exit = %d, want 0\nstderr:\n%s", code, stderr)
 	}

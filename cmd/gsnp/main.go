@@ -220,7 +220,7 @@ func runGenome(dir string, opts options) error {
 	for _, sk := range skipped {
 		fmt.Fprintf(os.Stderr, "gsnp: skipping %s: no alignment file %s\n", sk.Ref, sk.Aln)
 	}
-	fingerprint := checkpoint.Fingerprint(opts.call.Engine, opts.call.Format, opts.call.Window, opts.call.Compress)
+	fingerprint := opts.call.Fingerprint()
 	cp, err := checkpoint.NewWriter(checkpoint.Path(dir), fingerprint, opts.resume)
 	if err != nil {
 		return err

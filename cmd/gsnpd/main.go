@@ -6,11 +6,18 @@
 // whole genome cannot starve a single-chromosome request), and streams
 // per-chromosome results back as they complete.
 //
+// Completed results are held in a content-addressed cache: resubmitting
+// a job whose input bytes and output-shaping options are identical
+// replays the recorded stream without touching the scheduler, and
+// identical jobs submitted while one is still running share that single
+// execution (single-flight dedup). The cache is bounded by -cache-bytes
+// and disabled entirely (dedup included) by -cache-off.
+//
 // Usage:
 //
 //	gsnpd [-addr 127.0.0.1:8844] [-workers N] [-retries N]
 //	      [-retry-backoff D] [-task-timeout D] [-spool DIR]
-//	      [-drain-timeout D]
+//	      [-drain-timeout D] [-cache-bytes N] [-cache-off]
 //
 // API:
 //
@@ -22,7 +29,9 @@
 //	GET    /jobs/{id}         job status with per-chromosome outcomes
 //	GET    /jobs/{id}/stream  NDJSON stream of per-chromosome results
 //	DELETE /jobs/{id}         cancel a job (others are unaffected)
-//	GET    /healthz           liveness and drain state
+//	GET    /healthz           liveness, drain state, cache occupancy
+//	GET    /statz             cache hit/miss/eviction counters, byte
+//	                          occupancy, single-flight join count
 //
 // On SIGTERM/SIGINT the server drains gracefully: new submissions get
 // 503, running jobs finish (bounded by -drain-timeout), streams deliver
@@ -54,13 +63,15 @@ func main() {
 
 func run() error {
 	var (
-		addr    = flag.String("addr", "127.0.0.1:8844", "listen address (host:port; port 0 picks a free port)")
-		workers = flag.Int("workers", 0, "shared worker pool size (0 = GOMAXPROCS)")
-		retries = flag.Int("retries", 0, "re-run a failed chromosome up to N times (exponential backoff)")
-		backoff = flag.Duration("retry-backoff", 100*time.Millisecond, "base delay between retries of a failed chromosome")
-		taskTO  = flag.Duration("task-timeout", 0, "per-chromosome deadline (0 = none)")
-		spool   = flag.String("spool", "", "directory for uploaded job inputs (default: a temp dir)")
-		drainTO = flag.Duration("drain-timeout", 10*time.Minute, "how long graceful shutdown waits for running jobs")
+		addr     = flag.String("addr", "127.0.0.1:8844", "listen address (host:port; port 0 picks a free port)")
+		workers  = flag.Int("workers", 0, "shared worker pool size (0 = GOMAXPROCS)")
+		retries  = flag.Int("retries", 0, "re-run a failed chromosome up to N times (exponential backoff)")
+		backoff  = flag.Duration("retry-backoff", 100*time.Millisecond, "base delay between retries of a failed chromosome")
+		taskTO   = flag.Duration("task-timeout", 0, "per-chromosome deadline (0 = none)")
+		spool    = flag.String("spool", "", "directory for uploaded job inputs (default: a temp dir)")
+		drainTO  = flag.Duration("drain-timeout", 10*time.Minute, "how long graceful shutdown waits for running jobs")
+		cacheB   = flag.Int64("cache-bytes", 256<<20, "result cache byte budget (completed job streams, LRU-evicted)")
+		cacheOff = flag.Bool("cache-off", false, "disable the result cache and single-flight dedup")
 	)
 	flag.Parse()
 
@@ -71,6 +82,8 @@ func run() error {
 		RetryBackoff: *backoff,
 		TaskTimeout:  *taskTO,
 		SpoolDir:     *spool,
+		CacheBytes:   *cacheB,
+		CacheOff:     *cacheOff,
 		Logf:         logger.Printf,
 	})
 	if err != nil {

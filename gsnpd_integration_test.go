@@ -211,6 +211,88 @@ func TestGsnpdServiceEndToEnd(t *testing.T) {
 	}
 }
 
+// gsnpdStatz decodes GET /statz (wire shape pinned, not imported).
+type gsnpdStatz struct {
+	CacheEnabled bool `json:"cache_enabled"`
+	Cache        struct {
+		Hits      uint64 `json:"hits"`
+		Misses    uint64 `json:"misses"`
+		Puts      uint64 `json:"puts"`
+		Evictions uint64 `json:"evictions"`
+		Bytes     int64  `json:"bytes"`
+		MaxBytes  int64  `json:"max_bytes"`
+	} `json:"cache"`
+	SingleFlightJoins uint64 `json:"single_flight_joins"`
+}
+
+func gsnpdGetStatz(t *testing.T, base string) gsnpdStatz {
+	t.Helper()
+	resp, err := http.Get(base + "/statz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /statz: %d", resp.StatusCode)
+	}
+	var st gsnpdStatz
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestGsnpdCachedResubmit is the binary-level acceptance scenario for the
+// result cache: resubmitting an identical job to a real gsnpd process is
+// served from the cache — final state "cached", per-chromosome bytes
+// identical to the first run — and /statz accounts for the hit.
+func TestGsnpdCachedResubmit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("service integration in -short mode")
+	}
+	dir := t.TempDir()
+	run(t, "gsnp-gen", "-out", dir, "-genome", "-scale", "6", "-seed", "304")
+
+	_, base, _ := startGsnpd(t, "-workers", "2")
+
+	id1 := gsnpdSubmit(t, base, dir)
+	first, state1 := gsnpdStream(t, base, id1)
+	if state1 != "done" {
+		t.Fatalf("first run final state %q, want done", state1)
+	}
+	// The cache records the result just after the final stream record is
+	// published; wait for the Put before resubmitting.
+	deadline := time.Now().Add(10 * time.Second)
+	for gsnpdGetStatz(t, base).Cache.Puts == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("result never cached: %+v", gsnpdGetStatz(t, base))
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	id2 := gsnpdSubmit(t, base, dir)
+	second, state2 := gsnpdStream(t, base, id2)
+	if state2 != "cached" {
+		t.Fatalf("resubmission final state %q, want cached", state2)
+	}
+	if len(second) != len(first) {
+		t.Fatalf("replay streamed %d chromosomes, want %d", len(second), len(first))
+	}
+	for name, want := range first {
+		if !bytes.Equal(second[name], want) {
+			t.Errorf("%s: replayed bytes differ from the first run", name)
+		}
+	}
+
+	st := gsnpdGetStatz(t, base)
+	if !st.CacheEnabled || st.Cache.Hits != 1 || st.Cache.Puts != 1 {
+		t.Errorf("statz after cached resubmit: %+v", st)
+	}
+	if st.Cache.Bytes <= 0 || st.Cache.Bytes > st.Cache.MaxBytes {
+		t.Errorf("implausible cache occupancy: %+v", st)
+	}
+}
+
 // TestGsnpdRejectsWhileDraining: a job submitted after SIGTERM gets 503
 // while an in-flight job still completes.
 func TestGsnpdRejectsWhileDraining(t *testing.T) {

@@ -16,7 +16,7 @@ func writeFile(t *testing.T, path, content string) {
 
 func TestWriterRoundTrip(t *testing.T) {
 	dir := t.TempDir()
-	fp := Fingerprint("gsnp-cpu", "soap", 0, false)
+	fp := Fingerprint("gsnp-cpu", "soap", 0, false, false)
 	out := filepath.Join(dir, "chr1.result")
 	writeFile(t, out, "rows\n")
 
@@ -44,7 +44,7 @@ func TestWriterRoundTrip(t *testing.T) {
 
 func TestDigestMismatchInvalidatesEntry(t *testing.T) {
 	dir := t.TempDir()
-	fp := Fingerprint("gsnp-cpu", "soap", 0, false)
+	fp := Fingerprint("gsnp-cpu", "soap", 0, false, false)
 	out := filepath.Join(dir, "chr1.result")
 	writeFile(t, out, "rows\n")
 	w, err := NewWriter(Path(dir), fp, false)
@@ -74,19 +74,19 @@ func TestFingerprintMismatchRefusesResume(t *testing.T) {
 	dir := t.TempDir()
 	out := filepath.Join(dir, "chr1.result")
 	writeFile(t, out, "rows\n")
-	w, err := NewWriter(Path(dir), Fingerprint("gsnp-cpu", "soap", 0, false), false)
+	w, err := NewWriter(Path(dir), Fingerprint("gsnp-cpu", "soap", 0, false, false), false)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if err := w.Complete("chr1", out, 10); err != nil {
 		t.Fatal(err)
 	}
-	_, err = NewWriter(Path(dir), Fingerprint("soapsnp", "soap", 0, false), true)
+	_, err = NewWriter(Path(dir), Fingerprint("soapsnp", "soap", 0, false, false), true)
 	if err == nil || !strings.Contains(err.Error(), "written under") {
 		t.Fatalf("err = %v, want fingerprint mismatch", err)
 	}
 	// Without -resume the stale manifest is simply replaced.
-	if _, err := NewWriter(Path(dir), Fingerprint("soapsnp", "soap", 0, false), false); err != nil {
+	if _, err := NewWriter(Path(dir), Fingerprint("soapsnp", "soap", 0, false, false), false); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -110,7 +110,7 @@ func TestLoadMissingAndCorrupt(t *testing.T) {
 func TestFailureReportSave(t *testing.T) {
 	dir := t.TempDir()
 	rep := &FailureReport{
-		Fingerprint: Fingerprint("gsnp-cpu", "soap", 0, false),
+		Fingerprint: Fingerprint("gsnp-cpu", "soap", 0, false, false),
 		ExitCode:    2,
 		Tasks: []TaskReport{
 			{Name: "chr1", Status: StatusOK, Output: "chr1.result", Sites: 100},

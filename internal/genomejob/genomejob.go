@@ -10,6 +10,8 @@ package genomejob
 import (
 	"compress/gzip"
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"io"
@@ -18,6 +20,7 @@ import (
 	"sort"
 	"strings"
 
+	"gsnp/internal/checkpoint"
 	"gsnp/internal/faults"
 	"gsnp/internal/gpu"
 	"gsnp/internal/gsnp"
@@ -72,6 +75,16 @@ func (o *Options) Validate() error {
 	return nil
 }
 
+// Fingerprint returns the output-shaping configuration fingerprint — the
+// canonical checkpoint.Fingerprint call both front-ends share. It feeds
+// checkpoint resume validation and the gsnpd result-cache key, so every
+// Options field that can change result bytes must flow into it; the
+// pinning test in this package enumerates the fields against the exempt
+// list (concurrency/diagnostic knobs with byte-identity guarantees).
+func (o *Options) Fingerprint() string {
+	return checkpoint.Fingerprint(o.Engine, o.Format, o.Window, o.Compress, o.Quarantine)
+}
+
 // OutSuffix is the output-file suffix the options imply (.result, or
 // .result.gsnp for compressed containers).
 func (o *Options) OutSuffix() string {
@@ -93,6 +106,29 @@ type Unit struct {
 	// Ref and Options.OutSuffix; the service ignores it and streams bytes
 	// instead).
 	OutPath string
+}
+
+// ContentDigest returns a sha256 over the unit's name and the *bytes* of
+// every input file (reference, alignment, and priors when present) — the
+// content-addressed half of a job's cache key. Hashing contents rather
+// than paths means a re-generated input invalidates naturally, and two
+// paths holding identical data share one cache entry (an uploaded job and
+// a genome-dir job over the same files hit the same key).
+func (u Unit) ContentDigest() (string, error) {
+	h := sha256.New()
+	fmt.Fprintf(h, "unit %s\n", u.Name)
+	for _, path := range []string{u.Ref, u.Aln, u.SNP} {
+		if path == "" {
+			fmt.Fprintln(h, "-")
+			continue
+		}
+		d, err := checkpoint.FileDigest(path)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintln(h, d)
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
 }
 
 // Skipped records a reference file Discover could not pair with an

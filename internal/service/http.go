@@ -19,7 +19,10 @@ import (
 //	                          they complete, terminated by a Final record;
 //	                          attaches late without losing records
 //	DELETE /jobs/{id}         cancel the job -> 202 + JobStatus
-//	GET    /healthz           liveness + drain state
+//	GET    /healthz           liveness + drain state + cache occupancy
+//	GET    /statz             serving counters: cache hits/misses/
+//	                          evictions, byte occupancy, single-flight
+//	                          joins
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /jobs", s.handleSubmit)
@@ -28,6 +31,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /jobs/{id}/stream", s.handleStream)
 	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /statz", s.handleStatz)
 	return mux
 }
 
@@ -115,11 +119,15 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	draining := s.draining
-	n := len(s.jobs)
-	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "draining": draining, "jobs": n})
+	st := s.Statz()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status": "ok", "draining": st.Draining, "jobs": st.Jobs,
+		"cache_enabled": st.CacheEnabled, "cache_bytes": st.Cache.Bytes,
+	})
+}
+
+func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Statz())
 }
 
 // handleStream replays the job's stream records from the beginning, then

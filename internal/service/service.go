@@ -14,6 +14,8 @@ package service
 import (
 	"bytes"
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"io"
@@ -25,6 +27,7 @@ import (
 	"gsnp/internal/genomejob"
 	"gsnp/internal/gsnp"
 	"gsnp/internal/pipeline"
+	"gsnp/internal/resultcache"
 	"gsnp/internal/sched"
 )
 
@@ -46,8 +49,17 @@ type Config struct {
 	Logf func(format string, args ...any)
 	// OnDequeue, when set, observes the shared pool's dispatch order
 	// (job id, task index) — the deterministic fairness hook, forwarded
-	// after the service's own bookkeeping.
+	// after the service's own bookkeeping. Cache hits and single-flight
+	// joins never dequeue, so the hook also pins "zero engine work" in
+	// the caching tests and benchmarks.
 	OnDequeue func(job string, index int)
+	// CacheBytes bounds the content-addressed result cache (0 selects
+	// 256 MiB). Completed jobs' stream records are retained up to this
+	// budget and replayed exactly for identical resubmissions.
+	CacheBytes int64
+	// CacheOff disables the result cache and single-flight dedup: every
+	// submission executes on the pool.
+	CacheOff bool
 }
 
 // chromResult is one chromosome's in-memory outcome inside the pool.
@@ -56,12 +68,39 @@ type chromResult struct {
 	res    genomejob.Result
 }
 
+// cachedJob is one completed job's replayable output: its chromosome
+// stream records (Job field cleared; rewritten to the new id on replay).
+// Records are immutable once cached.
+type cachedJob struct {
+	records []StreamRecord
+}
+
+// recordOverhead is the per-record byte charge beyond the variable-size
+// fields, approximating the struct + JSON framing so the cache budget
+// tracks real memory, not just payload bytes.
+const recordOverhead = 128
+
+// size is the cache byte charge for a cached job.
+func (cj cachedJob) size() int64 {
+	n := int64(0)
+	for _, r := range cj.records {
+		n += recordOverhead + int64(len(r.OutputB64)) + int64(len(r.Name)) + int64(len(r.Error))
+	}
+	return n
+}
+
 // Server owns the shared worker pool and the job registry.
 type Server struct {
 	cfg      Config
 	pool     *sched.Pool[chromResult, *gsnp.Arena]
 	spool    string
 	ownSpool bool
+
+	// cache and flights are nil when Config.CacheOff is set. cache maps a
+	// job's content key to its recorded stream; flights tracks in-flight
+	// executions so identical concurrent submissions share one run.
+	cache   *resultcache.Cache[cachedJob]
+	flights *resultcache.Flights[*jobState]
 
 	mu       sync.Mutex
 	jobs     map[string]*jobState
@@ -81,6 +120,14 @@ func New(cfg Config) (*Server, error) {
 		cfg.Logf = func(string, ...any) {}
 	}
 	s := &Server{cfg: cfg, jobs: make(map[string]*jobState)}
+	if !cfg.CacheOff {
+		if cfg.CacheBytes <= 0 {
+			cfg.CacheBytes = 256 << 20
+		}
+		s.cfg.CacheBytes = cfg.CacheBytes
+		s.cache = resultcache.New[cachedJob](cfg.CacheBytes)
+		s.flights = resultcache.NewFlights[*jobState]()
+	}
 	if cfg.SpoolDir != "" {
 		if err := os.MkdirAll(cfg.SpoolDir, 0o755); err != nil {
 			return nil, err
@@ -125,11 +172,22 @@ type jobState struct {
 	ready   chan struct{}
 	dir     string // per-job spool dir for uploaded inputs ("" for genome_dir jobs)
 
+	// key is the job's content-addressed cache key ("" when caching is
+	// off or an input could not be hashed). leader, when non-nil, is the
+	// in-flight identical job this one mirrors instead of executing
+	// (single-flight dedup); stopJoin detaches the mirror on cancel.
+	// done closes when the job reaches a final state, whatever the path
+	// (pool execution, cache replay, or mirrored stream).
+	key      string
+	leader   *jobState
+	stopJoin chan struct{}
+	done     chan struct{}
+
 	mu        sync.Mutex
 	chroms    []ChromStatus
 	stream    []StreamRecord
 	notify    chan struct{}
-	state     string // queued | running | done | partial | failed | cancelled
+	state     string // queued | running | done | partial | failed | cancelled | cached
 	cancelled bool
 	finished  bool
 }
@@ -144,6 +202,12 @@ const (
 	StateFailed    = "failed"
 	StateCancelled = "cancelled"
 	StatePending   = "pending"
+	// StateCached is the final state of a job served without pool work:
+	// a cache replay of a prior identical job, or a single-flight join
+	// whose leader completed cleanly. Clients distinguishing replays
+	// from fresh runs key on it; per-chromosome records keep their
+	// recorded states (always "ok" — only fully clean jobs are cached).
+	StateCached = "cached"
 )
 
 // ChromStatus is one chromosome's status inside a job, in input order.
@@ -187,7 +251,10 @@ type StreamRecord struct {
 	// compressed container under Compress), base64-encoded by the JSON
 	// marshaller.
 	OutputB64 []byte `json:"output_b64,omitempty"`
-	// Final marks the job summary line that terminates the stream.
+	// Final marks the job summary line that terminates the stream. Its
+	// State is the job's final state; "cached" identifies a stream served
+	// from the result cache or a single-flight join rather than a fresh
+	// execution.
 	Final bool `json:"final,omitempty"`
 }
 
@@ -208,9 +275,11 @@ func (s *Server) submit(spec *JobSpec) (*jobState, error) {
 	js := &jobState{
 		//gsnplint:ignore determinism arrival timestamp is job metadata for listing order, never part of a result stream
 		id: id, spec: spec, created: time.Now(),
-		notify: make(chan struct{}),
-		ready:  make(chan struct{}),
-		state:  StateQueued,
+		notify:   make(chan struct{}),
+		ready:    make(chan struct{}),
+		stopJoin: make(chan struct{}),
+		done:     make(chan struct{}),
+		state:    StateQueued,
 	}
 	fail := func(err error) (*jobState, error) {
 		if js.dir != "" {
@@ -239,9 +308,47 @@ func (s *Server) submit(spec *JobSpec) (*jobState, error) {
 
 	js.units = units
 	js.chroms = make([]ChromStatus, len(units))
-	tasks := make([]sched.LocalTask[chromResult, *gsnp.Arena], len(units))
 	for i, u := range units {
 		js.chroms[i] = ChromStatus{Name: u.Name, State: StatePending}
+	}
+
+	// Content-addressed short-circuit: hash the options fingerprint plus
+	// every input file's bytes. An exact prior result replays from the
+	// cache with zero pool work; an identical job already executing is
+	// joined (single-flight) instead of run twice. An unhashable input
+	// (e.g. a file racing deletion) falls through to normal execution,
+	// which will surface the real error.
+	if s.cache != nil {
+		key, err := jobKey(opts, units)
+		if err != nil {
+			s.cfg.Logf("job %s: uncacheable inputs: %v", id, err)
+		} else {
+			js.key = key
+			if cj, ok := s.cache.Get(key); ok {
+				return s.serveCached(js, cj)
+			}
+			if leader, joined := s.flights.Begin(key, js); joined {
+				return s.serveJoined(js, leader)
+			}
+			// This job is now the flight leader; every early exit below
+			// must End the flight so identical waiters are not stranded.
+		}
+	}
+	failLeader := func(err error) (*jobState, error) {
+		if js.key != "" {
+			// A follower may have joined the flight already (draining can
+			// land between its registration check and ours): finalise this
+			// job — which also removes its spool dir — so the mirror
+			// resolves, then close the flight.
+			s.finalize(js, StateFailed)
+			s.flights.End(js.key)
+			return nil, err
+		}
+		return fail(err)
+	}
+
+	tasks := make([]sched.LocalTask[chromResult, *gsnp.Arena], len(units))
+	for i, u := range units {
 		u := u
 		tasks[i] = sched.LocalTask[chromResult, *gsnp.Arena]{
 			Name: u.Name,
@@ -262,7 +369,7 @@ func (s *Server) submit(spec *JobSpec) (*jobState, error) {
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
-		return fail(ErrDraining)
+		return failLeader(ErrDraining)
 	}
 	s.jobs[id] = js
 	s.mu.Unlock()
@@ -273,13 +380,172 @@ func (s *Server) submit(spec *JobSpec) (*jobState, error) {
 		s.mu.Lock()
 		delete(s.jobs, id)
 		s.mu.Unlock()
-		return fail(err)
+		// A concurrent identical submission may already be mirroring this
+		// job; finalise (which also removes the spool dir) so followers
+		// resolve instead of waiting forever, then close the flight.
+		s.finalize(js, StateFailed)
+		if js.key != "" {
+			s.flights.End(js.key)
+		}
+		return nil, err
 	}
 	js.handle = handle
 	close(js.ready)
 	go s.collect(js)
 	s.cfg.Logf("job %s: submitted (%d chromosomes, engine %s)", id, len(units), spec.Engine)
 	return js, nil
+}
+
+// jobKey derives the content-addressed cache key for a job: the
+// output-shaping options fingerprint plus every unit's content digest, in
+// Discover order. Two keys are equal exactly when the byte-identity
+// guarantee says the results must be equal.
+func jobKey(opts genomejob.Options, units []genomejob.Unit) (string, error) {
+	h := sha256.New()
+	fmt.Fprintln(h, opts.Fingerprint())
+	for _, u := range units {
+		d, err := u.ContentDigest()
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintln(h, d)
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// chromStatusOf projects a stream record onto the status table entry.
+func chromStatusOf(rec StreamRecord) ChromStatus {
+	return ChromStatus{
+		Name: rec.Name, State: rec.State, Sites: rec.Sites,
+		Attempts: rec.Attempts, Quarantined: rec.Quarantined,
+		CalSkipped: rec.CalSkipped, WallMS: rec.WallMS, Error: rec.Error,
+	}
+}
+
+// serveCached resolves a submission from a cache entry: the prior job's
+// records are replayed under the new job id, the stream terminates with a
+// "cached" final record, and the scheduler is never touched.
+func (s *Server) serveCached(js *jobState, cj cachedJob) (*jobState, error) {
+	js.chroms = make([]ChromStatus, len(cj.records))
+	js.stream = make([]StreamRecord, 0, len(cj.records)+1)
+	for _, rec := range cj.records {
+		rec.Job = js.id
+		js.chroms[rec.Index] = chromStatusOf(rec)
+		js.stream = append(js.stream, rec)
+	}
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		if js.dir != "" {
+			os.RemoveAll(js.dir)
+		}
+		return nil, ErrDraining
+	}
+	s.jobs[js.id] = js
+	s.mu.Unlock()
+	close(js.ready)
+	s.finalize(js, StateCached)
+	return js, nil
+}
+
+// serveJoined attaches a submission to an identical in-flight job: the
+// follower mirrors the leader's stream instead of executing.
+func (s *Server) serveJoined(js, leader *jobState) (*jobState, error) {
+	js.leader = leader
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		if js.dir != "" {
+			os.RemoveAll(js.dir)
+		}
+		return nil, ErrDraining
+	}
+	s.jobs[js.id] = js
+	s.mu.Unlock()
+	close(js.ready)
+	go s.follow(js)
+	s.cfg.Logf("job %s: joined identical in-flight job %s (single-flight)", js.id, leader.id)
+	return js, nil
+}
+
+// follow mirrors the leader's stream into a single-flight follower:
+// replay of everything the leader has already emitted, then live follow
+// until the leader finalises. A leader that completes cleanly resolves
+// the follower as "cached"; any other leader outcome (partial, failed,
+// cancelled) is mirrored verbatim. Cancelling the follower detaches the
+// mirror without touching the leader.
+func (s *Server) follow(js *jobState) {
+	ld := js.leader
+	next := 0
+	final := ""
+	for final == "" {
+		ld.mu.Lock()
+		recs := ld.stream[next:]
+		finished := ld.finished
+		notify := ld.notify
+		ld.mu.Unlock()
+		next += len(recs)
+		for _, rec := range recs {
+			if rec.Final {
+				final = rec.State
+				continue
+			}
+			rec.Job = js.id
+			js.mu.Lock()
+			js.chroms[rec.Index] = chromStatusOf(rec)
+			js.stream = append(js.stream, rec)
+			if js.state == StateQueued {
+				js.state = StateRunning
+			}
+			close(js.notify)
+			js.notify = make(chan struct{})
+			js.mu.Unlock()
+		}
+		if final != "" || finished {
+			break
+		}
+		select {
+		case <-notify:
+		case <-js.stopJoin:
+			s.finalize(js, StateCancelled)
+			return
+		}
+	}
+	js.mu.Lock()
+	cancelled := js.cancelled
+	js.mu.Unlock()
+	switch {
+	case cancelled:
+		s.finalize(js, StateCancelled)
+	case final == StateDone:
+		s.finalize(js, StateCached)
+	case final == "":
+		// The leader finalised without a final record: impossible today,
+		// but resolve the follower rather than wedging it.
+		s.finalize(js, StateFailed)
+	default:
+		s.finalize(js, final)
+	}
+}
+
+// finalize moves a job to its final state: the terminating stream record
+// is appended, waiters wake, the done channel closes, and any spooled
+// inputs are removed. Exactly one finalize happens per job, whatever path
+// resolved it.
+func (s *Server) finalize(js *jobState, state string) {
+	js.mu.Lock()
+	js.state = state
+	js.finished = true
+	js.stream = append(js.stream, StreamRecord{
+		Job: js.id, Index: -1, State: state, Final: true,
+	})
+	close(js.notify)
+	js.mu.Unlock()
+	close(js.done)
+	if js.dir != "" {
+		os.RemoveAll(js.dir)
+	}
+	s.cfg.Logf("job %s: %s", js.id, state)
 }
 
 // spoolInputs writes a job's uploaded inputs as a genome directory, so the
@@ -333,7 +599,8 @@ func (s *Server) onDequeue(job string, index int) {
 }
 
 // collect drains one job's pool results into its stream, then finalises
-// the job and cleans up its spool directory.
+// the job, records a cleanly completed run into the result cache, and
+// closes the job's single-flight entry.
 func (s *Server) collect(js *jobState) {
 	for r := range js.handle.Results() {
 		rec := StreamRecord{
@@ -360,14 +627,7 @@ func (s *Server) collect(js *jobState) {
 		}
 
 		js.mu.Lock()
-		cs := &js.chroms[r.Index]
-		cs.State = rec.State
-		cs.Sites = rec.Sites
-		cs.Attempts = rec.Attempts
-		cs.Quarantined = rec.Quarantined
-		cs.CalSkipped = rec.CalSkipped
-		cs.WallMS = rec.WallMS
-		cs.Error = rec.Error
+		js.chroms[r.Index] = chromStatusOf(rec)
 		js.stream = append(js.stream, rec)
 		close(js.notify)
 		js.notify = make(chan struct{})
@@ -375,17 +635,36 @@ func (s *Server) collect(js *jobState) {
 	}
 
 	js.mu.Lock()
-	js.state = finalState(js)
-	js.finished = true
-	js.stream = append(js.stream, StreamRecord{
-		Job: js.id, Index: -1, State: js.state, Final: true,
-	})
-	close(js.notify)
+	state := finalState(js)
 	js.mu.Unlock()
-	if js.dir != "" {
-		os.RemoveAll(js.dir)
+	s.finalize(js, state)
+
+	if js.key == "" {
+		return
 	}
-	s.cfg.Logf("job %s: %s", js.id, js.state)
+	// Only a fully clean job is cacheable: partial (quarantined windows,
+	// skipped calibration records), failed and cancelled runs must always
+	// recompute — their bytes are not the configuration's true result.
+	// The Put lands before the flight closes, so an identical submission
+	// arriving now either hits the cache or joins the still-open flight;
+	// there is no window where it re-executes a completed clean run.
+	if state == StateDone {
+		js.mu.Lock()
+		recs := make([]StreamRecord, 0, len(js.stream))
+		for _, rec := range js.stream {
+			if rec.Final {
+				continue
+			}
+			rec.Job = "" // rewritten to the serving job's id on replay
+			recs = append(recs, rec)
+		}
+		js.mu.Unlock()
+		cj := cachedJob{records: recs}
+		if !s.cache.Put(js.key, cj, cj.size()) {
+			s.cfg.Logf("job %s: result (%d bytes) exceeds the cache budget, not cached", js.id, cj.size())
+		}
+	}
+	s.flights.End(js.key)
 }
 
 // finalState derives the job-level outcome from its chromosomes. Called
@@ -435,22 +714,61 @@ func (js *jobState) status() JobStatus {
 	return st
 }
 
-// cancel implements DELETE /jobs/{id}.
+// cancel implements DELETE /jobs/{id}. Cancelling a single-flight
+// follower detaches its mirror without touching the leader; cancelling a
+// leader resolves its followers through the mirrored cancelled records.
+// Cached jobs are already final, so cancel is a no-op for them.
 func (s *Server) cancel(js *jobState) {
 	<-js.ready
-	if js.handle == nil {
-		return // never launched
-	}
 	js.mu.Lock()
 	already := js.finished || js.cancelled
 	if !already {
 		js.cancelled = true
 	}
+	leader := js.leader
 	js.mu.Unlock()
-	if !already {
-		js.handle.Cancel(errJobCancelled)
-		s.cfg.Logf("job %s: cancel requested", js.id)
+	if already {
+		return
 	}
+	if leader != nil {
+		close(js.stopJoin)
+		s.cfg.Logf("job %s: cancel requested (detached from %s)", js.id, leader.id)
+		return
+	}
+	if js.handle == nil {
+		return // never launched
+	}
+	js.handle.Cancel(errJobCancelled)
+	s.cfg.Logf("job %s: cancel requested", js.id)
+}
+
+// Statz is the GET /statz document: serving-layer counters for the
+// result cache and single-flight dedup, plus registry size. Cache stats
+// are zero-valued when the cache is disabled.
+type Statz struct {
+	Jobs     int  `json:"jobs"`
+	Draining bool `json:"draining"`
+	// CacheEnabled reports whether the result cache (and single-flight
+	// dedup) is active.
+	CacheEnabled bool `json:"cache_enabled"`
+	// Cache carries hit/miss/eviction counters and byte occupancy.
+	Cache resultcache.Stats `json:"cache"`
+	// SingleFlightJoins counts submissions served by joining an identical
+	// in-flight job instead of executing.
+	SingleFlightJoins uint64 `json:"single_flight_joins"`
+}
+
+// Statz snapshots the serving counters.
+func (s *Server) Statz() Statz {
+	s.mu.Lock()
+	st := Statz{Jobs: len(s.jobs), Draining: s.draining}
+	s.mu.Unlock()
+	if s.cache != nil {
+		st.CacheEnabled = true
+		st.Cache = s.cache.Stats()
+		st.SingleFlightJoins = s.flights.Joins()
+	}
+	return st
 }
 
 // ErrDraining is returned to submissions while the server drains.
@@ -471,20 +789,19 @@ func (s *Server) Drain(ctx context.Context) error {
 
 	var err error
 	for _, js := range jobs {
+		// done closes on every resolution path — pool execution, cache
+		// replay, mirrored single-flight stream — so drain needs no
+		// per-kind handling. (A follower resolves when its leader does;
+		// the leader is in the same snapshot.)
 		<-js.ready
-		if js.handle == nil {
-			continue // never launched
-		}
 		select {
-		case <-js.handle.Done():
+		case <-js.done:
 		case <-ctx.Done():
 			err = ctx.Err()
 			s.pool.CancelAll(fmt.Errorf("drain deadline: %w", context.Cause(ctx)))
 			for _, j := range jobs {
 				<-j.ready
-				if j.handle != nil {
-					<-j.handle.Done()
-				}
+				<-j.done
 			}
 		}
 		if err != nil {

@@ -24,7 +24,7 @@ import (
 // writeGenomeDir materialises synthetic chromosomes as a genome directory
 // (the <chr>.fa/<chr>.soap/<chr>.snp production layout), mirroring
 // cmd/gsnp-gen.
-func writeGenomeDir(t *testing.T, dir string, specs []seqsim.ChromosomeSpec) {
+func writeGenomeDir(t testing.TB, dir string, specs []seqsim.ChromosomeSpec) {
 	t.Helper()
 	for _, spec := range specs {
 		ds := seqsim.BuildDataset(spec)
@@ -82,7 +82,7 @@ func testSpecs(nChrom, baseSites int, seed int64) []seqsim.ChromosomeSpec {
 // serialBaseline runs every unit of a genome dir through genomejob.Call
 // serially — the byte-identity reference the service must reproduce at
 // any worker count.
-func serialBaseline(t *testing.T, dir string, opts genomejob.Options) map[string][]byte {
+func serialBaseline(t testing.TB, dir string, opts genomejob.Options) map[string][]byte {
 	t.Helper()
 	units, _, err := genomejob.Discover(dir, opts)
 	if err != nil {
@@ -100,7 +100,7 @@ func serialBaseline(t *testing.T, dir string, opts genomejob.Options) map[string
 }
 
 // postJob submits a job spec and returns its id.
-func postJob(t *testing.T, ts *httptest.Server, spec map[string]any) string {
+func postJob(t testing.TB, ts *httptest.Server, spec map[string]any) string {
 	t.Helper()
 	body, _ := json.Marshal(spec)
 	resp, err := http.Post(ts.URL+"/jobs", "application/json", bytes.NewReader(body))
@@ -124,7 +124,7 @@ func postJob(t *testing.T, ts *httptest.Server, spec map[string]any) string {
 
 // readStream consumes /jobs/{id}/stream to the final record, returning
 // per-chromosome records by name plus the final job state.
-func readStream(t *testing.T, ts *httptest.Server, id string) (map[string]StreamRecord, string) {
+func readStream(t testing.TB, ts *httptest.Server, id string) (map[string]StreamRecord, string) {
 	t.Helper()
 	resp, err := http.Get(ts.URL + "/jobs/" + id + "/stream")
 	if err != nil {
@@ -151,7 +151,7 @@ func readStream(t *testing.T, ts *httptest.Server, id string) (map[string]Stream
 	}
 }
 
-func getStatus(t *testing.T, ts *httptest.Server, id string) JobStatus {
+func getStatus(t testing.TB, ts *httptest.Server, id string) JobStatus {
 	t.Helper()
 	resp, err := http.Get(ts.URL + "/jobs/" + id)
 	if err != nil {
@@ -165,7 +165,7 @@ func getStatus(t *testing.T, ts *httptest.Server, id string) JobStatus {
 	return st
 }
 
-func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+func newTestServer(t testing.TB, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
 	cfg.SpoolDir = filepath.Join(t.TempDir(), "spool")
 	srv, err := New(cfg)
@@ -251,7 +251,10 @@ func TestServiceCancelIsolation(t *testing.T) {
 	}
 	opts := genomejob.Options{Engine: "gsnp-cpu", Format: "soap", Window: 256}
 	dirLong, dirSmall := t.TempDir(), t.TempDir()
-	writeGenomeDir(t, dirLong, testSpecs(12, 2000, 7))
+	// The long job must still be mid-flight when the DELETE lands (the
+	// test asserts at least one chromosome resolves cancelled), so make
+	// it comfortably longer than the submit+cancel round trips.
+	writeGenomeDir(t, dirLong, testSpecs(16, 5000, 7))
 	writeGenomeDir(t, dirSmall, testSpecs(1, 1500, 301))
 	baseSmall := serialBaseline(t, dirSmall, opts)
 
