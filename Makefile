@@ -10,9 +10,9 @@ GO ?= go
 # Every goroutine-spawning package runs under the race detector: the
 # schedulers, the prefetcher and its consumers, the parallel sort, the
 # simulated GPU device, the fault/checkpoint machinery, the gsnpd
-# service with its result cache, and the shared genome-job decomposition
-# both front-ends use.
-RACE_PKGS = ./internal/pipeline ./internal/sched ./internal/gsnp ./internal/soapsnp ./internal/sortnet ./internal/faults ./internal/checkpoint ./internal/service ./internal/resultcache ./internal/genomejob ./internal/gpu
+# service with its result cache and job journal, and the shared
+# genome-job decomposition both front-ends use.
+RACE_PKGS = ./internal/pipeline ./internal/sched ./internal/gsnp ./internal/soapsnp ./internal/sortnet ./internal/faults ./internal/checkpoint ./internal/service ./internal/resultcache ./internal/genomejob ./internal/gpu ./internal/journal
 
 # Per-target budget for the fuzz smoke pass.
 FUZZ_TIME ?= 10s
@@ -21,9 +21,9 @@ FUZZ_TIME ?= 10s
 # offline build environment skips it gracefully. See tools.go.
 GOVULNCHECK_VERSION ?= v1.1.4
 
-.PHONY: ci lint vet fmt-check vuln build test race service-e2e fuzz-smoke bench bench-json
+.PHONY: ci lint vet fmt-check vuln build test race service-e2e serve-recovery fuzz-smoke bench bench-json
 
-ci: lint fmt-check build test race service-e2e fuzz-smoke vuln
+ci: lint fmt-check build test race service-e2e serve-recovery fuzz-smoke vuln
 
 # Standard vet plus the project multichecker (cmd/gsnplint): the four
 # GSNP invariant analyzers — determinism, arenalifetime, closecheck,
@@ -65,6 +65,15 @@ race:
 service-e2e:
 	$(GO) test -race -run 'TestService' ./internal/service
 	$(GO) test -run 'TestGsnpd' .
+
+# Crash-durability checks: the WAL journal package under the race
+# detector, the in-process recovery/backpressure tests, then the
+# black-box kill -9 test — gsnpd is SIGKILLed mid-job and a restarted
+# daemon must resume from the journal and produce byte-identical output.
+serve-recovery:
+	$(GO) test -race ./internal/journal
+	$(GO) test -race -run 'TestServiceJournal|TestServiceMaxQueued' ./internal/service
+	$(GO) test -run 'TestGsnpdCrashRecovery' .
 
 # Short fuzz pass over every fuzz target (each gets $(FUZZ_TIME)); the
 # committed corpora under testdata/fuzz/ seed the runs. `go test -fuzz`

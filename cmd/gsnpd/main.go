@@ -13,11 +13,23 @@
 // execution (single-flight dedup). The cache is bounded by -cache-bytes
 // and disabled entirely (dedup included) by -cache-off.
 //
+// With -journal-dir the server is crash-durable: every accepted job is
+// recorded in a write-ahead journal (fsync'd before the 202), uploaded
+// inputs spool under the journal directory, and each cleanly completed
+// chromosome is checkpointed durably before its stream record is
+// published. A restarted gsnpd pointed at the same directory re-enqueues
+// every interrupted job — completed chromosomes replay from their
+// checkpoints (digest-verified) instead of re-executing, output bytes
+// stay identical to an uninterrupted run, and recovered jobs carry a
+// "recovered" marker in GET /jobs. -max-queued bounds admission: beyond
+// that many unfinished jobs, submissions get 429 + Retry-After.
+//
 // Usage:
 //
 //	gsnpd [-addr 127.0.0.1:8844] [-workers N] [-retries N]
 //	      [-retry-backoff D] [-task-timeout D] [-spool DIR]
 //	      [-drain-timeout D] [-cache-bytes N] [-cache-off]
+//	      [-journal-dir DIR] [-max-queued N]
 //
 // API:
 //
@@ -72,6 +84,8 @@ func run() error {
 		drainTO  = flag.Duration("drain-timeout", 10*time.Minute, "how long graceful shutdown waits for running jobs")
 		cacheB   = flag.Int64("cache-bytes", 256<<20, "result cache byte budget (completed job streams, LRU-evicted)")
 		cacheOff = flag.Bool("cache-off", false, "disable the result cache and single-flight dedup")
+		journal  = flag.String("journal-dir", "", "write-ahead job journal directory: accepted jobs survive crashes and resume on restart (overrides -spool)")
+		maxQ     = flag.Int("max-queued", 0, "reject submissions with 429 once N admitted jobs are unfinished (0 = unlimited)")
 	)
 	flag.Parse()
 
@@ -84,6 +98,8 @@ func run() error {
 		SpoolDir:     *spool,
 		CacheBytes:   *cacheB,
 		CacheOff:     *cacheOff,
+		JournalDir:   *journal,
+		MaxQueued:    *maxQ,
 		Logf:         logger.Printf,
 	})
 	if err != nil {

@@ -340,3 +340,205 @@ func TestGsnpdRejectsWhileDraining(t *testing.T) {
 		t.Fatalf("gsnpd did not drain job %s within a minute\nstderr:\n%s", id, stderr.String())
 	}
 }
+
+// gsnpdJobDoc decodes GET /jobs/{id} (wire shape pinned, not imported).
+type gsnpdJobDoc struct {
+	ID        string `json:"id"`
+	State     string `json:"state"`
+	Total     int    `json:"total"`
+	Completed int    `json:"completed"`
+	Recovered bool   `json:"recovered"`
+}
+
+func gsnpdGetJob(t *testing.T, base, id string) gsnpdJobDoc {
+	t.Helper()
+	resp, err := http.Get(base + "/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var doc gsnpdJobDoc
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	return doc
+}
+
+// TestGsnpdCrashRecovery is the crash-durability acceptance scenario: a
+// real gsnpd process with -journal-dir accepts an uploaded-inputs job, is
+// SIGKILLed mid-run, and a restarted process on the same journal
+// directory resumes the job — chromosomes checkpointed before the kill
+// are served without re-executing (marked recovered), the rest complete,
+// and every streamed byte is identical to an uninterrupted serial run.
+func TestGsnpdCrashRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("service integration in -short mode")
+	}
+	dir := t.TempDir()
+	run(t, "gsnp-gen", "-out", dir, "-genome", "-scale", "8", "-seed", "305")
+	run(t, "gsnp", "-genome-dir", dir, "-engine", "gsnp-cpu", "-window", "256", "-workers", "1")
+
+	// The job uploads its inputs inline, so the only copy the restarted
+	// server can run from is the journal-owned spool.
+	fas, err := filepath.Glob(filepath.Join(dir, "*.fa"))
+	if err != nil || len(fas) == 0 {
+		t.Fatalf("no generated chromosomes: %v", err)
+	}
+	type inputDoc struct {
+		Name string `json:"name"`
+		Ref  string `json:"ref"`
+		Aln  string `json:"aln"`
+		SNP  string `json:"snp,omitempty"`
+	}
+	var inputs []inputDoc
+	for _, fa := range fas {
+		base := strings.TrimSuffix(fa, ".fa")
+		ref, err := os.ReadFile(fa)
+		if err != nil {
+			t.Fatal(err)
+		}
+		aln, err := os.ReadFile(base + ".soap")
+		if err != nil {
+			t.Fatal(err)
+		}
+		in := inputDoc{Name: filepath.Base(base), Ref: string(ref), Aln: string(aln)}
+		if snp, err := os.ReadFile(base + ".snp"); err == nil {
+			in.SNP = string(snp)
+		}
+		inputs = append(inputs, in)
+	}
+	specBody, err := json.Marshal(map[string]any{
+		"inputs": inputs, "engine": "gsnp-cpu", "window": 256,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	jdir := filepath.Join(t.TempDir(), "journal")
+	cmdA, baseA, _ := startGsnpd(t, "-workers", "1", "-journal-dir", jdir)
+
+	resp, err := http.Post(baseA+"/jobs", "application/json", bytes.NewReader(specBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /jobs: %d %s", resp.StatusCode, data)
+	}
+	var accepted gsnpdJobDoc
+	if err := json.Unmarshal(data, &accepted); err != nil || accepted.ID == "" {
+		t.Fatalf("bad accept document %s: %v", data, err)
+	}
+	id := accepted.ID
+
+	// Kill -9 once at least one chromosome is durably checkpointed (the
+	// service checkpoints before publishing a completion) but the job as a
+	// whole is still running.
+	deadline := time.Now().Add(time.Minute)
+	for {
+		doc := gsnpdGetJob(t, baseA, id)
+		if doc.Completed >= 1 && doc.Completed < doc.Total {
+			break
+		}
+		if doc.Completed == doc.Total {
+			t.Fatalf("job finished before the kill could land; enlarge the dataset")
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no chromosome completed within a minute: %+v", doc)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := cmdA.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	cmdA.Wait() // exit status is the kill signal; only reaping matters
+
+	// Restart on the same journal. Recovery runs before the listening
+	// line, so the job is queryable as soon as the port is known.
+	cmdB, baseB, stderrB := startGsnpd(t, "-workers", "2", "-journal-dir", jdir)
+	doc := gsnpdGetJob(t, baseB, id)
+	if !doc.Recovered {
+		t.Fatalf("restarted job not marked recovered: %+v\nstderr:\n%s", doc, stderrB.String())
+	}
+
+	// The recovered stream must be byte-identical to the uninterrupted
+	// serial run, with the pre-kill chromosomes served from checkpoints.
+	resp, err = http.Get(baseB + "/jobs/" + id + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	type rec struct {
+		Name      string `json:"name"`
+		State     string `json:"state"`
+		Error     string `json:"error"`
+		OutputB64 []byte `json:"output_b64"`
+		Final     bool   `json:"final"`
+		Recovered bool   `json:"recovered"`
+	}
+	got := make(map[string]rec)
+	finalState := ""
+	dec := json.NewDecoder(resp.Body)
+	for finalState == "" {
+		var r rec
+		if err := dec.Decode(&r); err != nil {
+			t.Fatalf("recovered stream truncated: %v", err)
+		}
+		if r.Final {
+			finalState = r.State
+			continue
+		}
+		got[r.Name] = r
+	}
+	if finalState != "done" {
+		t.Fatalf("recovered job final state %q, want done", finalState)
+	}
+	if len(got) != len(fas) {
+		t.Fatalf("recovered stream carried %d chromosomes, want %d", len(got), len(fas))
+	}
+	fromCheckpoint := 0
+	for _, fa := range fas {
+		name := filepath.Base(fa)
+		want, err := os.ReadFile(strings.TrimSuffix(fa, ".fa") + ".result")
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, ok := got[name]
+		if !ok {
+			t.Fatalf("chromosome %s missing from recovered stream", name)
+		}
+		if r.State != "ok" {
+			t.Fatalf("chromosome %s: state %s (%s)", name, r.State, r.Error)
+		}
+		if !bytes.Equal(r.OutputB64, want) {
+			t.Errorf("%s: recovered bytes differ from the serial run", name)
+		}
+		if r.Recovered {
+			fromCheckpoint++
+		}
+	}
+	if fromCheckpoint == 0 {
+		t.Error("no chromosome was served from a checkpoint; the pre-kill work was redone")
+	}
+	if fromCheckpoint == len(fas) {
+		t.Error("every chromosome came from checkpoints; the kill landed after completion")
+	}
+	t.Logf("recovered %d/%d chromosomes from checkpoints", fromCheckpoint, len(fas))
+
+	// The recovered server drains cleanly.
+	if err := cmdB.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmdB.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("gsnpd exit after recovery drain: %v\nstderr:\n%s", err, stderrB.String())
+		}
+	case <-time.After(time.Minute):
+		cmdB.Process.Kill()
+		t.Fatalf("recovered gsnpd did not drain\nstderr:\n%s", stderrB.String())
+	}
+}

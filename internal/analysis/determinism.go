@@ -19,6 +19,10 @@ var outputPkgSuffixes = []string{
 	"internal/compress",
 	"internal/genomejob",
 	"internal/service",
+	// The job journal's records replay into job execution after a crash:
+	// map-ordered or clock-dependent WAL content would make recovery
+	// diverge from the interrupted run.
+	"internal/journal",
 }
 
 // Determinism enforces the paper's bit-identity contract (the

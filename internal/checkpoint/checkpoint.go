@@ -182,11 +182,15 @@ func (w *Writer) saveLocked() error {
 	if err != nil {
 		return err
 	}
-	return atomicWrite(w.path, append(data, '\n'))
+	return AtomicWrite(w.path, append(data, '\n'))
 }
 
-// atomicWrite replaces path with data via temp file + rename.
-func atomicWrite(path string, data []byte) error {
+// AtomicWrite replaces path with data via temp file + fsync + rename, so
+// a crash at any point leaves either the old content or the new, never a
+// torn file. Shared by the manifest writer, the failure report, the
+// gsnpd job journal's rotation, and the service's durable per-chromosome
+// outputs.
+func AtomicWrite(path string, data []byte) error {
 	dir := filepath.Dir(path)
 	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
 	if err != nil {
@@ -247,5 +251,5 @@ func (r *FailureReport) Save(path string) error {
 	if err != nil {
 		return err
 	}
-	return atomicWrite(path, append(data, '\n'))
+	return AtomicWrite(path, append(data, '\n'))
 }

@@ -94,6 +94,29 @@ func (o *Options) OutSuffix() string {
 	return ".result"
 }
 
+// OutName maps a unit's task name (the .fa file's base name) to the
+// output file name a batch run writes for it — the same derivation
+// Discover applies to full paths, shared so the gsnpd journal's durable
+// work directories use the CLI's exact layout and checkpoint keys.
+func (o *Options) OutName(unitName string) string {
+	return strings.TrimSuffix(unitName, ".fa") + o.OutSuffix()
+}
+
+// UnitDigests computes every unit's content digest in Discover order —
+// the per-chromosome half of both the result-cache key and the job
+// journal's recorded input identity.
+func UnitDigests(units []Unit) ([]string, error) {
+	digests := make([]string, len(units))
+	for i, u := range units {
+		d, err := u.ContentDigest()
+		if err != nil {
+			return nil, err
+		}
+		digests[i] = d
+	}
+	return digests, nil
+}
+
 // Unit is one chromosome's work: the input files and the output path a
 // batch run would write. Name identifies the unit in reports (the .fa
 // file's base name, matching the scheduler task names the CLI has always

@@ -1,0 +1,380 @@
+// Package journal is gsnpd's crash-durability layer: a write-ahead log
+// of accepted jobs. Every job the service admits is appended (and
+// fsync'd) to the WAL *before* the client sees its 202, together with
+// everything a restarted process needs to re-run it — the job spec, the
+// output-shaping fingerprint, per-chromosome input digests, and the
+// journal-owned spool directory holding uploaded inputs. Terminal states
+// are appended on finalize; an accepted record without a matching final
+// record is exactly the set of jobs a crash interrupted, and Open
+// returns them for recovery.
+//
+// The WAL is newline-delimited JSON, one self-contained record per line,
+// in the same atomic-write discipline internal/checkpoint uses for its
+// manifests: appends are a single write followed by fsync, a failed
+// append is truncated back out so the log never carries a torn line, and
+// compaction (at open, and whenever the log outgrows RotateBytes)
+// rewrites only the live records through checkpoint.AtomicWrite's temp
+// file + fsync + rename. Replay tolerates exactly one torn line at the
+// tail — the signature of a crash mid-append — and refuses anything
+// else, so silent corruption surfaces instead of dropping jobs.
+package journal
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"gsnp/internal/checkpoint"
+)
+
+// Version guards the record schema; a mismatched record invalidates the
+// log rather than being misread.
+const Version = 1
+
+// WALName is the journal file name inside the journal directory.
+const WALName = "wal.ndjson"
+
+// Record kinds.
+const (
+	KindAccepted = "accepted" // job admitted, not yet resolved
+	KindFinal    = "final"    // job reached a terminal state
+)
+
+// ErrClosed is returned by appends after Close.
+var ErrClosed = errors.New("journal: closed")
+
+// Entry is one WAL record. Accepted records carry the job's identity and
+// everything recovery needs; final records carry only the terminal state.
+type Entry struct {
+	V    int    `json:"v"`
+	Kind string `json:"kind"`
+	// Seq is the job's admission sequence number (the numeric part of its
+	// id); the restarted service resumes id allocation past the maximum.
+	Seq int `json:"seq"`
+	// Job is the job id the record belongs to.
+	Job string `json:"job"`
+	// State is the terminal state (final records only).
+	State string `json:"state,omitempty"`
+	// Spec is the job's JSON spec with uploaded input bodies stripped —
+	// those live in the spool directory, which survives restarts.
+	Spec json.RawMessage `json:"spec,omitempty"`
+	// Fingerprint is the output-shaping configuration fingerprint the job
+	// was admitted under; recovery refuses a mismatch.
+	Fingerprint string `json:"fingerprint,omitempty"`
+	// Digests are the per-unit input content digests in Discover order;
+	// recovery re-hashes the inputs and refuses any drift.
+	Digests []string `json:"digests,omitempty"`
+	// Spool names the job's spool directory under SpoolDir (uploaded
+	// inputs); empty for genome-dir jobs.
+	Spool string `json:"spool,omitempty"`
+	// Created is the job's original admission time.
+	Created time.Time `json:"created,omitempty"`
+}
+
+// Config configures Open.
+type Config struct {
+	// Dir is the journal directory; created if missing. The WAL, the
+	// spool root (uploaded inputs) and the work root (durable
+	// per-chromosome outputs + checkpoint manifests) all live under it.
+	Dir string
+	// RotateBytes triggers compaction when the WAL exceeds it
+	// (0 selects 4 MiB).
+	RotateBytes int64
+	// Fault, when set, is consulted before every durable write — the
+	// disk-fault injection seam (internal/faults.Injector.DiskOp).
+	Fault func(op string) error
+	// Logf receives operational log lines (nil discards).
+	Logf func(format string, args ...any)
+}
+
+// Journal is an open WAL. Safe for concurrent use.
+type Journal struct {
+	cfg  Config
+	path string
+
+	mu      sync.Mutex
+	f       *os.File
+	size    int64
+	pending map[string]Entry // accepted records without a final, by job id
+	maxSeq  int
+	closed  bool
+	broken  error // set when a failed append could not be repaired
+}
+
+// Open loads (or creates) the journal under cfg.Dir: the WAL is replayed,
+// compacted down to its live records, and reopened for appending. The
+// returned journal's Pending holds every job a previous process accepted
+// but never finalized, in admission order.
+func Open(cfg Config) (*Journal, error) {
+	if cfg.RotateBytes <= 0 {
+		cfg.RotateBytes = 4 << 20
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	for _, d := range []string{cfg.Dir, filepath.Join(cfg.Dir, "spool"), filepath.Join(cfg.Dir, "work")} {
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			return nil, err
+		}
+	}
+	j := &Journal{cfg: cfg, path: filepath.Join(cfg.Dir, WALName), pending: make(map[string]Entry)}
+	if err := j.replay(); err != nil {
+		return nil, err
+	}
+	// Compact: the replayed history collapses to the live records, so a
+	// long-running service's accepted/final churn never accretes.
+	if err := j.rewriteLocked(); err != nil {
+		return nil, err
+	}
+	return j, nil
+}
+
+// replay loads the WAL into the pending map. A torn final line — the
+// crash-mid-append signature — is dropped with a log line; a malformed
+// interior line is corruption and fails Open.
+func (j *Journal) replay() error {
+	data, err := os.ReadFile(j.path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	for len(data) > 0 {
+		line := data
+		rest := []byte(nil)
+		if i := bytes.IndexByte(data, '\n'); i >= 0 {
+			line, rest = data[:i], data[i+1:]
+		}
+		var e Entry
+		if uerr := json.Unmarshal(line, &e); uerr != nil || e.V != Version || e.Job == "" {
+			if len(rest) == 0 {
+				j.cfg.Logf("journal: dropping torn trailing record (%d bytes)", len(line))
+				data = nil
+				continue
+			}
+			return fmt.Errorf("journal: %s: corrupt interior record: %q", j.path, truncateForLog(line))
+		}
+		switch e.Kind {
+		case KindAccepted:
+			j.pending[e.Job] = e
+		case KindFinal:
+			delete(j.pending, e.Job)
+		default:
+			return fmt.Errorf("journal: %s: unknown record kind %q", j.path, e.Kind)
+		}
+		if e.Seq > j.maxSeq {
+			j.maxSeq = e.Seq
+		}
+		data = rest
+	}
+	return nil
+}
+
+func truncateForLog(b []byte) string {
+	if len(b) > 120 {
+		b = b[:120]
+	}
+	return string(b)
+}
+
+// rewriteLocked compacts the WAL down to the pending records (atomic
+// temp + fsync + rename) and reopens it for appending. Caller must hold
+// j.mu, or own the journal exclusively (Open).
+func (j *Journal) rewriteLocked() error {
+	live := j.pendingSortedLocked()
+	var buf []byte
+	for _, e := range live {
+		line, err := json.Marshal(e)
+		if err != nil {
+			return err
+		}
+		buf = append(buf, line...)
+		buf = append(buf, '\n')
+	}
+	if j.cfg.Fault != nil {
+		if err := j.cfg.Fault("rotate"); err != nil {
+			return fmt.Errorf("journal rotate: %w", err)
+		}
+	}
+	if err := checkpoint.AtomicWrite(j.path, buf); err != nil {
+		return err
+	}
+	if j.f != nil {
+		// The old handle points at the renamed-over inode; a close error
+		// is irrelevant (everything it wrote was already fsync'd).
+		j.f.Close()
+		j.f = nil
+	}
+	f, err := os.OpenFile(j.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	j.f = f
+	j.size = int64(len(buf))
+	return nil
+}
+
+// pendingSortedLocked snapshots the pending records in admission order.
+func (j *Journal) pendingSortedLocked() []Entry {
+	live := make([]Entry, 0, len(j.pending))
+	for _, e := range j.pending {
+		live = append(live, e)
+	}
+	sort.Slice(live, func(a, b int) bool { return live[a].Seq < live[b].Seq })
+	return live
+}
+
+// Pending returns the accepted-but-unresolved records in admission order.
+func (j *Journal) Pending() []Entry {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.pendingSortedLocked()
+}
+
+// MaxSeq returns the highest sequence number the WAL has recorded; the
+// service resumes job-id allocation past it so recovered and new ids
+// never collide.
+func (j *Journal) MaxSeq() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.maxSeq
+}
+
+// SpoolDir returns the journal-owned spool directory for a job's
+// uploaded inputs. Unlike temp-dir spools, it survives restarts; the
+// service removes it when the job is finalized durably.
+func (j *Journal) SpoolDir(job string) string {
+	return filepath.Join(j.cfg.Dir, "spool", job)
+}
+
+// WorkDir returns the job's durable work directory: per-chromosome
+// output files plus the checkpoint manifest recovery resumes from.
+func (j *Journal) WorkDir(job string) string {
+	return filepath.Join(j.cfg.Dir, "work", job)
+}
+
+// Accept journals a job admission. It must return before the job is
+// acknowledged to the client; an error means the job was never durably
+// accepted and the caller must fail it (the WAL itself stays clean — a
+// torn append is truncated back out).
+func (j *Journal) Accept(e Entry) error {
+	e.V, e.Kind = Version, KindAccepted
+	return j.append(e)
+}
+
+// Final journals a job's terminal state. An error leaves the job pending
+// — it will re-run (idempotently, through its checkpoints) on the next
+// recovery — so callers log it rather than failing the finished job.
+func (j *Journal) Final(seq int, job, state string) error {
+	return j.append(Entry{V: Version, Kind: KindFinal, Seq: seq, Job: job, State: state})
+}
+
+// append writes one record durably: marshal, single write, fsync. On a
+// write or sync failure the file is truncated back to its pre-append
+// size so the log never carries a torn line mid-file; if even the repair
+// fails the journal is marked broken and every later append errors.
+func (j *Journal) append(e Entry) error {
+	line, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	line = append(line, '\n')
+
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return ErrClosed
+	}
+	if j.broken != nil {
+		return fmt.Errorf("journal: unusable after failed repair: %w", j.broken)
+	}
+	if j.cfg.Fault != nil {
+		if ferr := j.cfg.Fault("append"); ferr != nil {
+			return fmt.Errorf("journal append: %w", ferr)
+		}
+	}
+	if _, werr := j.f.Write(line); werr != nil {
+		j.repairLocked()
+		return fmt.Errorf("journal append: %w", werr)
+	}
+	if serr := j.f.Sync(); serr != nil {
+		j.repairLocked()
+		return fmt.Errorf("journal sync: %w", serr)
+	}
+	j.size += int64(len(line))
+	switch e.Kind {
+	case KindAccepted:
+		j.pending[e.Job] = e
+	case KindFinal:
+		delete(j.pending, e.Job)
+	}
+	if e.Seq > j.maxSeq {
+		j.maxSeq = e.Seq
+	}
+	if j.size > j.cfg.RotateBytes {
+		if rerr := j.rewriteLocked(); rerr != nil {
+			// Compaction failure is not fatal: the oversized WAL is still
+			// correct, only uncompacted. Keep appending and retry at the
+			// next threshold crossing.
+			j.cfg.Logf("journal: compaction failed (will retry): %v", rerr)
+		}
+	}
+	return nil
+}
+
+// repairLocked truncates a torn append back out of the WAL.
+func (j *Journal) repairLocked() {
+	if err := j.f.Truncate(j.size); err != nil {
+		j.broken = err
+		j.cfg.Logf("journal: CANNOT repair torn append (%v); journal disabled, new jobs will be refused", err)
+	}
+}
+
+// Sweep removes spool and work directories belonging to jobs that are no
+// longer pending — the debris of jobs finalized (or never fully
+// admitted) right before a crash. Called once after Open, with the
+// recovered job set as keep.
+func (j *Journal) Sweep(keep map[string]bool) {
+	for _, root := range []string{filepath.Join(j.cfg.Dir, "spool"), filepath.Join(j.cfg.Dir, "work")} {
+		entries, err := os.ReadDir(root)
+		if err != nil {
+			j.cfg.Logf("journal: sweep %s: %v", root, err)
+			continue
+		}
+		for _, ent := range entries {
+			if keep[ent.Name()] {
+				continue
+			}
+			p := filepath.Join(root, ent.Name())
+			if err := os.RemoveAll(p); err != nil {
+				j.cfg.Logf("journal: sweep: removing %s: %v", p, err)
+			} else {
+				j.cfg.Logf("journal: swept stale %s", p)
+			}
+		}
+	}
+}
+
+// Close flushes nothing (every append already fsync'd) and releases the
+// WAL handle. Idempotent.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	j.closed = true
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	return err
+}

@@ -1,0 +1,277 @@
+package journal
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func openT(t *testing.T, cfg Config) *Journal {
+	t.Helper()
+	j, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { j.Close() })
+	return j
+}
+
+func acceptN(t *testing.T, j *Journal, n int) {
+	t.Helper()
+	for i := 1; i <= n; i++ {
+		e := Entry{
+			Seq: i, Job: fmt.Sprintf("j%d", i),
+			Spec:        json.RawMessage(`{"genome_dir":"/data"}`),
+			Fingerprint: "fp", Digests: []string{"d1", "d2"},
+			Created: time.Unix(int64(1700000000+i), 0).UTC(),
+		}
+		if err := j.Accept(e); err != nil {
+			t.Fatalf("accept %d: %v", i, err)
+		}
+	}
+}
+
+// TestJournalRoundTrip: accepted-without-final records survive a close and
+// reopen, in admission order, with ids resuming past MaxSeq.
+func TestJournalRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j := openT(t, Config{Dir: dir})
+	acceptN(t, j, 3)
+	if err := j.Final(2, "j2", "done"); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2 := openT(t, Config{Dir: dir})
+	pending := j2.Pending()
+	if len(pending) != 2 {
+		t.Fatalf("pending after reopen: %d entries, want 2", len(pending))
+	}
+	if pending[0].Job != "j1" || pending[1].Job != "j3" {
+		t.Fatalf("pending order: %s, %s, want j1, j3", pending[0].Job, pending[1].Job)
+	}
+	if pending[0].Fingerprint != "fp" || len(pending[0].Digests) != 2 {
+		t.Fatalf("entry fields lost across reopen: %+v", pending[0])
+	}
+	if got := j2.MaxSeq(); got != 3 {
+		t.Fatalf("MaxSeq = %d, want 3", got)
+	}
+	if !pending[0].Created.Equal(time.Unix(1700000001, 0).UTC()) {
+		t.Fatalf("created timestamp drifted: %v", pending[0].Created)
+	}
+}
+
+// TestJournalTornTail: a partial trailing line — the crash-mid-append
+// signature — is dropped on replay; every complete record survives.
+func TestJournalTornTail(t *testing.T) {
+	dir := t.TempDir()
+	j := openT(t, Config{Dir: dir})
+	acceptN(t, j, 2)
+	j.Close()
+
+	path := filepath.Join(dir, WALName)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"v":1,"kind":"accepted","seq":3,"jo`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	j2 := openT(t, Config{Dir: dir})
+	pending := j2.Pending()
+	if len(pending) != 2 {
+		t.Fatalf("pending after torn tail: %d, want 2", len(pending))
+	}
+	// Open compacted the log: the torn bytes are gone from disk.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), `"seq":3`) {
+		t.Fatalf("torn record survived compaction: %q", data)
+	}
+}
+
+// TestJournalCorruptInterior: a malformed record that is NOT the last line
+// is silent corruption, and Open must refuse the log rather than drop jobs.
+func TestJournalCorruptInterior(t *testing.T) {
+	dir := t.TempDir()
+	j := openT(t, Config{Dir: dir})
+	acceptN(t, j, 1)
+	j.Close()
+
+	path := filepath.Join(dir, WALName)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("garbage not json\n{\"v\":1,\"kind\":\"final\",\"seq\":1,\"job\":\"j1\"}\n"); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	if _, err := Open(Config{Dir: dir}); err == nil {
+		t.Fatal("Open accepted a WAL with a corrupt interior record")
+	}
+}
+
+// TestJournalUnknownKind: a record kind this version does not know is a
+// schema breach, not something to skip silently.
+func TestJournalUnknownKind(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, WALName),
+		[]byte("{\"v\":1,\"kind\":\"mystery\",\"seq\":1,\"job\":\"j1\"}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(Config{Dir: dir}); err == nil {
+		t.Fatal("Open accepted an unknown record kind")
+	}
+}
+
+// TestJournalRotation: accept/final churn beyond RotateBytes compacts the
+// WAL down to its live records instead of accreting history.
+func TestJournalRotation(t *testing.T) {
+	dir := t.TempDir()
+	j := openT(t, Config{Dir: dir, RotateBytes: 512})
+	for i := 1; i <= 50; i++ {
+		job := fmt.Sprintf("j%d", i)
+		if err := j.Accept(Entry{Seq: i, Job: job, Fingerprint: "fp"}); err != nil {
+			t.Fatal(err)
+		}
+		if i != 50 { // leave the last job pending
+			if err := j.Final(i, job, "done"); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	st, err := os.Stat(filepath.Join(dir, WALName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Size() > 1024 {
+		t.Fatalf("WAL grew to %d bytes despite RotateBytes=512", st.Size())
+	}
+	if p := j.Pending(); len(p) != 1 || p[0].Job != "j50" {
+		t.Fatalf("pending after churn: %+v, want only j50", p)
+	}
+	j.Close()
+	if p := openT(t, Config{Dir: dir}).Pending(); len(p) != 1 || p[0].Job != "j50" {
+		t.Fatalf("pending after reopen: %+v, want only j50", p)
+	}
+}
+
+// TestJournalAppendFault: an injected append fault fails that one Accept,
+// leaves the WAL clean, and later appends succeed.
+func TestJournalAppendFault(t *testing.T) {
+	dir := t.TempDir()
+	failNext := false
+	j := openT(t, Config{Dir: dir, Fault: func(op string) error {
+		if failNext && op == "append" {
+			failNext = false
+			return fmt.Errorf("injected %s fault", op)
+		}
+		return nil
+	}})
+	acceptN(t, j, 1)
+	failNext = true
+	if err := j.Accept(Entry{Seq: 2, Job: "j2"}); err == nil {
+		t.Fatal("faulted Accept succeeded")
+	}
+	if err := j.Accept(Entry{Seq: 3, Job: "j3"}); err != nil {
+		t.Fatalf("append after fault: %v", err)
+	}
+	j.Close()
+
+	pending := openT(t, Config{Dir: dir}).Pending()
+	if len(pending) != 2 || pending[0].Job != "j1" || pending[1].Job != "j3" {
+		t.Fatalf("pending after faulted append: %+v, want j1 and j3", pending)
+	}
+}
+
+// TestJournalSweep removes spool/work debris of non-pending jobs and keeps
+// the recovered set.
+func TestJournalSweep(t *testing.T) {
+	dir := t.TempDir()
+	j := openT(t, Config{Dir: dir})
+	for _, sub := range []string{"spool", "work"} {
+		for _, job := range []string{"j1", "j2"} {
+			p := filepath.Join(dir, sub, job)
+			if err := os.MkdirAll(p, 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(filepath.Join(p, "x"), []byte("x"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	j.Sweep(map[string]bool{"j2": true})
+	for _, sub := range []string{"spool", "work"} {
+		if _, err := os.Stat(filepath.Join(dir, sub, "j1")); !os.IsNotExist(err) {
+			t.Errorf("%s/j1 survived the sweep", sub)
+		}
+		if _, err := os.Stat(filepath.Join(dir, sub, "j2", "x")); err != nil {
+			t.Errorf("%s/j2 was swept despite being kept: %v", sub, err)
+		}
+	}
+}
+
+// TestJournalClosed: appends after Close report ErrClosed instead of
+// writing through a nil handle.
+func TestJournalClosed(t *testing.T) {
+	j := openT(t, Config{Dir: t.TempDir()})
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if err := j.Accept(Entry{Seq: 1, Job: "j1"}); err != ErrClosed {
+		t.Fatalf("Accept after Close: %v, want ErrClosed", err)
+	}
+}
+
+// TestJournalConcurrent hammers Accept/Final from many goroutines; the
+// reopened log must agree exactly with the survivors.
+func TestJournalConcurrent(t *testing.T) {
+	dir := t.TempDir()
+	j := openT(t, Config{Dir: dir, RotateBytes: 2048})
+	const n = 100
+	var wg sync.WaitGroup
+	for i := 1; i <= n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			job := fmt.Sprintf("j%d", i)
+			if err := j.Accept(Entry{Seq: i, Job: job}); err != nil {
+				t.Errorf("accept %s: %v", job, err)
+				return
+			}
+			if i%2 == 0 {
+				if err := j.Final(i, job, "done"); err != nil {
+					t.Errorf("final %s: %v", job, err)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	j.Close()
+
+	pending := openT(t, Config{Dir: dir}).Pending()
+	if len(pending) != n/2 {
+		t.Fatalf("pending after concurrent churn: %d, want %d", len(pending), n/2)
+	}
+	for i, e := range pending {
+		if e.Seq != 2*i+1 {
+			t.Fatalf("pending[%d].Seq = %d, want %d (odd seqs only, sorted)", i, e.Seq, 2*i+1)
+		}
+	}
+}

@@ -175,3 +175,44 @@ func TestConcurrency(t *testing.T) {
 		t.Fatalf("budget violated under concurrency: %+v", st)
 	}
 }
+
+// TestConcurrentEvictionChurn keeps the cache permanently over-subscribed
+// (64 hot keys, budget for 4 entries) while goroutines Put, Get and
+// Invalidate concurrently, so the race detector audits the eviction path
+// itself and the stats invariants hold at every interleaving.
+func TestConcurrentEvictionChurn(t *testing.T) {
+	const budget = 256 // 4 entries of 64 bytes
+	c := New[int](budget)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := fmt.Sprintf("k%d", (g*31+i)%64)
+				c.Put(k, i, 64)
+				c.Get(k)
+				if i%17 == 0 {
+					c.Invalidate(k)
+				}
+				if i%29 == 0 {
+					c.Stats()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Bytes > budget {
+		t.Fatalf("byte budget violated under churn: %+v", st)
+	}
+	if st.Entries > budget/64 {
+		t.Fatalf("entry count exceeds what the budget admits: %+v", st)
+	}
+	if st.Evictions == 0 {
+		t.Fatalf("no evictions despite 16x over-subscription: %+v", st)
+	}
+	if st.Hits+st.Misses != 8*500 {
+		t.Fatalf("hit/miss accounting drifted: %+v", st)
+	}
+}

@@ -67,14 +67,31 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	js, err := s.submit(spec)
 	if err != nil {
 		code := http.StatusBadRequest
-		if errors.Is(err, ErrDraining) || errors.Is(err, sched.ErrPoolClosed) {
+		switch {
+		case errors.Is(err, ErrDraining) || errors.Is(err, sched.ErrPoolClosed):
 			code = http.StatusServiceUnavailable
+			w.Header().Set("Retry-After", retryAfter)
+		case errors.Is(err, ErrQueueFull):
+			// Admission backpressure: the queue bound is hit, the request
+			// itself was fine — tell the client when to come back.
+			code = http.StatusTooManyRequests
+			w.Header().Set("Retry-After", retryAfter)
+		case errors.Is(err, ErrJournal):
+			// Durability could not be guaranteed for this job; the server
+			// itself keeps serving.
+			code = http.StatusInternalServerError
 		}
 		writeError(w, code, err)
 		return
 	}
 	writeJSON(w, http.StatusAccepted, js.status())
 }
+
+// retryAfter is the Retry-After header value (seconds) sent with 503
+// (draining) and 429 (queue full) responses: both conditions clear on the
+// order of job completions, not instantly, so clients should pause rather
+// than hammer.
+const retryAfter = "1"
 
 func (s *Server) lookup(w http.ResponseWriter, r *http.Request) *jobState {
 	id := r.PathValue("id")

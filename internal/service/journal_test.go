@@ -1,0 +1,331 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gsnp/internal/faults"
+	"gsnp/internal/genomejob"
+)
+
+// finalFaults builds an injector whose single disk fault lands on the
+// first job's Final append: the journal's Open compaction is disk op 1
+// ("rotate"), the job's Accept is op 2, its Final is op 3. The job then
+// completes normally in-process but stays pending in the WAL with its
+// spool/work dirs intact — exactly the on-disk state a crash mid-job
+// leaves behind, reachable without kill -9.
+func finalFaults() *faults.Injector {
+	return faults.New(faults.Config{DiskFailEvery: 3, DiskFails: 1})
+}
+
+// drainT drains a server within a test-scoped deadline.
+func drainT(t *testing.T, srv *Server) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+}
+
+// TestServiceJournalRecovery is the in-process half of the crash-recovery
+// acceptance scenario: a journaled job whose terminal record never landed
+// is re-enqueued on the next startup, chromosomes with valid checkpoints
+// replay without re-executing (zero pool dispatches for them), a
+// tampered checkpoint output is recomputed, and the recovered stream is
+// byte-identical to an uninterrupted run.
+func TestServiceJournalRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("service e2e in -short mode")
+	}
+	opts := genomejob.Options{Engine: "gsnp-cpu", Format: "soap", Window: 256}
+	dir := t.TempDir()
+	writeGenomeDir(t, dir, testSpecs(3, 1400, 61))
+	base := serialBaseline(t, dir, opts)
+	jdir := filepath.Join(t.TempDir(), "journal")
+
+	// First incarnation: the Final append is faulted, so the completed job
+	// remains pending in the WAL with its work dir (checkpointed outputs)
+	// kept.
+	srvA, tsA := newTestServer(t, Config{Workers: 2, JournalDir: jdir, DiskFaults: finalFaults()})
+	id := postJob(t, tsA, map[string]any{"genome_dir": dir, "engine": "gsnp-cpu", "window": 256})
+	if _, state := readStream(t, tsA, id); state != StateDone {
+		t.Fatalf("first run state %q, want done", state)
+	}
+	tsA.Close()
+	drainT(t, srvA)
+
+	workdir := filepath.Join(jdir, "work", id)
+	if _, err := os.Stat(filepath.Join(workdir, "chr01.result")); err != nil {
+		t.Fatalf("checkpointed output missing after faulted Final: %v", err)
+	}
+	// Tamper one checkpointed output: recovery must detect the digest
+	// mismatch and recompute that chromosome rather than serve bad bytes.
+	if err := os.WriteFile(filepath.Join(workdir, "chr02.result"), []byte("tampered\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second incarnation: same journal dir, no faults.
+	var dispatches atomic.Int64
+	srvB, tsB := newTestServer(t, Config{
+		Workers: 2, JournalDir: jdir,
+		OnDequeue: func(string, int) { dispatches.Add(1) },
+	})
+	if st := srvB.Statz(); st.RecoveredJobs != 1 || !st.JournalEnabled {
+		t.Fatalf("statz after recovery: recovered=%d journal=%t, want 1/true", st.RecoveredJobs, st.JournalEnabled)
+	}
+	recs, state := readStream(t, tsB, id)
+	if state != StateDone {
+		t.Fatalf("recovered job state %q, want done", state)
+	}
+	for name, want := range base {
+		rec, ok := recs[name]
+		if !ok {
+			t.Fatalf("recovered stream missing %s", name)
+		}
+		if !bytes.Equal(rec.OutputB64, want) {
+			t.Errorf("%s: recovered bytes differ from uninterrupted run", name)
+		}
+	}
+	// chr01/chr03 replayed from checkpoints; only tampered chr02 re-ran.
+	if !recs["chr01.fa"].Recovered || !recs["chr03.fa"].Recovered {
+		t.Errorf("checkpointed chromosomes not marked recovered: %+v %+v", recs["chr01.fa"], recs["chr03.fa"])
+	}
+	if recs["chr02.fa"].Recovered {
+		t.Error("tampered chromosome served from checkpoint instead of recomputing")
+	}
+	if n := dispatches.Load(); n != 1 {
+		t.Errorf("pool dispatched %d tasks during recovery, want 1 (only the tampered chromosome)", n)
+	}
+	st := getStatus(t, tsB, id)
+	if !st.Recovered {
+		t.Error("recovered job not marked in its status document")
+	}
+	tsB.Close()
+	drainT(t, srvB)
+
+	// The recovered job finalized durably this time: a third incarnation
+	// has nothing to recover, and the job's dirs are gone.
+	srvC, _ := newTestServer(t, Config{Workers: 1, JournalDir: jdir})
+	if st := srvC.Statz(); st.RecoveredJobs != 0 {
+		t.Fatalf("third open recovered %d jobs, want 0", st.RecoveredJobs)
+	}
+	if _, err := os.Stat(workdir); !os.IsNotExist(err) {
+		t.Errorf("work dir survived durable finalize: %v", err)
+	}
+}
+
+// TestServiceJournalUploadedRecovery: uploaded inputs live in the
+// journal-owned spool and survive a restart; a tampered spool file fails
+// the recovered job cleanly (digest mismatch) while the server keeps
+// serving fresh jobs.
+func TestServiceJournalUploadedRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("service e2e in -short mode")
+	}
+	opts := genomejob.Options{Engine: "gsnp-cpu", Format: "soap", Window: 256}
+	dir := t.TempDir()
+	writeGenomeDir(t, dir, testSpecs(2, 1200, 83))
+	base := serialBaseline(t, dir, opts)
+
+	var inputs []map[string]any
+	for _, name := range []string{"chr01", "chr02"} {
+		ref, _ := os.ReadFile(filepath.Join(dir, name+".fa"))
+		aln, _ := os.ReadFile(filepath.Join(dir, name+".soap"))
+		snp, _ := os.ReadFile(filepath.Join(dir, name+".snp"))
+		inputs = append(inputs, map[string]any{
+			"name": name, "ref": string(ref), "aln": string(aln), "snp": string(snp),
+		})
+	}
+
+	run := func(t *testing.T, tamper bool) {
+		jdir := filepath.Join(t.TempDir(), "journal")
+		srvA, tsA := newTestServer(t, Config{Workers: 2, JournalDir: jdir, DiskFaults: finalFaults()})
+		id := postJob(t, tsA, map[string]any{"inputs": inputs, "engine": "gsnp-cpu", "window": 256})
+		if _, state := readStream(t, tsA, id); state != StateDone {
+			t.Fatalf("first run state %q, want done", state)
+		}
+		tsA.Close()
+		drainT(t, srvA)
+
+		spooled := filepath.Join(jdir, "spool", id, "chr01.soap")
+		if _, err := os.Stat(spooled); err != nil {
+			t.Fatalf("spooled upload did not survive the restart boundary: %v", err)
+		}
+		if tamper {
+			if err := os.WriteFile(spooled, []byte("not an alignment\n"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		srvB, tsB := newTestServer(t, Config{Workers: 2, JournalDir: jdir})
+		recs, state := readStream(t, tsB, id)
+		if tamper {
+			if state != StateFailed {
+				t.Fatalf("tampered-spool recovery state %q, want failed", state)
+			}
+			// The server is healthy: a fresh job still executes.
+			id2 := postJob(t, tsB, map[string]any{"inputs": inputs, "engine": "gsnp-cpu", "window": 256})
+			if _, state2 := readStream(t, tsB, id2); state2 != StateDone {
+				t.Fatalf("fresh job after failed recovery: %q, want done", state2)
+			}
+		} else {
+			if state != StateDone {
+				t.Fatalf("recovered upload job state %q, want done", state)
+			}
+			for name, want := range base {
+				if !bytes.Equal(recs[name].OutputB64, want) {
+					t.Errorf("%s: recovered upload bytes differ", name)
+				}
+			}
+		}
+		tsB.Close()
+		drainT(t, srvB)
+	}
+	t.Run("intact", func(t *testing.T) { run(t, false) })
+	t.Run("tampered", func(t *testing.T) { run(t, true) })
+}
+
+// TestServiceJournalAppendFault: a disk fault on the Accept append fails
+// that one submission with ErrJournal (HTTP 500), nothing is journaled
+// for it, and the server keeps accepting and completing later jobs,
+// draining cleanly.
+func TestServiceJournalAppendFault(t *testing.T) {
+	if testing.Short() {
+		t.Skip("service e2e in -short mode")
+	}
+	dir := t.TempDir()
+	writeGenomeDir(t, dir, testSpecs(1, 1200, 29))
+	jdir := filepath.Join(t.TempDir(), "journal")
+
+	// Disk ops: Open compaction = 1, first Accept = 2 (faulted; budget 1).
+	inj := faults.New(faults.Config{DiskFailEvery: 2, DiskFails: 1})
+	srv, ts := newTestServer(t, Config{Workers: 1, JournalDir: jdir, DiskFaults: inj})
+
+	body, _ := json.Marshal(map[string]any{"genome_dir": dir, "engine": "gsnp-cpu", "window": 256})
+	resp, err := http.Post(ts.URL+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("faulted submission: %d %s, want 500", resp.StatusCode, data)
+	}
+	if !strings.Contains(string(data), "journal") {
+		t.Fatalf("error body does not name the journal: %s", data)
+	}
+
+	// The very next submission succeeds and completes.
+	id := postJob(t, ts, map[string]any{"genome_dir": dir, "engine": "gsnp-cpu", "window": 256})
+	if _, state := readStream(t, ts, id); state != StateDone {
+		t.Fatalf("job after faulted append: %q, want done", state)
+	}
+	ts.Close()
+	drainT(t, srv)
+
+	// Nothing pending: the faulted job was never durably accepted, the
+	// successful one finalized.
+	srv2, _ := newTestServer(t, Config{Workers: 1, JournalDir: jdir})
+	if st := srv2.Statz(); st.RecoveredJobs != 0 {
+		t.Fatalf("recovered %d jobs after clean shutdown, want 0", st.RecoveredJobs)
+	}
+}
+
+// TestServiceMaxQueued: with the admission bound hit, submissions get 429
+// + Retry-After; capacity freed by a finished job re-admits.
+func TestServiceMaxQueued(t *testing.T) {
+	if testing.Short() {
+		t.Skip("service e2e in -short mode")
+	}
+	dirLong, dirSmall := t.TempDir(), t.TempDir()
+	writeGenomeDir(t, dirLong, testSpecs(6, 5000, 17))
+	writeGenomeDir(t, dirSmall, testSpecs(1, 1200, 53))
+
+	_, ts := newTestServer(t, Config{Workers: 1, MaxQueued: 1, CacheOff: true})
+	idLong := postJob(t, ts, map[string]any{"genome_dir": dirLong, "engine": "gsnp-cpu", "window": 256})
+
+	body, _ := json.Marshal(map[string]any{"genome_dir": dirSmall, "engine": "gsnp-cpu", "window": 256})
+	resp, err := http.Post(ts.URL+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-bound submission: %d %s, want 429", resp.StatusCode, data)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 response missing Retry-After")
+	}
+
+	// Cancel the long job; once it finalizes the bound frees up.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/jobs/"+idLong, nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, dresp.Body)
+	dresp.Body.Close()
+	readStream(t, ts, idLong) // wait for the cancel to finalize
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Post(ts.URL+"/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusAccepted {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("bound never freed after cancel: last status %d", resp.StatusCode)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestServiceJournalConcurrentSubmissions: many concurrent journaled
+// submissions (uploads included) all land durably and resolve; the WAL
+// ends the session with nothing pending.
+func TestServiceJournalConcurrentSubmissions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("service e2e in -short mode")
+	}
+	dir := t.TempDir()
+	writeGenomeDir(t, dir, testSpecs(1, 1200, 97))
+	jdir := filepath.Join(t.TempDir(), "journal")
+
+	srv, ts := newTestServer(t, Config{Workers: 2, JournalDir: jdir, CacheOff: true})
+	var wg sync.WaitGroup
+	for i := 0; i < 6; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			id := postJob(t, ts, map[string]any{"genome_dir": dir, "engine": "gsnp-cpu", "window": 256})
+			if _, state := readStream(t, ts, id); state != StateDone {
+				t.Errorf("job %s: %q, want done", id, state)
+			}
+		}()
+	}
+	wg.Wait()
+	ts.Close()
+	drainT(t, srv)
+
+	srv2, _ := newTestServer(t, Config{Workers: 1, JournalDir: jdir})
+	if st := srv2.Statz(); st.RecoveredJobs != 0 {
+		t.Fatalf("recovered %d jobs after clean concurrent session, want 0", st.RecoveredJobs)
+	}
+}

@@ -1,0 +1,201 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"gsnp/internal/checkpoint"
+	"gsnp/internal/genomejob"
+	"gsnp/internal/journal"
+)
+
+// recoverPending replays the journal after a restart: every job a
+// previous process accepted but never finalized is re-validated against
+// its recorded input digests and re-enqueued, with chromosomes the crash
+// already completed served straight from their durable checkpoints. It
+// runs from New, after the pool exists and before the HTTP listener can
+// accept anything, so recovered ids never race fresh submissions.
+func (s *Server) recoverPending() {
+	pending := s.journal.Pending()
+	keep := make(map[string]bool, len(pending))
+	for _, e := range pending {
+		keep[e.Job] = true
+	}
+	// Spool/work dirs of jobs that are not pending are debris (finalized
+	// right before the crash, or never fully admitted): sweep them first.
+	s.journal.Sweep(keep)
+	for _, e := range pending {
+		s.recoverJob(e)
+	}
+	if len(pending) > 0 {
+		s.cfg.Logf("journal: recovered %d interrupted job(s)", len(pending))
+	}
+}
+
+// recoverJob re-enqueues one journaled job. The recorded spec is
+// re-validated, the inputs are re-hashed against the journaled digests
+// (drifted inputs fail the job rather than silently producing different
+// bytes), and checkpointed chromosomes are streamed as already-complete
+// records — their bytes digest-verified — while the rest go back to the
+// pool. Byte identity with an uninterrupted run is preserved on every
+// path.
+func (s *Server) recoverJob(e journal.Entry) {
+	js := &jobState{
+		id: e.Job, created: e.Created,
+		notify:     make(chan struct{}),
+		ready:      make(chan struct{}),
+		stopJoin:   make(chan struct{}),
+		done:       make(chan struct{}),
+		state:      StateQueued,
+		journalSeq: e.Seq,
+		recovered:  true,
+	}
+
+	var spec JobSpec
+	if err := json.Unmarshal(e.Spec, &spec); err != nil {
+		s.failRecovered(js, fmt.Errorf("journaled spec: %w", err))
+		return
+	}
+	js.spec = &spec
+	// Uploaded input bodies were stripped from the journaled spec — the
+	// spool directory is their durable home — so only the input-independent
+	// option invariants can be (and need to be) re-checked.
+	if err := spec.validateOptions(); err != nil {
+		s.failRecovered(js, fmt.Errorf("journaled spec: %w", err))
+		return
+	}
+	opts := spec.Options()
+	if got := opts.Fingerprint(); got != e.Fingerprint {
+		s.failRecovered(js, fmt.Errorf("fingerprint drift: journaled %q, recomputed %q", e.Fingerprint, got))
+		return
+	}
+
+	dir := spec.GenomeDir
+	if e.Spool != "" {
+		js.dir = s.journal.SpoolDir(e.Spool)
+		dir = js.dir
+	}
+	if dir == "" {
+		s.failRecovered(js, fmt.Errorf("journaled spec names neither a genome dir nor a spool"))
+		return
+	}
+	units, _, err := genomejob.Discover(dir, opts)
+	if err != nil {
+		s.failRecovered(js, err)
+		return
+	}
+	digests, err := genomejob.UnitDigests(units)
+	if err != nil {
+		s.failRecovered(js, fmt.Errorf("re-hashing inputs: %w", err))
+		return
+	}
+	if len(digests) != len(e.Digests) {
+		s.failRecovered(js, fmt.Errorf("input set changed: %d chromosomes journaled, %d found", len(e.Digests), len(units)))
+		return
+	}
+	for i, d := range digests {
+		if d != e.Digests[i] {
+			s.failRecovered(js, fmt.Errorf("input %s changed since the job was journaled", units[i].Name))
+			return
+		}
+	}
+
+	// Resume the checkpoint manifest. A corrupt or mismatched manifest
+	// costs durability, not correctness: wipe it and recompute everything.
+	if err := s.openWorkdir(js, opts); err != nil {
+		s.cfg.Logf("job %s: recovery checkpoint: %v (recomputing all chromosomes)", js.id, err)
+		if rerr := os.Remove(checkpoint.Path(s.journal.WorkDir(js.id))); rerr != nil && !os.IsNotExist(rerr) {
+			s.failRecovered(js, fmt.Errorf("removing bad checkpoint: %w", rerr))
+			return
+		}
+		if err := s.openWorkdir(js, opts); err != nil {
+			s.failRecovered(js, err)
+			return
+		}
+	}
+
+	// Partition units: checkpointed chromosomes replay from their durable
+	// outputs (Done re-verifies the recorded digest before we trust the
+	// bytes); the rest re-enqueue, with taskUnit mapping pool task indices
+	// back to chromosome indices.
+	js.units = units
+	js.chroms = make([]ChromStatus, len(units))
+	var remaining []genomejob.Unit
+	var taskUnit []int
+	for i, u := range units {
+		js.chroms[i] = ChromStatus{Name: u.Name, State: StatePending}
+		ce, ok := js.cp.Done(u.Name)
+		if ok {
+			out, rerr := os.ReadFile(filepath.Join(js.workdir, ce.Output))
+			if rerr == nil {
+				rec := StreamRecord{
+					Job: js.id, Index: i, Name: u.Name, State: StateOK,
+					Sites: ce.Sites, OutputB64: out, Recovered: true,
+				}
+				js.chroms[i] = chromStatusOf(rec)
+				js.stream = append(js.stream, rec)
+				continue
+			}
+			s.cfg.Logf("job %s: checkpointed output %s unreadable (%v), recomputing", js.id, u.Name, rerr)
+		}
+		remaining = append(remaining, u)
+		taskUnit = append(taskUnit, i)
+	}
+	js.taskUnit = taskUnit
+
+	s.mu.Lock()
+	s.jobs[js.id] = js
+	s.active++
+	js.counted = true
+	s.recoveredN++
+	s.mu.Unlock()
+
+	if len(remaining) == 0 {
+		close(js.ready)
+		s.cfg.Logf("job %s: recovered fully from checkpoints (%d chromosomes)", js.id, len(units))
+		s.finalize(js, StateDone)
+		return
+	}
+	handle, err := s.pool.Submit(js.id, s.buildTasks(js, opts, remaining))
+	if err != nil {
+		close(js.ready)
+		s.mu.Lock()
+		delete(s.jobs, js.id)
+		s.mu.Unlock()
+		s.finalize(js, StateFailed)
+		s.cfg.Logf("job %s: recovery re-enqueue: %v", js.id, err)
+		return
+	}
+	js.handle = handle
+	close(js.ready)
+	go s.collect(js)
+	s.cfg.Logf("job %s: recovered (%d of %d chromosomes from checkpoints, %d re-enqueued)",
+		js.id, len(units)-len(remaining), len(units), len(remaining))
+}
+
+// failRecovered registers a journaled job the service could not recover
+// and finalizes it as failed: the failure is visible over the API (and
+// journaled terminally) instead of the job silently vanishing from the
+// WAL's pending set.
+func (s *Server) failRecovered(js *jobState, err error) {
+	s.cfg.Logf("job %s: recovery failed: %v", js.id, err)
+	if js.spec == nil {
+		js.spec = &JobSpec{}
+	}
+	js.mu.Lock()
+	for i := range js.chroms {
+		if js.chroms[i].State == StatePending {
+			js.chroms[i].State = StateFailed
+			js.chroms[i].Error = "job recovery failed"
+		}
+	}
+	js.mu.Unlock()
+	s.mu.Lock()
+	s.jobs[js.id] = js
+	s.recoveredN++
+	s.mu.Unlock()
+	close(js.ready)
+	s.finalize(js, StateFailed)
+}

@@ -16,6 +16,7 @@ import (
 	"context"
 	"crypto/sha256"
 	"encoding/hex"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -24,8 +25,11 @@ import (
 	"sync"
 	"time"
 
+	"gsnp/internal/checkpoint"
+	"gsnp/internal/faults"
 	"gsnp/internal/genomejob"
 	"gsnp/internal/gsnp"
+	"gsnp/internal/journal"
 	"gsnp/internal/pipeline"
 	"gsnp/internal/resultcache"
 	"gsnp/internal/sched"
@@ -41,10 +45,29 @@ type Config struct {
 	RetryBackoff time.Duration
 	TaskTimeout  time.Duration
 	// SpoolDir is where uploaded inputs are materialised; empty selects a
-	// fresh temporary directory.
+	// fresh temporary directory. Ignored when JournalDir is set — the
+	// journal owns the spool so uploads survive restarts.
 	SpoolDir string
 	// MaxBodyBytes caps POST /jobs bodies (0 = 256 MiB).
 	MaxBodyBytes int64
+	// JournalDir enables crash durability: every accepted job is
+	// journaled (write-ahead, fsync'd) before it is acknowledged,
+	// uploaded inputs spool under the journal so they survive restarts,
+	// per-chromosome outputs are checkpointed durably as they complete,
+	// and New replays the journal to re-enqueue jobs a crash
+	// interrupted — completed chromosomes are skipped via checkpoint
+	// resume and outputs stay byte-identical to an uninterrupted run.
+	// Empty disables journaling (jobs die with the process, as before).
+	JournalDir string
+	// MaxQueued bounds admission: when that many admitted jobs are still
+	// unfinished, new submissions are rejected with ErrQueueFull (HTTP
+	// 429 + Retry-After) instead of growing the backlog without bound.
+	// 0 = unlimited. Recovered jobs bypass the bound (they were already
+	// admitted) but count against it.
+	MaxQueued int
+	// DiskFaults, when set, injects deterministic disk faults into the
+	// journal's durable writes (testing; see internal/faults).
+	DiskFaults *faults.Injector
 	// Logf, when set, receives operational log lines.
 	Logf func(format string, args ...any)
 	// OnDequeue, when set, observes the shared pool's dispatch order
@@ -96,6 +119,10 @@ type Server struct {
 	spool    string
 	ownSpool bool
 
+	// journal is the crash-durability WAL; nil unless Config.JournalDir
+	// is set.
+	journal *journal.Journal
+
 	// cache and flights are nil when Config.CacheOff is set. cache maps a
 	// job's content key to its recorded stream; flights tracks in-flight
 	// executions so identical concurrent submissions share one run.
@@ -106,10 +133,24 @@ type Server struct {
 	jobs     map[string]*jobState
 	seq      int
 	draining bool
+	// active counts admitted jobs that have not finalized — the
+	// MaxQueued admission bound. Cache replays and single-flight
+	// followers never count (they occupy no pool capacity).
+	active int
+	// recoveredN counts jobs re-enqueued from the journal this process.
+	recoveredN uint64
 }
 
 // errJobCancelled is the cancellation cause DELETE /jobs/{id} installs.
 var errJobCancelled = errors.New("job cancelled by client")
+
+// ErrQueueFull is returned to submissions when MaxQueued unfinished jobs
+// are already admitted; clients should back off and retry (HTTP 429).
+var ErrQueueFull = errors.New("job queue is full")
+
+// ErrJournal wraps journal-append failures: the one submission fails
+// cleanly (HTTP 500) while the server keeps serving every other job.
+var ErrJournal = errors.New("job journal write failed")
 
 // New builds the server and starts its worker pool.
 func New(cfg Config) (*Server, error) {
@@ -128,12 +169,32 @@ func New(cfg Config) (*Server, error) {
 		s.cache = resultcache.New[cachedJob](cfg.CacheBytes)
 		s.flights = resultcache.NewFlights[*jobState]()
 	}
-	if cfg.SpoolDir != "" {
+	if cfg.JournalDir != "" {
+		var fault func(op string) error
+		if cfg.DiskFaults != nil {
+			fault = cfg.DiskFaults.DiskOp
+		}
+		jn, err := journal.Open(journal.Config{
+			Dir: cfg.JournalDir, Fault: fault, Logf: cfg.Logf,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.journal = jn
+		s.seq = jn.MaxSeq()
+	}
+	switch {
+	case s.journal != nil:
+		// The journal owns the spool: uploaded inputs must survive a
+		// restart, so they live in named per-job directories under the
+		// journal rather than a process-lifetime temp dir.
+		s.spool = filepath.Join(cfg.JournalDir, "spool")
+	case cfg.SpoolDir != "":
 		if err := os.MkdirAll(cfg.SpoolDir, 0o755); err != nil {
 			return nil, err
 		}
 		s.spool = cfg.SpoolDir
-	} else {
+	default:
 		dir, err := os.MkdirTemp("", "gsnpd-spool-*")
 		if err != nil {
 			return nil, err
@@ -157,6 +218,9 @@ func New(cfg Config) (*Server, error) {
 		Policy:    pol,
 		OnDequeue: s.onDequeue,
 	}, func(int) *gsnp.Arena { return gsnp.NewArena() })
+	if s.journal != nil {
+		s.recoverPending()
+	}
 	return s, nil
 }
 
@@ -182,6 +246,21 @@ type jobState struct {
 	leader   *jobState
 	stopJoin chan struct{}
 	done     chan struct{}
+
+	// Journal state (zero-valued when the server runs without a
+	// journal). journalSeq is the WAL sequence the job was accepted
+	// under; workdir holds the durable per-chromosome outputs plus the
+	// checkpoint manifest cp maintains; recovered marks a job re-enqueued
+	// from the journal after a restart; counted marks a job charged
+	// against the MaxQueued admission bound; taskUnit maps pool task
+	// indices back to unit indices for recovered jobs that re-enqueued
+	// only their unfinished chromosomes (nil = identity).
+	journalSeq int
+	workdir    string
+	cp         *checkpoint.Writer
+	recovered  bool
+	counted    bool
+	taskUnit   []int
 
 	mu        sync.Mutex
 	chroms    []ChromStatus
@@ -220,6 +299,9 @@ type ChromStatus struct {
 	CalSkipped  int    `json:"cal_skipped,omitempty"`
 	WallMS      int64  `json:"wall_ms,omitempty"`
 	Error       string `json:"error,omitempty"`
+	// Recovered marks a chromosome served from the durable checkpoint
+	// after a restart instead of re-executing.
+	Recovered bool `json:"recovered,omitempty"`
 }
 
 // JobStatus is the GET /jobs/{id} document.
@@ -231,6 +313,10 @@ type JobStatus struct {
 	Total       int           `json:"total"`
 	Completed   int           `json:"completed"`
 	Chromosomes []ChromStatus `json:"chromosomes"`
+	// Recovered marks a job replayed from the journal after a restart:
+	// its spec, inputs and already-completed chromosomes survived the
+	// crash, and its output bytes are identical to an uninterrupted run.
+	Recovered bool `json:"recovered,omitempty"`
 }
 
 // StreamRecord is one line of GET /jobs/{id}/stream: a completed
@@ -256,6 +342,11 @@ type StreamRecord struct {
 	// from the result cache or a single-flight join rather than a fresh
 	// execution.
 	Final bool `json:"final,omitempty"`
+	// Recovered marks a record served from the durable checkpoint after
+	// a restart (the chromosome was not re-executed; its bytes were
+	// validated against the recorded digest), and on the Final record, a
+	// job that was re-enqueued from the journal.
+	Recovered bool `json:"recovered,omitempty"`
 }
 
 // submit registers and enqueues one parsed job spec. Caller must not hold
@@ -268,8 +359,15 @@ func (s *Server) submit(spec *JobSpec) (*jobState, error) {
 		s.mu.Unlock()
 		return nil, ErrDraining
 	}
+	// Admission backpressure: shed before spooling and hashing, not
+	// after. The registration block below re-checks authoritatively.
+	if s.cfg.MaxQueued > 0 && s.active >= s.cfg.MaxQueued {
+		s.mu.Unlock()
+		return nil, ErrQueueFull
+	}
 	s.seq++
-	id := fmt.Sprintf("j%d", s.seq)
+	seq := s.seq
+	id := fmt.Sprintf("j%d", seq)
 	s.mu.Unlock()
 
 	js := &jobState{
@@ -282,9 +380,7 @@ func (s *Server) submit(spec *JobSpec) (*jobState, error) {
 		state:    StateQueued,
 	}
 	fail := func(err error) (*jobState, error) {
-		if js.dir != "" {
-			os.RemoveAll(js.dir)
-		}
+		s.removeDir("job "+js.id+" spool dir", js.dir)
 		return nil, err
 	}
 
@@ -312,56 +408,63 @@ func (s *Server) submit(spec *JobSpec) (*jobState, error) {
 		js.chroms[i] = ChromStatus{Name: u.Name, State: StatePending}
 	}
 
-	// Content-addressed short-circuit: hash the options fingerprint plus
-	// every input file's bytes. An exact prior result replays from the
-	// cache with zero pool work; an identical job already executing is
-	// joined (single-flight) instead of run twice. An unhashable input
-	// (e.g. a file racing deletion) falls through to normal execution,
-	// which will surface the real error.
-	if s.cache != nil {
-		key, err := jobKey(opts, units)
-		if err != nil {
-			s.cfg.Logf("job %s: uncacheable inputs: %v", id, err)
-		} else {
-			js.key = key
-			if cj, ok := s.cache.Get(key); ok {
-				return s.serveCached(js, cj)
+	// Content digests feed two consumers: the result-cache key and the
+	// journal's recorded input identity (what recovery re-validates
+	// against). An unhashable input (e.g. a file racing deletion) makes
+	// the job uncacheable and falls through to normal execution — unless
+	// a journal must record it, in which case the job is refused: the
+	// journal cannot promise to recover inputs it could not hash.
+	var digests []string
+	if s.cache != nil || s.journal != nil {
+		var derr error
+		digests, derr = genomejob.UnitDigests(units)
+		if derr != nil {
+			if s.journal != nil {
+				return fail(fmt.Errorf("hashing inputs for the job journal: %w", derr))
 			}
-			if leader, joined := s.flights.Begin(key, js); joined {
-				return s.serveJoined(js, leader)
-			}
-			// This job is now the flight leader; every early exit below
-			// must End the flight so identical waiters are not stranded.
+			s.cfg.Logf("job %s: uncacheable inputs: %v", id, derr)
+			digests = nil
 		}
-	}
-	failLeader := func(err error) (*jobState, error) {
-		if js.key != "" {
-			// A follower may have joined the flight already (draining can
-			// land between its registration check and ours): finalise this
-			// job — which also removes its spool dir — so the mirror
-			// resolves, then close the flight.
-			s.finalize(js, StateFailed)
-			s.flights.End(js.key)
-			return nil, err
-		}
-		return fail(err)
 	}
 
-	tasks := make([]sched.LocalTask[chromResult, *gsnp.Arena], len(units))
-	for i, u := range units {
-		u := u
-		tasks[i] = sched.LocalTask[chromResult, *gsnp.Arena]{
-			Name: u.Name,
-			Run: func(ctx context.Context, arena *gsnp.Arena) (chromResult, error) {
-				var buf bytes.Buffer
-				res, err := genomejob.Call(ctx, opts, u, &buf, io.Discard, arena)
-				if err != nil {
-					return chromResult{}, err
-				}
-				return chromResult{output: buf.Bytes(), res: res}, nil
-			},
+	// Write-ahead: the job is journaled durably before the client sees
+	// its 202 — including before a cache replay, so every accepted job
+	// is on disk. An append failure fails this one job cleanly (the
+	// server keeps serving); nothing was acknowledged, nothing recovers.
+	if s.journal != nil {
+		if err := s.journalAccept(js, seq, spec, opts, digests); err != nil {
+			return fail(fmt.Errorf("%w: %v", ErrJournal, err))
 		}
 	}
+
+	// Content-addressed short-circuit: an exact prior result replays from
+	// the cache with zero pool work; an identical job already executing
+	// is joined (single-flight) instead of run twice.
+	if s.cache != nil && digests != nil {
+		js.key = jobKey(opts, digests)
+		if cj, ok := s.cache.Get(js.key); ok {
+			return s.serveCached(js, cj)
+		}
+		if leader, joined := s.flights.Begin(js.key, js); joined {
+			return s.serveJoined(js, leader)
+		}
+		// This job is now the flight leader; every early exit below
+		// must End the flight so identical waiters are not stranded.
+	}
+	failLeader := func(err error) (*jobState, error) {
+		// A follower may have joined the flight already (draining can
+		// land between its registration check and ours): finalise this
+		// job — which also journals the terminal state and removes its
+		// spool/work dirs — so the mirror resolves, then close the
+		// flight.
+		s.finalize(js, StateFailed)
+		if js.key != "" {
+			s.flights.End(js.key)
+		}
+		return nil, err
+	}
+
+	tasks := s.buildTasks(js, opts, units)
 
 	// The registry entry must exist before the pool can dispatch the first
 	// task (the dequeue hook looks the job up by id); the handle is
@@ -371,7 +474,13 @@ func (s *Server) submit(spec *JobSpec) (*jobState, error) {
 		s.mu.Unlock()
 		return failLeader(ErrDraining)
 	}
+	if s.cfg.MaxQueued > 0 && s.active >= s.cfg.MaxQueued {
+		s.mu.Unlock()
+		return failLeader(ErrQueueFull)
+	}
 	s.jobs[id] = js
+	s.active++
+	js.counted = true
 	s.mu.Unlock()
 
 	handle, err := s.pool.Submit(id, tasks)
@@ -396,21 +505,88 @@ func (s *Server) submit(spec *JobSpec) (*jobState, error) {
 	return js, nil
 }
 
+// buildTasks maps units onto pool tasks. For recovered jobs the slice
+// may cover only the unfinished units; js.taskUnit records the mapping
+// back to unit indices.
+func (s *Server) buildTasks(js *jobState, opts genomejob.Options, units []genomejob.Unit) []sched.LocalTask[chromResult, *gsnp.Arena] {
+	tasks := make([]sched.LocalTask[chromResult, *gsnp.Arena], len(units))
+	for i, u := range units {
+		u := u
+		tasks[i] = sched.LocalTask[chromResult, *gsnp.Arena]{
+			Name: u.Name,
+			Run: func(ctx context.Context, arena *gsnp.Arena) (chromResult, error) {
+				var buf bytes.Buffer
+				res, err := genomejob.Call(ctx, opts, u, &buf, io.Discard, arena)
+				if err != nil {
+					return chromResult{}, err
+				}
+				return chromResult{output: buf.Bytes(), res: res}, nil
+			},
+		}
+	}
+	return tasks
+}
+
+// journalAccept records the job in the WAL and prepares its durable work
+// directory (checkpoint manifest + per-chromosome outputs). Uploaded
+// input bodies are stripped from the journaled spec — they live in the
+// journal-owned spool directory, which survives restarts.
+func (s *Server) journalAccept(js *jobState, seq int, spec *JobSpec, opts genomejob.Options, digests []string) error {
+	walSpec := *spec
+	walSpec.Inputs = nil
+	raw, err := json.Marshal(&walSpec)
+	if err != nil {
+		return err
+	}
+	e := journal.Entry{
+		Seq: seq, Job: js.id, Spec: raw,
+		Fingerprint: opts.Fingerprint(), Digests: digests,
+		Created: js.created,
+	}
+	if js.dir != "" {
+		e.Spool = js.id
+	}
+	if err := s.journal.Accept(e); err != nil {
+		return err
+	}
+	js.journalSeq = seq
+	if err := s.openWorkdir(js, opts); err != nil {
+		// Accepted but unable to checkpoint: journal the failure so the
+		// entry is not replayed, then refuse the job.
+		if ferr := s.journal.Final(seq, js.id, StateFailed); ferr != nil {
+			s.cfg.Logf("job %s: journal final after workdir failure: %v", js.id, ferr)
+		}
+		return err
+	}
+	return nil
+}
+
+// openWorkdir creates the job's durable work directory and checkpoint
+// writer (resume loads any entries a previous incarnation completed).
+func (s *Server) openWorkdir(js *jobState, opts genomejob.Options) error {
+	js.workdir = s.journal.WorkDir(js.id)
+	if err := os.MkdirAll(js.workdir, 0o755); err != nil {
+		return err
+	}
+	cp, err := checkpoint.NewWriter(checkpoint.Path(js.workdir), opts.Fingerprint(), js.recovered)
+	if err != nil {
+		return err
+	}
+	js.cp = cp
+	return nil
+}
+
 // jobKey derives the content-addressed cache key for a job: the
 // output-shaping options fingerprint plus every unit's content digest, in
 // Discover order. Two keys are equal exactly when the byte-identity
 // guarantee says the results must be equal.
-func jobKey(opts genomejob.Options, units []genomejob.Unit) (string, error) {
+func jobKey(opts genomejob.Options, digests []string) string {
 	h := sha256.New()
 	fmt.Fprintln(h, opts.Fingerprint())
-	for _, u := range units {
-		d, err := u.ContentDigest()
-		if err != nil {
-			return "", err
-		}
+	for _, d := range digests {
 		fmt.Fprintln(h, d)
 	}
-	return hex.EncodeToString(h.Sum(nil)), nil
+	return hex.EncodeToString(h.Sum(nil))
 }
 
 // chromStatusOf projects a stream record onto the status table entry.
@@ -419,6 +595,52 @@ func chromStatusOf(rec StreamRecord) ChromStatus {
 		Name: rec.Name, State: rec.State, Sites: rec.Sites,
 		Attempts: rec.Attempts, Quarantined: rec.Quarantined,
 		CalSkipped: rec.CalSkipped, WallMS: rec.WallMS, Error: rec.Error,
+		Recovered: rec.Recovered,
+	}
+}
+
+// removeDir removes a directory tree, logging (not discarding) removal
+// failures: a leftover spool or work directory is leaked disk the
+// operator should hear about, and the failure mode (EACCES, busy mounts)
+// is actionable. An empty path is a no-op.
+func (s *Server) removeDir(what, dir string) {
+	if dir == "" {
+		return
+	}
+	if err := os.RemoveAll(dir); err != nil {
+		s.cfg.Logf("removing %s %s: %v", what, dir, err)
+	}
+}
+
+// unitIndex maps a pool task index to the job's unit/chromosome index.
+// Identity for fresh jobs; recovered jobs re-enqueue only their
+// unfinished units, so the mapping goes through taskUnit.
+func (js *jobState) unitIndex(task int) int {
+	if js.taskUnit == nil {
+		return task
+	}
+	return js.taskUnit[task]
+}
+
+// persistChrom durably records one cleanly completed chromosome: the
+// output bytes land in the job's work directory via AtomicWrite, then the
+// checkpoint manifest commits the entry (name → output + digest). Called
+// before the stream record is published, so any chromosome a client has
+// observed as completed is guaranteed to survive a crash and be skipped
+// on recovery. Persistence failures degrade to re-execution on recovery
+// (logged, never fatal): durability narrows, correctness holds.
+func (s *Server) persistChrom(js *jobState, name string, out []byte, sites int) {
+	if js.cp == nil {
+		return
+	}
+	opts := js.spec.Options()
+	path := filepath.Join(js.workdir, opts.OutName(name))
+	if err := checkpoint.AtomicWrite(path, out); err != nil {
+		s.cfg.Logf("job %s: checkpoint output %s: %v", js.id, name, err)
+		return
+	}
+	if err := js.cp.Complete(name, path, sites); err != nil {
+		s.cfg.Logf("job %s: checkpoint manifest %s: %v", js.id, name, err)
 	}
 }
 
@@ -436,9 +658,10 @@ func (s *Server) serveCached(js *jobState, cj cachedJob) (*jobState, error) {
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
-		if js.dir != "" {
-			os.RemoveAll(js.dir)
-		}
+		// The job was already journaled (accept-before-consult): finalise
+		// so a terminal record lands and the spool/work dirs are removed;
+		// otherwise the unacknowledged job would replay after a restart.
+		s.finalize(js, StateFailed)
 		return nil, ErrDraining
 	}
 	s.jobs[js.id] = js
@@ -455,9 +678,9 @@ func (s *Server) serveJoined(js, leader *jobState) (*jobState, error) {
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
-		if js.dir != "" {
-			os.RemoveAll(js.dir)
-		}
+		// Journaled before the consult: finalise so the WAL records a
+		// terminal state instead of replaying an unacknowledged job.
+		s.finalize(js, StateFailed)
 		return nil, ErrDraining
 	}
 	s.jobs[js.id] = js
@@ -529,21 +752,41 @@ func (s *Server) follow(js *jobState) {
 }
 
 // finalize moves a job to its final state: the terminating stream record
-// is appended, waiters wake, the done channel closes, and any spooled
-// inputs are removed. Exactly one finalize happens per job, whatever path
-// resolved it.
+// is appended, waiters wake, the done channel closes, the terminal state
+// is journaled (when a journal is active), and the job's spool/work
+// directories are removed. Exactly one finalize happens per job, whatever
+// path resolved it.
 func (s *Server) finalize(js *jobState, state string) {
+	// Durable-before-visible, and before done closes: Drain treats a
+	// closed done channel as "this job is settled" and may then close the
+	// journal, so the terminal record must already be on disk. If the
+	// append fails the job stays pending in the WAL; its spool and work
+	// dirs are kept so a restart re-runs it from its checkpoints instead
+	// of finding the inputs gone.
+	keepDirs := false
+	if s.journal != nil && js.journalSeq != 0 {
+		if err := s.journal.Final(js.journalSeq, js.id, state); err != nil {
+			s.cfg.Logf("job %s: journal final: %v (job will re-run on recovery)", js.id, err)
+			keepDirs = true
+		}
+	}
 	js.mu.Lock()
 	js.state = state
 	js.finished = true
 	js.stream = append(js.stream, StreamRecord{
-		Job: js.id, Index: -1, State: state, Final: true,
+		Job: js.id, Index: -1, State: state, Final: true, Recovered: js.recovered,
 	})
 	close(js.notify)
 	js.mu.Unlock()
 	close(js.done)
-	if js.dir != "" {
-		os.RemoveAll(js.dir)
+	if js.counted {
+		s.mu.Lock()
+		s.active--
+		s.mu.Unlock()
+	}
+	if !keepDirs {
+		s.removeDir("job "+js.id+" spool dir", js.dir)
+		s.removeDir("job "+js.id+" work dir", js.workdir)
 	}
 	s.cfg.Logf("job %s: %s", js.id, state)
 }
@@ -584,6 +827,9 @@ func (s *Server) onDequeue(job string, index int) {
 	js := s.jobs[job]
 	s.mu.Unlock()
 	if js != nil {
+		// The pool dispatches task indices; recovered jobs enqueue only
+		// their unfinished units, so map back to the chromosome index.
+		index = js.unitIndex(index)
 		js.mu.Lock()
 		if js.chroms[index].State == StatePending {
 			js.chroms[index].State = StateRunning
@@ -603,8 +849,9 @@ func (s *Server) onDequeue(job string, index int) {
 // closes the job's single-flight entry.
 func (s *Server) collect(js *jobState) {
 	for r := range js.handle.Results() {
+		idx := js.unitIndex(r.Index)
 		rec := StreamRecord{
-			Job: js.id, Index: r.Index, Name: r.Name,
+			Job: js.id, Index: idx, Name: r.Name,
 			Attempts: r.Attempts, WallMS: r.Wall.Milliseconds(),
 		}
 		switch {
@@ -626,8 +873,17 @@ func (s *Server) collect(js *jobState) {
 			rec.OutputB64 = r.Value.output
 		}
 
+		// Durable-before-visible: a cleanly completed chromosome is
+		// checkpointed before its stream record publishes, so any
+		// completion a client has observed survives a crash and is
+		// checkpoint-skipped on recovery. Partial results are never
+		// checkpointed — they must recompute, same as the CLI's -resume.
+		if rec.State == StateOK {
+			s.persistChrom(js, rec.Name, rec.OutputB64, rec.Sites)
+		}
+
 		js.mu.Lock()
-		js.chroms[r.Index] = chromStatusOf(rec)
+		js.chroms[idx] = chromStatusOf(rec)
 		js.stream = append(js.stream, rec)
 		close(js.notify)
 		js.notify = make(chan struct{})
@@ -703,6 +959,7 @@ func (js *jobState) status() JobStatus {
 		ID: js.id, State: js.state, Created: js.created,
 		Engine: js.spec.Engine, Total: len(js.chroms),
 		Chromosomes: append([]ChromStatus(nil), js.chroms...),
+		Recovered:   js.recovered,
 	}
 	for _, c := range st.Chromosomes {
 		switch c.State {
@@ -748,6 +1005,16 @@ func (s *Server) cancel(js *jobState) {
 type Statz struct {
 	Jobs     int  `json:"jobs"`
 	Draining bool `json:"draining"`
+	// ActiveJobs counts admitted jobs that have not yet finalized — the
+	// numerator of the MaxQueued admission bound. MaxQueued echoes the
+	// configured bound (0 = unlimited).
+	ActiveJobs int `json:"active_jobs"`
+	MaxQueued  int `json:"max_queued,omitempty"`
+	// JournalEnabled reports whether the crash-durability job journal is
+	// active; RecoveredJobs counts jobs re-enqueued from it when this
+	// process started.
+	JournalEnabled bool   `json:"journal_enabled,omitempty"`
+	RecoveredJobs  uint64 `json:"recovered_jobs,omitempty"`
 	// CacheEnabled reports whether the result cache (and single-flight
 	// dedup) is active.
 	CacheEnabled bool `json:"cache_enabled"`
@@ -761,7 +1028,11 @@ type Statz struct {
 // Statz snapshots the serving counters.
 func (s *Server) Statz() Statz {
 	s.mu.Lock()
-	st := Statz{Jobs: len(s.jobs), Draining: s.draining}
+	st := Statz{
+		Jobs: len(s.jobs), Draining: s.draining,
+		ActiveJobs: s.active, MaxQueued: s.cfg.MaxQueued,
+		JournalEnabled: s.journal != nil, RecoveredJobs: s.recoveredN,
+	}
 	s.mu.Unlock()
 	if s.cache != nil {
 		st.CacheEnabled = true
@@ -809,10 +1080,22 @@ func (s *Server) Drain(ctx context.Context) error {
 		}
 	}
 	s.pool.Close()
+	s.closeJournal()
 	if s.ownSpool {
-		os.RemoveAll(s.spool)
+		s.removeDir("spool dir", s.spool)
 	}
 	return err
+}
+
+// closeJournal closes the WAL (idempotent; logs rather than discards the
+// close error — an unsynced final record is operator-relevant).
+func (s *Server) closeJournal() {
+	if s.journal == nil {
+		return
+	}
+	if err := s.journal.Close(); err != nil {
+		s.cfg.Logf("journal close: %v", err)
+	}
 }
 
 // Close force-stops the server: every job is cancelled, then the pool
@@ -823,7 +1106,8 @@ func (s *Server) Close() {
 	s.mu.Unlock()
 	s.pool.CancelAll(errors.New("server shutting down"))
 	s.pool.Close()
+	s.closeJournal()
 	if s.ownSpool {
-		os.RemoveAll(s.spool)
+		s.removeDir("spool dir", s.spool)
 	}
 }

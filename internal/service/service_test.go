@@ -401,6 +401,9 @@ func TestServiceDrain(t *testing.T) {
 		data, _ := io.ReadAll(resp.Body)
 		resp.Body.Close()
 		if resp.StatusCode == http.StatusServiceUnavailable {
+			if resp.Header.Get("Retry-After") == "" {
+				t.Error("503 draining response missing Retry-After")
+			}
 			break
 		}
 		if time.Now().After(deadline) {

@@ -73,11 +73,8 @@ func ParseJobSpec(data []byte) (*JobSpec, error) {
 
 // Validate applies defaults and checks the spec's invariants.
 func (s *JobSpec) Validate() error {
-	if s.Engine == "" {
-		s.Engine = "gsnp-cpu"
-	}
-	if s.Format == "" {
-		s.Format = "soap"
+	if err := s.validateOptions(); err != nil {
+		return err
 	}
 	if (s.GenomeDir == "") == (len(s.Inputs) == 0) {
 		return fmt.Errorf("job spec: exactly one of genome_dir and inputs is required")
@@ -101,6 +98,21 @@ func (s *JobSpec) Validate() error {
 		if in.Aln == "" {
 			return fmt.Errorf("job spec: inputs[%d] (%s): aln is required", i, in.Name)
 		}
+	}
+	return nil
+}
+
+// validateOptions applies engine-option defaults and checks them — the
+// input-independent half of Validate. Journal recovery uses it directly:
+// a recovered uploaded-inputs job carries its data in the journal-owned
+// spool directory, not in the spec, so the one-of-genome_dir-and-inputs
+// invariant does not apply to it.
+func (s *JobSpec) validateOptions() error {
+	if s.Engine == "" {
+		s.Engine = "gsnp-cpu"
+	}
+	if s.Format == "" {
+		s.Format = "soap"
 	}
 	o := s.Options()
 	return o.Validate()
