@@ -12,7 +12,7 @@ GO ?= go
 # simulated GPU device, the fault/checkpoint machinery, the gsnpd
 # service with its result cache and job journal, and the shared
 # genome-job decomposition both front-ends use.
-RACE_PKGS = ./internal/pipeline ./internal/sched ./internal/gsnp ./internal/soapsnp ./internal/sortnet ./internal/faults ./internal/checkpoint ./internal/service ./internal/resultcache ./internal/genomejob ./internal/gpu ./internal/journal
+RACE_PKGS = ./internal/pipeline ./internal/sched ./internal/gsnp ./internal/soapsnp ./internal/sortnet ./internal/faults ./internal/checkpoint ./internal/service ./internal/resultcache ./internal/genomejob ./internal/gpu ./internal/journal ./internal/align
 
 # Per-target budget for the fuzz smoke pass.
 FUZZ_TIME ?= 10s
@@ -21,9 +21,9 @@ FUZZ_TIME ?= 10s
 # offline build environment skips it gracefully. See tools.go.
 GOVULNCHECK_VERSION ?= v1.1.4
 
-.PHONY: ci lint vet fmt-check vuln build test race service-e2e serve-recovery fuzz-smoke bench bench-json
+.PHONY: ci lint vet fmt-check vuln build test race service-e2e serve-recovery fastq-e2e fuzz-smoke bench bench-json
 
-ci: lint fmt-check build test race service-e2e serve-recovery fuzz-smoke vuln
+ci: lint fmt-check build test race service-e2e serve-recovery fastq-e2e fuzz-smoke vuln
 
 # Standard vet plus the project multichecker (cmd/gsnplint): the four
 # GSNP invariant analyzers — determinism, arenalifetime, closecheck,
@@ -75,6 +75,16 @@ serve-recovery:
 	$(GO) test -race -run 'TestServiceJournal|TestServiceMaxQueued' ./internal/service
 	$(GO) test -run 'TestGsnpdCrashRecovery' .
 
+# FASTQ-to-VCF pipeline checks: the aligner's parallel-shard equivalence
+# and quals-normalization tests, the VCF semantic property suite, then
+# the black-box golden test — raw reads through the built gsnp binary at
+# every worker/compute-worker/align-worker setting on both engines, bytes
+# pinned against testdata/fastq_e2e/.
+fastq-e2e:
+	$(GO) test -race ./internal/align
+	$(GO) test -run 'TestFASTQToVCF' ./internal/genomejob
+	$(GO) test -run 'TestFASTQ' .
+
 # Short fuzz pass over every fuzz target (each gets $(FUZZ_TIME)); the
 # committed corpora under testdata/fuzz/ seed the runs. `go test -fuzz`
 # takes one target per invocation, hence one line per target.
@@ -83,6 +93,7 @@ fuzz-smoke:
 	$(GO) test -fuzz 'FuzzSOAPReader$$' -fuzztime $(FUZZ_TIME) ./internal/snpio
 	$(GO) test -fuzz 'FuzzFASTQReader$$' -fuzztime $(FUZZ_TIME) ./internal/snpio
 	$(GO) test -fuzz 'FuzzSAMReader$$' -fuzztime $(FUZZ_TIME) ./internal/snpio
+	$(GO) test -fuzz 'FuzzAlignReads$$' -fuzztime $(FUZZ_TIME) ./internal/align
 	$(GO) test -fuzz 'FuzzBlockReader$$' -fuzztime $(FUZZ_TIME) ./internal/snpio
 	$(GO) test -fuzz 'FuzzTempReader$$' -fuzztime $(FUZZ_TIME) ./internal/snpio
 	$(GO) test -fuzz 'FuzzJobSpec$$' -fuzztime $(FUZZ_TIME) ./internal/service
@@ -102,5 +113,6 @@ bench:
 # artifact. Compare BENCH_pipeline.json across commits.
 bench-json:
 	{ $(GO) test -run xxx -bench BenchmarkRunWindow -benchmem ./internal/gsnp ./internal/gpu ; \
-	  $(GO) test -run xxx -bench 'BenchmarkServe' -benchmem ./internal/service ; } \
+	  $(GO) test -run xxx -bench 'BenchmarkServe' -benchmem ./internal/service ; \
+	  $(GO) test -run xxx -bench 'BenchmarkAlignReads' -benchmem ./internal/align ; } \
 		| $(GO) run ./cmd/gsnp-benchjson > BENCH_pipeline.json

@@ -9,14 +9,26 @@
 // Usage:
 //
 //	gsnp -ref ref.fa -aln reads.soap [-snp known.snp] -out result.txt \
-//	     [-engine gsnp-gpu] [-format soap|sam] [-window N] [-compress] [-stats]
+//	     [-engine gsnp-gpu] [-format soap|sam|fastq] [-window N] [-compress] [-stats]
+//
+// With -format fastq the input is raw sequencer reads: the built-in
+// k-mer aligner places them against the reference in-process (sharded
+// across -align-workers, tunable with -align-mm/-align-k) and streams the
+// position-sorted result straight into windowed calling — no intermediate
+// alignment file. Combined with -output-format vcf this is the complete
+// raw-reads-to-variants pipeline:
+//
+//	gsnp -ref chr21.fa -aln chr21.fq -format fastq -output-format vcf -out chr21.vcf
 //
 // Whole-genome mode processes a directory of per-chromosome files (the
 // production layout of the paper's evaluation: 24 separate sequence
 // files), calling each <name>.fa against <name>.soap (+ optional
 // <name>.snp) and writing <name>.result[.gsnp]. Chromosomes run on a
 // bounded worker pool (-workers, default GOMAXPROCS); every chromosome is
-// independent, so the result files are byte-identical at any worker count:
+// independent, so the result files are byte-identical at any worker count.
+// With -format fastq the pairs are <name>.fa/<name>.fq and each
+// chromosome is aligned before calling; with -output-format vcf the
+// output files are <name>.vcf:
 //
 //	gsnp -genome-dir data/ [-engine gsnp-gpu] [-workers N] [-compress] [-stats]
 //
@@ -97,8 +109,8 @@ func main() {
 func run() (err error) {
 	var (
 		refPath   = flag.String("ref", "", "reference FASTA file")
-		alnPath   = flag.String("aln", "", "alignment file")
-		format    = flag.String("format", "soap", "alignment format: soap or sam")
+		alnPath   = flag.String("aln", "", "alignment file (or raw FASTQ reads with -format fastq)")
+		format    = flag.String("format", "soap", "input format: soap, sam or fastq (raw reads, aligned in-process)")
 		snpPath   = flag.String("snp", "", "known-SNP prior file (optional)")
 		outPath   = flag.String("out", "", "output file ('-' or empty for stdout)")
 		genomeDir = flag.String("genome-dir", "", "process every <chr>.fa/<chr>.soap pair in a directory")
@@ -109,6 +121,10 @@ func run() (err error) {
 		prefetch  = flag.Bool("prefetch", false, "overlap window read I/O with computation (double buffering)")
 		compress  = flag.Bool("compress", false, "write the GSNP compressed container (gsnp engines only)")
 		stats     = flag.Bool("stats", false, "print per-component timing to stderr")
+		outFormat = flag.String("output-format", "", "result codec: rows (default, the 17-column table) or vcf")
+		alignMM   = flag.Int("align-mm", 0, "aligner mismatch budget per read (-format fastq; 0 = default 2)")
+		alignK    = flag.Int("align-k", 0, "aligner k-mer seed length (-format fastq; 0 = default 16, max 31)")
+		alignW    = flag.Int("align-workers", 0, "alignment-stage workers per chromosome (-format fastq; 0 = GOMAXPROCS)")
 
 		retries    = flag.Int("retries", 0, "re-run a failed chromosome up to N times (exponential backoff)")
 		backoff    = flag.Duration("retry-backoff", 100*time.Millisecond, "base delay between retries of a failed chromosome")
@@ -125,6 +141,8 @@ func run() (err error) {
 			Engine: *engine, Format: *format, Window: *window,
 			ComputeWorkers: *computeW, Prefetch: *prefetch,
 			Compress: *compress, Stats: *stats, Quarantine: *quarantine,
+			OutputFormat:     *outFormat,
+			AlignMaxMismatch: *alignMM, AlignSeedLen: *alignK, AlignWorkers: *alignW,
 		},
 		workers: *workers,
 		retries: *retries, retryBackoff: *backoff, taskTimeout: *taskTO,
@@ -137,17 +155,8 @@ func run() (err error) {
 		}
 		opts.call.Injector = inj
 	}
-	switch opts.call.Engine {
-	case "soapsnp":
-		if opts.call.Compress {
-			return fmt.Errorf("-compress requires a gsnp engine")
-		}
-	case "gsnp-cpu", "gsnp-gpu":
-	default:
-		return fmt.Errorf("unknown engine %q", opts.call.Engine)
-	}
-	if opts.call.Format != "soap" && opts.call.Format != "sam" {
-		return fmt.Errorf("unknown alignment format %q", opts.call.Format)
+	if err := opts.call.Validate(); err != nil {
+		return err
 	}
 
 	if *genomeDir != "" {

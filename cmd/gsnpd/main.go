@@ -36,7 +36,12 @@
 //	POST   /jobs              submit a job; body: {"genome_dir": "/data"}
 //	                          or {"inputs": [{"name","ref","aln"}, ...]},
 //	                          plus engine options (engine, format, window,
-//	                          compress, quarantine, ...)
+//	                          compress, quarantine, output_format, ...).
+//	                          "format": "fastq" submits raw reads — each
+//	                          chromosome is aligned in-process before
+//	                          calling (align_max_mismatch, align_seed_len)
+//	                          — and "output_format": "vcf" streams
+//	                          VCFv4.2 records instead of the result table
 //	GET    /jobs              list jobs
 //	GET    /jobs/{id}         job status with per-chromosome outcomes
 //	GET    /jobs/{id}/stream  NDJSON stream of per-chromosome results

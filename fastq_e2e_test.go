@@ -1,0 +1,137 @@
+package gsnp_test
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+)
+
+// goldenVCFDir holds the committed FASTQ→VCF pipeline output for the
+// chr20–chr22 dataset below. Regenerate after an intentional output
+// change:
+//
+//	for c in chr20 chr21 chr22; do
+//	  go run ./cmd/gsnp-gen -out /tmp/golden -chr $c -scale 40 -seed 424242 -fastq
+//	done
+//	go run ./cmd/gsnp -genome-dir /tmp/golden -format fastq -output-format vcf \
+//	  -engine gsnp-cpu -window 512 -workers 1
+//	cp /tmp/golden/chr2{0,1,2}.vcf testdata/fastq_e2e/
+const goldenVCFDir = "testdata/fastq_e2e"
+
+var goldenChrs = []string{"chr20", "chr21", "chr22"}
+
+// genGoldenDataset regenerates the golden dataset (reference FASTA + raw
+// FASTQ reads per chromosome) into dir.
+func genGoldenDataset(t *testing.T, dir string) {
+	t.Helper()
+	for _, c := range goldenChrs {
+		run(t, "gsnp-gen", "-out", dir, "-chr", c, "-scale", "40", "-seed", "424242", "-fastq")
+	}
+}
+
+// readGoldenVCFs loads the committed per-chromosome golden VCFs and
+// sanity-checks that they are non-vacuous (header plus at least one
+// variant record somewhere — an all-empty golden set would make every
+// byte comparison pass trivially).
+func readGoldenVCFs(t *testing.T) map[string][]byte {
+	t.Helper()
+	golden := make(map[string][]byte, len(goldenChrs))
+	variants := 0
+	for _, c := range goldenChrs {
+		data, err := os.ReadFile(filepath.Join(goldenVCFDir, c+".vcf"))
+		if err != nil {
+			t.Fatalf("missing golden VCF (see goldenVCFDir comment to regenerate): %v", err)
+		}
+		if !bytes.HasPrefix(data, []byte("##fileformat=VCFv4.2\n")) {
+			t.Fatalf("golden %s.vcf misses the VCF header", c)
+		}
+		for _, line := range bytes.Split(data, []byte{'\n'}) {
+			if len(line) > 0 && line[0] != '#' {
+				variants++
+			}
+		}
+		golden[c] = data
+	}
+	if variants == 0 {
+		t.Fatal("golden VCFs carry no variant records; the byte comparisons would be vacuous")
+	}
+	return golden
+}
+
+// TestFASTQToVCFGolden is the end-to-end acceptance test of the raw-reads
+// pipeline: seeded simulated reads go in as FASTQ and the emitted VCF
+// must match the committed golden bytes exactly — at every worker count,
+// compute-worker count and align-worker count, on both the CPU and the
+// simulated-GPU engine. One failure mode this pins: any nondeterminism in
+// the in-process alignment stage or the windowed caller shows up as a
+// byte diff against a file in version control.
+func TestFASTQToVCFGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration in -short mode")
+	}
+	golden := readGoldenVCFs(t)
+	dir := t.TempDir()
+	genGoldenDataset(t, dir)
+
+	configs := []struct{ workers, computeWorkers, alignWorkers int }{
+		{1, 1, 1},
+		{2, 4, 2},
+		{4, 1, 4},
+		{4, 4, 1},
+	}
+	for _, engine := range []string{"gsnp-cpu", "gsnp-gpu"} {
+		for _, cfg := range configs {
+			name := fmt.Sprintf("%s/w%d-cw%d-aw%d", engine, cfg.workers, cfg.computeWorkers, cfg.alignWorkers)
+			t.Run(name, func(t *testing.T) {
+				run(t, "gsnp",
+					"-genome-dir", dir, "-format", "fastq", "-output-format", "vcf",
+					"-engine", engine, "-window", "512",
+					"-workers", strconv.Itoa(cfg.workers),
+					"-compute-workers", strconv.Itoa(cfg.computeWorkers),
+					"-align-workers", strconv.Itoa(cfg.alignWorkers))
+				for _, c := range goldenChrs {
+					got, err := os.ReadFile(filepath.Join(dir, c+".vcf"))
+					if err != nil {
+						t.Fatalf("pipeline wrote no VCF for %s: %v", c, err)
+					}
+					if !bytes.Equal(got, golden[c]) {
+						t.Errorf("%s.vcf differs from the committed golden bytes", c)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestFASTQSingleFileMatchesGenomeDir pins the two CLI front doors of the
+// pipeline against each other: calling one chromosome via -ref/-aln must
+// produce the same bytes the -genome-dir batch path writes for it.
+func TestFASTQSingleFileMatchesGenomeDir(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration in -short mode")
+	}
+	golden := readGoldenVCFs(t)
+	dir := t.TempDir()
+	genGoldenDataset(t, dir)
+
+	for _, c := range goldenChrs {
+		out := filepath.Join(dir, c+".single.vcf")
+		run(t, "gsnp",
+			"-ref", filepath.Join(dir, c+".fa"),
+			"-aln", filepath.Join(dir, c+".fq"),
+			"-snp", filepath.Join(dir, c+".snp"),
+			"-format", "fastq", "-output-format", "vcf",
+			"-engine", "gsnp-cpu", "-window", "512",
+			"-out", out)
+		got, err := os.ReadFile(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, golden[c]) {
+			t.Errorf("%s: single-file VCF differs from the genome-dir golden bytes", c)
+		}
+	}
+}

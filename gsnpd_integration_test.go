@@ -542,3 +542,159 @@ func TestGsnpdCrashRecovery(t *testing.T) {
 		t.Fatalf("recovered gsnpd did not drain\nstderr:\n%s", stderrB.String())
 	}
 }
+
+// TestGsnpdCrashRecoveryFASTQ runs the crash-durability scenario over the
+// raw-reads pipeline: an uploaded FASTQ job with VCF output is SIGKILLed
+// mid-run, the restarted server resumes it from the journal, and every
+// recovered chromosome's VCF bytes are identical to an uninterrupted gsnp
+// CLI run. Resubmitting the same job afterwards must be a cache hit —
+// recovery registers the completed result under the same content key a
+// fresh submission would compute.
+func TestGsnpdCrashRecoveryFASTQ(t *testing.T) {
+	if testing.Short() {
+		t.Skip("service integration in -short mode")
+	}
+	dir := t.TempDir()
+	run(t, "gsnp-gen", "-out", dir, "-genome", "-scale", "8", "-seed", "306", "-fastq")
+	// The CLI baseline: the byte-identity reference for both the recovered
+	// stream and the cached replay.
+	run(t, "gsnp", "-genome-dir", dir, "-format", "fastq", "-output-format", "vcf",
+		"-engine", "gsnp-cpu", "-window", "256", "-workers", "1")
+
+	fas, err := filepath.Glob(filepath.Join(dir, "*.fa"))
+	if err != nil || len(fas) == 0 {
+		t.Fatalf("no generated chromosomes: %v", err)
+	}
+	type inputDoc struct {
+		Name string `json:"name"`
+		Ref  string `json:"ref"`
+		Aln  string `json:"aln"`
+		SNP  string `json:"snp,omitempty"`
+	}
+	var inputs []inputDoc
+	for _, fa := range fas {
+		base := strings.TrimSuffix(fa, ".fa")
+		ref, err := os.ReadFile(fa)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fq, err := os.ReadFile(base + ".fq")
+		if err != nil {
+			t.Fatal(err)
+		}
+		in := inputDoc{Name: filepath.Base(base), Ref: string(ref), Aln: string(fq)}
+		if snp, err := os.ReadFile(base + ".snp"); err == nil {
+			in.SNP = string(snp)
+		}
+		inputs = append(inputs, in)
+	}
+	specBody, err := json.Marshal(map[string]any{
+		"inputs": inputs, "engine": "gsnp-cpu", "window": 256,
+		"format": "fastq", "output_format": "vcf",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	submit := func(base string) string {
+		t.Helper()
+		resp, err := http.Post(base+"/jobs", "application/json", bytes.NewReader(specBody))
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("POST /jobs: %d %s", resp.StatusCode, data)
+		}
+		var accepted gsnpdJobDoc
+		if err := json.Unmarshal(data, &accepted); err != nil || accepted.ID == "" {
+			t.Fatalf("bad accept document %s: %v", data, err)
+		}
+		return accepted.ID
+	}
+
+	jdir := filepath.Join(t.TempDir(), "journal")
+	cmdA, baseA, _ := startGsnpd(t, "-workers", "1", "-journal-dir", jdir)
+	id := submit(baseA)
+
+	// Kill -9 once at least one chromosome is durably checkpointed but the
+	// job as a whole is still running.
+	deadline := time.Now().Add(time.Minute)
+	for {
+		doc := gsnpdGetJob(t, baseA, id)
+		if doc.Completed >= 1 && doc.Completed < doc.Total {
+			break
+		}
+		if doc.Completed == doc.Total && doc.Total > 0 {
+			t.Fatalf("job finished before the kill could land; enlarge the dataset")
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no chromosome completed within a minute: %+v", doc)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := cmdA.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	cmdA.Wait()
+
+	cmdB, baseB, stderrB := startGsnpd(t, "-workers", "2", "-journal-dir", jdir)
+	if doc := gsnpdGetJob(t, baseB, id); !doc.Recovered {
+		t.Fatalf("restarted job not marked recovered: %+v\nstderr:\n%s", doc, stderrB.String())
+	}
+
+	// The recovered stream: VCF bytes identical to the CLI run, with the
+	// pre-kill chromosomes served from checkpoints.
+	streamed, finalState := gsnpdStream(t, baseB, id)
+	if finalState != "done" {
+		t.Fatalf("recovered job final state %q, want done", finalState)
+	}
+	if len(streamed) != len(fas) {
+		t.Fatalf("recovered stream carried %d chromosomes, want %d", len(streamed), len(fas))
+	}
+	for _, fa := range fas {
+		name := filepath.Base(fa)
+		want, err := os.ReadFile(strings.TrimSuffix(fa, ".fa") + ".vcf")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(streamed[name], want) {
+			t.Errorf("%s: recovered VCF bytes differ from the CLI run", name)
+		}
+	}
+
+	// The completed recovery caches its result; an identical resubmission
+	// replays from the cache without recomputing anything.
+	deadline = time.Now().Add(10 * time.Second)
+	for gsnpdGetStatz(t, baseB).Cache.Puts == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("recovered result never cached: %+v", gsnpdGetStatz(t, baseB))
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	id2 := submit(baseB)
+	replayed, state2 := gsnpdStream(t, baseB, id2)
+	if state2 != "cached" {
+		t.Fatalf("resubmission after recovery: final state %q, want cached", state2)
+	}
+	for name, want := range streamed {
+		if !bytes.Equal(replayed[name], want) {
+			t.Errorf("%s: cached replay differs from the recovered stream", name)
+		}
+	}
+
+	if err := cmdB.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmdB.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("gsnpd exit after recovery drain: %v\nstderr:\n%s", err, stderrB.String())
+		}
+	case <-time.After(time.Minute):
+		cmdB.Process.Kill()
+		t.Fatalf("recovered gsnpd did not drain\nstderr:\n%s", stderrB.String())
+	}
+}

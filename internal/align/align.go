@@ -12,7 +12,9 @@ package align
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
 
 	"gsnp/internal/dna"
 	"gsnp/internal/reads"
@@ -36,6 +38,10 @@ type Index struct {
 // DefaultK is the default seed length: long enough to be selective on
 // megabase references, short enough that three seeds fit a 100 bp read.
 const DefaultK = 16
+
+// DefaultMaxMismatch is the default per-read mismatch budget, matching the
+// classic short-read aligner setting the paper's input pipeline assumes.
+const DefaultMaxMismatch = 2
 
 // BuildIndex indexes every k-mer position of the reference.
 func BuildIndex(ref dna.Sequence, k int) (*Index, error) {
@@ -149,6 +155,51 @@ func (ix *Index) alignOne(seq dna.Sequence, strand uint8, maxMismatch int, hits 
 	return hits
 }
 
+// alignRead places one raw read, reporting ok=false when it is unmapped.
+// Qualities are normalized to the sequence length before placement —
+// truncated when over-long, zero-padded when short — so a malformed read
+// can never produce an AlignedRead whose Bases and Quals disagree (the
+// downstream pileup indexes Quals by base offset and must not panic).
+func alignRead(ix *Index, r *RawRead, maxMismatch int) (reads.AlignedRead, bool) {
+	hits := ix.Align(r.Seq, maxMismatch)
+	if len(hits) == 0 {
+		return reads.AlignedRead{}, false
+	}
+	quals := r.Quals
+	if len(quals) != len(r.Seq) {
+		norm := make([]dna.Quality, len(r.Seq))
+		copy(norm, quals)
+		quals = norm
+	}
+	best := hits[0]
+	ties := 0
+	for _, h := range hits {
+		if h.Mismatches == best.Mismatches {
+			ties++
+		}
+	}
+	if ties > 255 {
+		ties = 255
+	}
+	ar := reads.AlignedRead{
+		ID:     r.ID,
+		Pos:    best.Pos,
+		Strand: best.Strand,
+		Hits:   uint8(ties),
+	}
+	if best.Strand == 1 {
+		ar.Bases = r.Seq.ReverseComplement()
+		ar.Quals = make([]dna.Quality, len(quals))
+		for j, q := range quals {
+			ar.Quals[len(quals)-1-j] = q
+		}
+	} else {
+		ar.Bases = append(dna.Sequence(nil), r.Seq...)
+		ar.Quals = append([]dna.Quality(nil), quals...)
+	}
+	return ar, true
+}
+
 // AlignReads places every raw read, returning position-sorted alignment
 // records in the SNP caller's input form. Reads with no placement within
 // maxMismatch are dropped (unmapped). The Hits field counts the placements
@@ -156,38 +207,51 @@ func (ix *Index) alignOne(seq dna.Sequence, strand uint8, maxMismatch int, hits 
 func AlignReads(ix *Index, raws []RawRead, maxMismatch int) []reads.AlignedRead {
 	var out []reads.AlignedRead
 	for i := range raws {
-		r := &raws[i]
-		hits := ix.Align(r.Seq, maxMismatch)
-		if len(hits) == 0 {
-			continue
+		if ar, ok := alignRead(ix, &raws[i], maxMismatch); ok {
+			out = append(out, ar)
 		}
-		best := hits[0]
-		ties := 0
-		for _, h := range hits {
-			if h.Mismatches == best.Mismatches {
-				ties++
+	}
+	reads.SortByPos(out)
+	return out
+}
+
+// AlignReadsParallel is AlignReads sharded across workers. Each worker
+// aligns a contiguous shard of the input; shards are concatenated in input
+// order before the final position sort, so the result is byte-for-byte
+// identical to the serial AlignReads at every worker count (SortByPos
+// breaks position ties by read ID, and per-read placement is a pure
+// function of the read and the index). workers <= 0 means GOMAXPROCS.
+func AlignReadsParallel(ix *Index, raws []RawRead, maxMismatch, workers int) []reads.AlignedRead {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(raws) {
+		workers = len(raws)
+	}
+	if workers <= 1 {
+		return AlignReads(ix, raws, maxMismatch)
+	}
+	shards := make([][]reads.AlignedRead, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * len(raws) / workers
+		hi := (w + 1) * len(raws) / workers
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			var out []reads.AlignedRead
+			for i := lo; i < hi; i++ {
+				if ar, ok := alignRead(ix, &raws[i], maxMismatch); ok {
+					out = append(out, ar)
+				}
 			}
-		}
-		if ties > 255 {
-			ties = 255
-		}
-		ar := reads.AlignedRead{
-			ID:     r.ID,
-			Pos:    best.Pos,
-			Strand: best.Strand,
-			Hits:   uint8(ties),
-		}
-		if best.Strand == 1 {
-			ar.Bases = r.Seq.ReverseComplement()
-			ar.Quals = make([]dna.Quality, len(r.Quals))
-			for j, q := range r.Quals {
-				ar.Quals[len(r.Quals)-1-j] = q
-			}
-		} else {
-			ar.Bases = append(dna.Sequence(nil), r.Seq...)
-			ar.Quals = append([]dna.Quality(nil), r.Quals...)
-		}
-		out = append(out, ar)
+			shards[w] = out
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	var out []reads.AlignedRead
+	for _, s := range shards {
+		out = append(out, s...)
 	}
 	reads.SortByPos(out)
 	return out

@@ -1,6 +1,7 @@
 package align
 
 import (
+	"reflect"
 	"testing"
 
 	"gsnp/internal/dna"
@@ -160,6 +161,82 @@ func TestRawFromAlignedRoundTrip(t *testing.T) {
 	raw = RawFromAligned(&r)
 	if raw.Seq.String() != seq.String() || raw.Quals[0] != 1 {
 		t.Error("forward conversion altered the read")
+	}
+}
+
+// TestAlignReadsParallelMatchesSerial pins the byte-identity guarantee
+// that exempts AlignWorkers from the job fingerprint: the sharded aligner
+// must reproduce the serial output exactly at every worker count,
+// including counts that don't divide the read count evenly and counts
+// exceeding it.
+func TestAlignReadsParallelMatchesSerial(t *testing.T) {
+	ref := seqsim.GenerateReference(seqsim.GenomeSpec{Name: "r", Length: 40000, Seed: 11})
+	dip := seqsim.MakeDiploid(ref, seqsim.DefaultDiploidSpec(11))
+	truth, _ := seqsim.SampleReads(dip, seqsim.DefaultReadSpec(5, 12))
+	raws := make([]RawRead, len(truth))
+	for i := range truth {
+		raws[i] = RawFromAligned(&truth[i])
+	}
+	ix, err := BuildIndex(ref.Seq, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := AlignReads(ix, raws, 2)
+	for _, workers := range []int{0, 1, 2, 3, 4, 7, len(raws) + 5} {
+		got := AlignReadsParallel(ix, raws, 2, workers)
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d reads, want %d", workers, len(got), len(want))
+		}
+		for i := range got {
+			if !reflect.DeepEqual(got[i], want[i]) {
+				t.Fatalf("workers=%d: read %d differs:\n got %+v\nwant %+v", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestAlignReadsNormalizesQuals: a read whose quality array disagrees with
+// its sequence length (a malformed FASTQ record upstream tolerated under
+// quarantine) must still come back with len(Bases) == len(Quals) — the
+// invariant pipeline.ObsOf indexes on — on both strands.
+func TestAlignReadsNormalizesQuals(t *testing.T) {
+	ref := seqsim.GenerateReference(seqsim.GenomeSpec{Name: "r", Length: 5000, Seed: 13}).Seq
+	ix, _ := BuildIndex(ref, 16)
+	fwd := append(dna.Sequence(nil), ref[100:180]...)
+	rev := dna.Sequence(ref[300:380]).ReverseComplement()
+	raws := []RawRead{
+		{ID: 1, Seq: fwd, Quals: make([]dna.Quality, 10)},                    // too short
+		{ID: 2, Seq: rev, Quals: make([]dna.Quality, 200)},                   // too long
+		{ID: 3, Seq: append(dna.Sequence(nil), ref[500:580]...), Quals: nil}, // absent
+	}
+	for i := range raws {
+		for j := range raws[i].Quals {
+			raws[i].Quals[j] = dna.Quality(j % 40)
+		}
+	}
+	out := AlignReads(ix, raws, 2)
+	if len(out) != 3 {
+		t.Fatalf("aligned %d of 3 reads", len(out))
+	}
+	for _, r := range out {
+		if len(r.Bases) != len(r.Quals) {
+			t.Errorf("read %d: len(Bases)=%d len(Quals)=%d", r.ID, len(r.Bases), len(r.Quals))
+		}
+	}
+	// The reverse-strand read's padded qualities must be flipped like the
+	// bases: input cycle j sits at output offset len-1-j.
+	for _, r := range out {
+		if r.ID != 2 {
+			continue
+		}
+		if r.Strand != 1 {
+			t.Fatalf("read 2 strand = %d, want 1", r.Strand)
+		}
+		for j := 0; j < len(r.Quals); j++ {
+			if r.Quals[len(r.Quals)-1-j] != dna.Quality(j%40) {
+				t.Fatalf("read 2 qual[%d] not reversed", j)
+			}
+		}
 	}
 }
 

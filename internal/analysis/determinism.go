@@ -17,6 +17,9 @@ var outputPkgSuffixes = []string{
 	"internal/gsnp",
 	"internal/soapsnp",
 	"internal/compress",
+	// The aligner feeds the callers directly in fastq mode: its read
+	// placements and sort order are the byte-identity contract's input.
+	"internal/align",
 	"internal/genomejob",
 	"internal/service",
 	// The job journal's records replay into job execution after a crash:

@@ -64,9 +64,20 @@ type Manifest struct {
 // omit windows a strict run would either emit or die on.
 // genomejob.Options.Fingerprint is the canonical caller; the pinning test
 // there enumerates Options fields against this parameter list.
-func Fingerprint(engine, format string, window int, compress, quarantine bool) string {
-	return fmt.Sprintf("v%d engine=%s format=%s window=%d compress=%t quarantine=%t",
+//
+// Extras extend the fingerprint for newer output-shaping options (the
+// aligner parameters of FASTQ jobs, the VCF codec). Each extra is
+// appended verbatim after a space. Callers must pass extras only when the
+// option is active so that pre-existing configurations keep the exact key
+// they had before the option existed — cached results and checkpoints
+// written by older builds stay valid.
+func Fingerprint(engine, format string, window int, compress, quarantine bool, extra ...string) string {
+	fp := fmt.Sprintf("v%d engine=%s format=%s window=%d compress=%t quarantine=%t",
 		Version, engine, format, window, compress, quarantine)
+	for _, e := range extra {
+		fp += " " + e
+	}
+	return fp
 }
 
 // Load reads a manifest. A missing file returns (nil, nil); a corrupt or

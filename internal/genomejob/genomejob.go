@@ -20,7 +20,9 @@ import (
 	"sort"
 	"strings"
 
+	"gsnp/internal/align"
 	"gsnp/internal/checkpoint"
+	"gsnp/internal/dna"
 	"gsnp/internal/faults"
 	"gsnp/internal/gpu"
 	"gsnp/internal/gsnp"
@@ -34,7 +36,8 @@ import (
 type Options struct {
 	// Engine is soapsnp, gsnp-cpu or gsnp-gpu.
 	Engine string
-	// Format is the alignment format: soap or sam.
+	// Format is the alignment format: soap, sam, or fastq (raw reads;
+	// a unit's input is aligned in-process before calling).
 	Format string
 	// Window is sites per window (0 = engine default).
 	Window int
@@ -52,6 +55,36 @@ type Options struct {
 	Stats bool
 	// Injector injects deterministic failures (testing; see internal/faults).
 	Injector *faults.Injector
+	// OutputFormat selects the result codec: "" or "rows" for the paper's
+	// 17-column table, "vcf" for VCFv4.2 variant records.
+	OutputFormat string
+	// AlignMaxMismatch is the aligner's per-read mismatch budget
+	// (Format fastq only; 0 = align.DefaultMaxMismatch).
+	AlignMaxMismatch int
+	// AlignSeedLen is the aligner's k-mer seed length (Format fastq only;
+	// 0 = align.DefaultK, max 31).
+	AlignSeedLen int
+	// AlignWorkers shards the alignment stage of a fastq unit (0 =
+	// GOMAXPROCS). Output is byte-identical at every setting, so the knob
+	// is fingerprint-exempt like the other concurrency options.
+	AlignWorkers int
+}
+
+// VCF reports whether the options select the VCF output codec.
+func (o *Options) VCF() bool { return o.OutputFormat == "vcf" }
+
+// alignParams resolves the aligner's fingerprinted parameters to their
+// effective values, so "default" and "explicitly the default" fingerprint
+// (and cache) identically.
+func (o *Options) alignParams() (mm, k int) {
+	mm, k = o.AlignMaxMismatch, o.AlignSeedLen
+	if mm == 0 {
+		mm = align.DefaultMaxMismatch
+	}
+	if k == 0 {
+		k = align.DefaultK
+	}
+	return mm, k
 }
 
 // Validate rejects unknown engine/format combinations with the same rules
@@ -66,11 +99,32 @@ func (o *Options) Validate() error {
 	default:
 		return fmt.Errorf("unknown engine %q", o.Engine)
 	}
-	if o.Format != "soap" && o.Format != "sam" {
+	if o.Format != "soap" && o.Format != "sam" && o.Format != "fastq" {
 		return fmt.Errorf("unknown alignment format %q", o.Format)
 	}
 	if o.Window < 0 {
 		return fmt.Errorf("negative window %d", o.Window)
+	}
+	switch o.OutputFormat {
+	case "", "rows":
+	case "vcf":
+		if o.Compress {
+			return fmt.Errorf("vcf output and compress are mutually exclusive")
+		}
+	default:
+		return fmt.Errorf("unknown output format %q", o.OutputFormat)
+	}
+	if o.Format != "fastq" {
+		if o.AlignMaxMismatch != 0 || o.AlignSeedLen != 0 || o.AlignWorkers != 0 {
+			return fmt.Errorf("aligner options require -format fastq")
+		}
+		return nil
+	}
+	if o.AlignMaxMismatch < 0 {
+		return fmt.Errorf("negative aligner mismatch budget %d", o.AlignMaxMismatch)
+	}
+	if o.AlignSeedLen < 0 || o.AlignSeedLen > 31 {
+		return fmt.Errorf("aligner seed length %d out of range [0, 31]", o.AlignSeedLen)
 	}
 	return nil
 }
@@ -81,13 +135,30 @@ func (o *Options) Validate() error {
 // Options field that can change result bytes must flow into it; the
 // pinning test in this package enumerates the fields against the exempt
 // list (concurrency/diagnostic knobs with byte-identity guarantees).
+//
+// The VCF codec and the aligner parameters ride the fingerprint's extra
+// slots, appended only when active: a pre-existing soap/sam job keeps the
+// exact key it had before those options existed, so caches and
+// checkpoints written by older builds stay valid (pinned by the
+// compatibility test in this package).
 func (o *Options) Fingerprint() string {
-	return checkpoint.Fingerprint(o.Engine, o.Format, o.Window, o.Compress, o.Quarantine)
+	var extra []string
+	if o.VCF() {
+		extra = append(extra, "output=vcf")
+	}
+	if o.Format == "fastq" {
+		mm, k := o.alignParams()
+		extra = append(extra, fmt.Sprintf("align-mm=%d align-k=%d", mm, k))
+	}
+	return checkpoint.Fingerprint(o.Engine, o.Format, o.Window, o.Compress, o.Quarantine, extra...)
 }
 
-// OutSuffix is the output-file suffix the options imply (.result, or
-// .result.gsnp for compressed containers).
+// OutSuffix is the output-file suffix the options imply (.result,
+// .result.gsnp for compressed containers, or .vcf).
 func (o *Options) OutSuffix() string {
+	if o.VCF() {
+		return ".vcf"
+	}
 	if o.Compress {
 		return ".result.gsnp"
 	}
@@ -154,6 +225,17 @@ func (u Unit) ContentDigest() (string, error) {
 	return hex.EncodeToString(h.Sum(nil)), nil
 }
 
+// AlnExt is the input-file extension a format implies: the format name
+// itself for the alignment formats, "fq" for raw FASTQ reads. Discover's
+// pairing and the service's upload spooling both use it, so an uploaded
+// job and a genome-dir job over the same inputs lay out identically.
+func AlnExt(format string) string {
+	if format == "fastq" {
+		return "fq"
+	}
+	return format
+}
+
 // Skipped records a reference file Discover could not pair with an
 // alignment file.
 type Skipped struct {
@@ -176,10 +258,7 @@ func Discover(dir string, o Options) (units []Unit, skipped []Skipped, err error
 	sort.Strings(fas)
 	for _, fa := range fas {
 		base := strings.TrimSuffix(fa, ".fa")
-		aln := base + "." + o.Format
-		if o.Format == "soap" {
-			aln = base + ".soap"
-		}
+		aln := base + "." + AlnExt(o.Format)
 		if _, err := os.Stat(aln); err != nil {
 			skipped = append(skipped, Skipped{Ref: fa, Aln: aln})
 			continue
@@ -252,30 +331,43 @@ func Call(ctx context.Context, o Options, u Unit, out, diag io.Writer, arena *gs
 
 	// The pipeline reads its input twice (cal_p_matrix, then the windowed
 	// pass); the source reopens the alignment file per pass. Files ending
-	// in .gz are decompressed transparently.
-	var src pipeline.Source = pipeline.FuncSource(func() (pipeline.ReadIter, error) {
-		f, err := os.Open(u.Aln)
+	// in .gz are decompressed transparently. Raw FASTQ input is aligned
+	// in-process instead: the k-mer index is built once per reference, the
+	// reads are sharded across AlignWorkers, and the position-sorted
+	// result is served from memory — both passes stream straight from the
+	// aligner's output, with no intermediate alignment file on disk.
+	var src pipeline.Source
+	if o.Format == "fastq" {
+		aligned, err := alignUnit(&o, ref.Seq, u.Aln)
 		if err != nil {
-			return nil, err
+			return zero, err
 		}
-		it := &fileIter{f: f}
-		var r io.Reader = f
-		if strings.HasSuffix(u.Aln, ".gz") {
-			zr, err := gzip.NewReader(f)
+		src = pipeline.MemSource(aligned)
+	} else {
+		src = pipeline.FuncSource(func() (pipeline.ReadIter, error) {
+			f, err := os.Open(u.Aln)
 			if err != nil {
-				f.Close()
 				return nil, err
 			}
-			it.zr = zr
-			r = zr
-		}
-		if o.Format == "sam" {
-			it.it = snpio.NewSAMReader(r)
-		} else {
-			it.it = snpio.NewSOAPReader(r)
-		}
-		return it, nil
-	})
+			it := &fileIter{f: f}
+			var r io.Reader = f
+			if strings.HasSuffix(u.Aln, ".gz") {
+				zr, err := gzip.NewReader(f)
+				if err != nil {
+					f.Close()
+					return nil, err
+				}
+				it.zr = zr
+				r = zr
+			}
+			if o.Format == "sam" {
+				it.it = snpio.NewSAMReader(r)
+			} else {
+				it.it = snpio.NewSOAPReader(r)
+			}
+			return it, nil
+		})
+	}
 
 	// Fault injection (testing): each chromosome is an injector stream, so
 	// schedules are deterministic per chromosome regardless of worker
@@ -293,6 +385,7 @@ func Call(ctx context.Context, o Options, u Unit, out, diag io.Writer, arena *gs
 			Chr: ref.Name, Ref: ref.Seq, Known: known,
 			Window: o.Window, Prefetch: o.Prefetch,
 			Quarantine: o.Quarantine, WindowHook: hook,
+			VCFOutput: o.VCF(),
 		})
 		rep, err := eng.RunContext(ctx, src, out)
 		if err != nil {
@@ -310,7 +403,8 @@ func Call(ctx context.Context, o Options, u Unit, out, diag io.Writer, arena *gs
 		cfg := gsnp.Config{
 			Chr: ref.Name, Ref: ref.Seq, Known: known,
 			Window: o.Window, CompressOutput: o.Compress,
-			Prefetch: o.Prefetch, ComputeWorkers: o.ComputeWorkers,
+			VCFOutput: o.VCF(),
+			Prefetch:  o.Prefetch, ComputeWorkers: o.ComputeWorkers,
 			Arena:      arena,
 			Quarantine: o.Quarantine, WindowHook: hook,
 		}
@@ -343,6 +437,47 @@ func Call(ctx context.Context, o Options, u Unit, out, diag io.Writer, arena *gs
 		}
 		return Result{Sites: rep.Sites, CalSkipped: rep.CalSkipped, Quarantined: rep.Quarantined}, nil
 	}
+}
+
+// alignUnit runs the alignment stage of a fastq unit: parse the raw
+// reads, build the reference's k-mer seed index, and place every read,
+// sharded across Options.AlignWorkers. The returned slice is
+// position-sorted — exactly the order a SOAP input file would stream in —
+// so the engines consume it unchanged. Alignment is a pure function of
+// (reads, reference, parameters), so the output is byte-identical at
+// every worker count.
+func alignUnit(o *Options, ref dna.Sequence, fastqPath string) ([]reads.AlignedRead, error) {
+	f, err := os.Open(fastqPath)
+	if err != nil {
+		return nil, err
+	}
+	var r io.Reader = f
+	var zr *gzip.Reader
+	if strings.HasSuffix(fastqPath, ".gz") {
+		if zr, err = gzip.NewReader(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("%s: %w", fastqPath, err)
+		}
+		r = zr
+	}
+	raws, err := snpio.ReadFASTQ(r)
+	if zr != nil {
+		if cerr := zr.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", fastqPath, err)
+	}
+	mm, k := o.alignParams()
+	ix, err := align.BuildIndex(ref, k)
+	if err != nil {
+		return nil, err
+	}
+	return align.AlignReadsParallel(ix, raws, mm, o.AlignWorkers), nil
 }
 
 // fileIter adapts an alignment reader over an open file to

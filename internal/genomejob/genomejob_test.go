@@ -5,6 +5,8 @@ import (
 	"path/filepath"
 	"reflect"
 	"testing"
+
+	"gsnp/internal/align"
 )
 
 // TestFingerprintEnumeratesOptionsFields is the aliasing guard for the
@@ -16,11 +18,14 @@ import (
 func TestFingerprintEnumeratesOptionsFields(t *testing.T) {
 	// Fields that flow into Options.Fingerprint (via checkpoint.Fingerprint).
 	fingerprinted := map[string]bool{
-		"Engine":     true,
-		"Format":     true,
-		"Window":     true,
-		"Compress":   true,
-		"Quarantine": true,
+		"Engine":           true,
+		"Format":           true,
+		"Window":           true,
+		"Compress":         true,
+		"Quarantine":       true,
+		"OutputFormat":     true,
+		"AlignMaxMismatch": true,
+		"AlignSeedLen":     true,
 	}
 	// Fields exempt from the fingerprint, each with the reason it is safe.
 	exempt := map[string]string{
@@ -28,6 +33,7 @@ func TestFingerprintEnumeratesOptionsFields(t *testing.T) {
 		"Prefetch":       "byte-identity pinned with prefetch on and off (PR 1 tests)",
 		"Stats":          "writes diagnostics to the diag writer, never to result bytes",
 		"Injector":       "test-only fault injection; never set by production front-ends",
+		"AlignWorkers":   "byte-identity pinned at every align-worker count (TestAlignReadsParallelMatchesSerial)",
 	}
 	typ := reflect.TypeOf(Options{})
 	for i := 0; i < typ.NumField(); i++ {
@@ -57,17 +63,38 @@ func TestFingerprintEnumeratesOptionsFields(t *testing.T) {
 func TestFingerprintDistinguishesEveryInput(t *testing.T) {
 	base := Options{Engine: "gsnp-cpu", Format: "soap", Window: 1024}
 	variants := map[string]Options{
-		"Engine":     {Engine: "soapsnp", Format: "soap", Window: 1024},
-		"Format":     {Engine: "gsnp-cpu", Format: "sam", Window: 1024},
-		"Window":     {Engine: "gsnp-cpu", Format: "soap", Window: 2048},
-		"Compress":   {Engine: "gsnp-cpu", Format: "soap", Window: 1024, Compress: true},
-		"Quarantine": {Engine: "gsnp-cpu", Format: "soap", Window: 1024, Quarantine: true},
+		"Engine":       {Engine: "soapsnp", Format: "soap", Window: 1024},
+		"Format":       {Engine: "gsnp-cpu", Format: "sam", Window: 1024},
+		"Window":       {Engine: "gsnp-cpu", Format: "soap", Window: 2048},
+		"Compress":     {Engine: "gsnp-cpu", Format: "soap", Window: 1024, Compress: true},
+		"Quarantine":   {Engine: "gsnp-cpu", Format: "soap", Window: 1024, Quarantine: true},
+		"OutputFormat": {Engine: "gsnp-cpu", Format: "soap", Window: 1024, OutputFormat: "vcf"},
 	}
 	fp := base.Fingerprint()
 	for field, o := range variants {
 		if o.Fingerprint() == fp {
 			t.Errorf("changing %s does not change the fingerprint %q", field, fp)
 		}
+	}
+	// The aligner parameters distinguish fastq configurations.
+	fq := Options{Engine: "gsnp-cpu", Format: "fastq", Window: 1024}
+	fqVariants := map[string]Options{
+		"AlignMaxMismatch": {Engine: "gsnp-cpu", Format: "fastq", Window: 1024, AlignMaxMismatch: 3},
+		"AlignSeedLen":     {Engine: "gsnp-cpu", Format: "fastq", Window: 1024, AlignSeedLen: 12},
+	}
+	for field, o := range fqVariants {
+		if o.Fingerprint() == fq.Fingerprint() {
+			t.Errorf("changing %s does not change the fingerprint %q", field, fq.Fingerprint())
+		}
+	}
+	// Zero aligner params and their explicit defaults are the same
+	// configuration, so they must share one cache/checkpoint key.
+	fqDefault := fq
+	fqDefault.AlignMaxMismatch = align.DefaultMaxMismatch
+	fqDefault.AlignSeedLen = align.DefaultK
+	if fqDefault.Fingerprint() != fq.Fingerprint() {
+		t.Errorf("explicit default aligner params changed the fingerprint: %q vs %q",
+			fqDefault.Fingerprint(), fq.Fingerprint())
 	}
 	// And the exempt concurrency knobs must NOT change it: a cached result
 	// recorded at one worker count serves any other.
@@ -77,6 +104,42 @@ func TestFingerprintDistinguishesEveryInput(t *testing.T) {
 	same.Stats = true
 	if same.Fingerprint() != fp {
 		t.Errorf("exempt fields changed the fingerprint: %q vs %q", same.Fingerprint(), fp)
+	}
+	fqSame := fq
+	fqSame.AlignWorkers = 5
+	if fqSame.Fingerprint() != fq.Fingerprint() {
+		t.Errorf("AlignWorkers changed the fingerprint: %q vs %q", fqSame.Fingerprint(), fq.Fingerprint())
+	}
+}
+
+// TestFingerprintBackwardCompatible pins the literal fingerprint of
+// configurations that existed before the FASTQ/VCF options: their keys
+// must never change, or every cached result and checkpoint written by an
+// older build silently invalidates (and WAL recovery refuses to resume
+// journaled jobs). The rows-vs-empty OutputFormat spelling is part of the
+// contract: both mean the legacy codec and must alias the legacy key.
+func TestFingerprintBackwardCompatible(t *testing.T) {
+	legacy := Options{Engine: "gsnp-cpu", Format: "soap", Window: 1024}
+	const want = "v1 engine=gsnp-cpu format=soap window=1024 compress=false quarantine=false"
+	if got := legacy.Fingerprint(); got != want {
+		t.Fatalf("legacy fingerprint changed:\n got %q\nwant %q", got, want)
+	}
+	rows := legacy
+	rows.OutputFormat = "rows"
+	if got := rows.Fingerprint(); got != want {
+		t.Errorf("OutputFormat \"rows\" must alias the legacy key, got %q", got)
+	}
+	comp := Options{Engine: "gsnp-gpu", Format: "sam", Window: 4000, Compress: true, Quarantine: true}
+	const wantComp = "v1 engine=gsnp-gpu format=sam window=4000 compress=true quarantine=true"
+	if got := comp.Fingerprint(); got != wantComp {
+		t.Fatalf("legacy compressed fingerprint changed:\n got %q\nwant %q", got, wantComp)
+	}
+	// New-option keys are extensions of the legacy grammar, stable in
+	// their own right once shipped.
+	vcf := Options{Engine: "gsnp-cpu", Format: "fastq", Window: 1024, OutputFormat: "vcf"}
+	const wantVCF = "v1 engine=gsnp-cpu format=fastq window=1024 compress=false quarantine=false output=vcf align-mm=2 align-k=16"
+	if got := vcf.Fingerprint(); got != wantVCF {
+		t.Fatalf("fastq/vcf fingerprint changed:\n got %q\nwant %q", got, wantVCF)
 	}
 }
 

@@ -46,8 +46,10 @@ type Engine struct {
 	gDep     *gpu.Buffer[uint32]
 	winEpoch uint32
 
-	// Output sinks (exactly one non-nil during Run).
-	textOut  *snpio.ResultWriter
+	// Output sinks (exactly one non-nil during Run). textOut is the
+	// row-codec sink — the 17-column result table by default, the VCF
+	// writer under Config.VCFOutput.
+	textOut  snpio.RowWriter
 	blockOut *snpio.BlockWriter
 
 	rep *Report
@@ -62,6 +64,9 @@ func New(cfg Config) (*Engine, error) {
 	}
 	if cfg.ReadLen > bayes.MaxReadLen {
 		return nil, fmt.Errorf("gsnp: read length %d exceeds the model maximum %d", cfg.ReadLen, bayes.MaxReadLen)
+	}
+	if cfg.VCFOutput && cfg.CompressOutput {
+		return nil, fmt.Errorf("gsnp: VCFOutput and CompressOutput are mutually exclusive")
 	}
 	return &Engine{cfg: cfg}, nil
 }
@@ -205,13 +210,16 @@ func (e *Engine) RunContext(ctx context.Context, src pipeline.Source, w io.Write
 	rep.Times.CalP = time.Since(t0)
 
 	// Output sink.
-	if cfg.CompressOutput {
+	switch {
+	case cfg.CompressOutput:
 		if cfg.Mode == ModeGPU {
 			e.blockOut = snpio.NewBlockWriterGPU(cw, cfg.Device)
 		} else {
 			e.blockOut = snpio.NewBlockWriter(cw)
 		}
-	} else {
+	case cfg.VCFOutput:
+		e.textOut = snpio.NewVCFWriter(cw)
+	default:
 		e.textOut = snpio.NewResultWriter(cw)
 	}
 

@@ -107,6 +107,10 @@ type Config struct {
 	// CompressOutput writes the GSNP compressed container instead of the
 	// plain result text.
 	CompressOutput bool
+	// VCFOutput writes VCFv4.2 variant records instead of the 17-column
+	// result table (SNP rows only — homozygous-reference sites are
+	// filtered by the codec). Mutually exclusive with CompressOutput.
+	VCFOutput bool
 	// UseTempInput makes cal_p_matrix write the compressed temporary
 	// input file during its pass and the windowed pass read it back
 	// (Section V-A: the second read costs roughly a third of the bytes).

@@ -145,6 +145,20 @@ func (s *Server) recoverJob(e journal.Entry) {
 	}
 	js.taskUnit = taskUnit
 
+	// A recovered job that still has work to run is a normal execution of
+	// its content key: register it as a flight leader so its completed
+	// result lands in the cache (a resubmission of the same inputs after
+	// recovery is a hit, not a recompute). Jobs served fully from
+	// checkpoints skip this — they never pass through collect, which is
+	// where the flight is closed. Two identical journaled jobs can race
+	// here; the loser simply runs uncached rather than joining mid-recovery.
+	if s.cache != nil && len(remaining) > 0 {
+		key := jobKey(opts, digests)
+		if _, joined := s.flights.Begin(key, js); !joined {
+			js.key = key
+		}
+	}
+
 	s.mu.Lock()
 	s.jobs[js.id] = js
 	s.active++
@@ -165,6 +179,9 @@ func (s *Server) recoverJob(e journal.Entry) {
 		delete(s.jobs, js.id)
 		s.mu.Unlock()
 		s.finalize(js, StateFailed)
+		if js.key != "" {
+			s.flights.End(js.key)
+		}
 		s.cfg.Logf("job %s: recovery re-enqueue: %v", js.id, err)
 		return
 	}

@@ -797,10 +797,7 @@ func spoolInputs(dir string, spec *JobSpec) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	alnExt := "." + spec.Format
-	if spec.Format == "soap" {
-		alnExt = ".soap"
-	}
+	alnExt := "." + genomejob.AlnExt(spec.Format)
 	type spoolFile struct{ name, content string }
 	for _, in := range spec.Inputs {
 		files := []spoolFile{
@@ -912,6 +909,10 @@ func (s *Server) collect(js *jobState) {
 				continue
 			}
 			rec.Job = "" // rewritten to the serving job's id on replay
+			// A recovered job's checkpoint-replayed chromosomes carry the
+			// Recovered marker; a cache replay of the finished result is a
+			// clean serve and must not.
+			rec.Recovered = false
 			recs = append(recs, rec)
 		}
 		js.mu.Unlock()

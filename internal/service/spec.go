@@ -23,7 +23,8 @@ type JobSpec struct {
 
 	// Engine is soapsnp, gsnp-cpu or gsnp-gpu (default gsnp-cpu).
 	Engine string `json:"engine,omitempty"`
-	// Format is the alignment format: soap (default) or sam.
+	// Format is the input format: soap (default), sam, or fastq (raw
+	// reads, aligned in-process before calling).
 	Format string `json:"format,omitempty"`
 	// Window is sites per window (0 = engine default).
 	Window int `json:"window,omitempty"`
@@ -36,6 +37,15 @@ type JobSpec struct {
 	// Quarantine contains malformed records and panicking windows; the
 	// affected chromosome completes degraded instead of failing.
 	Quarantine bool `json:"quarantine,omitempty"`
+	// OutputFormat selects the result codec: "" or "rows" for the
+	// 17-column table, "vcf" for VCFv4.2 variant records.
+	OutputFormat string `json:"output_format,omitempty"`
+	// AlignMaxMismatch is the aligner's per-read mismatch budget (fastq
+	// format only; 0 = default 2).
+	AlignMaxMismatch int `json:"align_max_mismatch,omitempty"`
+	// AlignSeedLen is the aligner's k-mer seed length (fastq format only;
+	// 0 = default 16, max 31).
+	AlignSeedLen int `json:"align_seed_len,omitempty"`
 }
 
 // InputSpec is one uploaded chromosome: file contents carried as JSON
@@ -121,12 +131,15 @@ func (s *JobSpec) validateOptions() error {
 // Options maps the spec onto the shared engine configuration.
 func (s *JobSpec) Options() genomejob.Options {
 	return genomejob.Options{
-		Engine:         s.Engine,
-		Format:         s.Format,
-		Window:         s.Window,
-		ComputeWorkers: s.ComputeWorkers,
-		Prefetch:       s.Prefetch,
-		Compress:       s.Compress,
-		Quarantine:     s.Quarantine,
+		Engine:           s.Engine,
+		Format:           s.Format,
+		Window:           s.Window,
+		ComputeWorkers:   s.ComputeWorkers,
+		Prefetch:         s.Prefetch,
+		Compress:         s.Compress,
+		Quarantine:       s.Quarantine,
+		OutputFormat:     s.OutputFormat,
+		AlignMaxMismatch: s.AlignMaxMismatch,
+		AlignSeedLen:     s.AlignSeedLen,
 	}
 }

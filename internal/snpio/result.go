@@ -96,6 +96,18 @@ func (r *Row) appendText(buf []byte) []byte {
 	return buf
 }
 
+// RowWriter is a streaming sink for result rows. ResultWriter (the
+// paper's 17-column table) and VCFWriter (VCFv4.2 variant records) both
+// satisfy it, letting the engines select the output codec without knowing
+// its encoding. Count reports rows actually emitted — a codec may filter
+// (VCF skips homozygous-reference rows), so Count can be below the number
+// of Write calls.
+type RowWriter interface {
+	Write(r *Row) error
+	Flush() error
+	Count() int64
+}
+
 // ResultWriter streams result rows as plain text, the SOAPsnp output
 // format.
 type ResultWriter struct {

@@ -61,6 +61,10 @@ type Config struct {
 	// WindowHook, when non-nil, runs before each window's computation —
 	// the fault-injection seam (see internal/faults).
 	WindowHook func(ctx context.Context, window, start, end int) error
+	// VCFOutput writes VCFv4.2 variant records instead of the 17-column
+	// result table, matching gsnp.Config.VCFOutput so either engine can
+	// serve the FASTQ-to-VCF workload.
+	VCFOutput bool
 }
 
 // DefaultWindow is SOAPsnp's window size from the paper's setup.
@@ -213,7 +217,12 @@ func (e *Engine) RunContext(ctx context.Context, src pipeline.Source, w io.Write
 	}
 	win := pipeline.NewWindower(it)
 	e.allocWindow()
-	out := snpio.NewResultWriter(w)
+	var out snpio.RowWriter
+	if cfg.VCFOutput {
+		out = snpio.NewVCFWriter(w)
+	} else {
+		out = snpio.NewResultWriter(w)
+	}
 
 	if cfg.Prefetch {
 		// read_site for window i+1 overlaps components 3-7 of window i;
@@ -297,7 +306,7 @@ func (e *Engine) allocWindow() {
 // runWindow executes components 3-7 for one window [start, end) whose
 // reads were already fetched (component 2 runs in the caller, serially or
 // via the prefetcher).
-func (e *Engine) runWindow(rs []reads.AlignedRead, start, end int, out *snpio.ResultWriter, rep *Report) error {
+func (e *Engine) runWindow(rs []reads.AlignedRead, start, end int, out snpio.RowWriter, rep *Report) error {
 	cfg := e.cfg
 	n := end - start
 
@@ -407,7 +416,7 @@ func (e *Engine) resetWindow(n int) {
 // windowAttempt runs the window hook and components 3-7 for one window,
 // converting a panic into a *pipeline.PanicError when quarantine is
 // enabled (without quarantine, panics propagate and crash as before).
-func (e *Engine) windowAttempt(ctx context.Context, rs []reads.AlignedRead, start, end int, out *snpio.ResultWriter, rep *Report) (err error) {
+func (e *Engine) windowAttempt(ctx context.Context, rs []reads.AlignedRead, start, end int, out snpio.RowWriter, rep *Report) (err error) {
 	if e.cfg.Quarantine {
 		defer func() {
 			if pe := pipeline.Recovered(recover()); pe != nil {
