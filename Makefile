@@ -10,9 +10,13 @@ GO ?= go
 # Every goroutine-spawning package runs under the race detector: the
 # schedulers, the prefetcher and its consumers, the parallel sort, the
 # simulated GPU device, the fault/checkpoint machinery, the gsnpd
-# service with its result cache and job journal, and the shared
-# genome-job decomposition both front-ends use.
-RACE_PKGS = ./internal/pipeline ./internal/sched ./internal/gsnp ./internal/soapsnp ./internal/sortnet ./internal/faults ./internal/checkpoint ./internal/service ./internal/resultcache ./internal/genomejob ./internal/gpu ./internal/journal ./internal/align
+# service with its result cache and job journal, the shared genome-job
+# decomposition both front-ends use, and the gsnpd daemon itself (its
+# serve/signal goroutines). The list is audited against the tree:
+# `gsnplint -go-pkgs ./...` prints every package containing a go
+# statement, and TestRacePkgsCoverSpawningPackages fails when one is
+# missing here.
+RACE_PKGS = ./internal/pipeline ./internal/sched ./internal/gsnp ./internal/soapsnp ./internal/sortnet ./internal/faults ./internal/checkpoint ./internal/service ./internal/resultcache ./internal/genomejob ./internal/gpu ./internal/journal ./internal/align ./cmd/gsnpd
 
 # Per-target budget for the fuzz smoke pass.
 FUZZ_TIME ?= 10s
@@ -25,11 +29,16 @@ GOVULNCHECK_VERSION ?= v1.1.4
 
 ci: lint fmt-check build test race service-e2e serve-recovery fastq-e2e fuzz-smoke vuln
 
-# Standard vet plus the project multichecker (cmd/gsnplint): the four
+# Standard vet plus the project multichecker (cmd/gsnplint): the seven
 # GSNP invariant analyzers — determinism, arenalifetime, closecheck,
-# saturation — documented in DESIGN.md §9. Any finding fails the gate.
+# saturation, goroutinejoin, lockhold, durability — documented in
+# DESIGN.md §9 and §13. Any finding fails the gate, and the machine-
+# readable report lands in gsnplint-findings.json for CI to archive.
 lint: vet
-	$(GO) run ./cmd/gsnplint ./...
+	@start=$$(date +%s); \
+	$(GO) run ./cmd/gsnplint -json gsnplint-findings.json ./... ; rc=$$?; \
+	echo "lint: gsnplint took $$(( $$(date +%s) - start ))s (report: gsnplint-findings.json)"; \
+	exit $$rc
 
 vet:
 	$(GO) vet ./...

@@ -135,6 +135,7 @@ func run() error {
 
 	// A second signal forces shutdown: every job is cancelled and the
 	// drain below completes promptly.
+	//gsnplint:ignore goroutinejoin process-lifetime watcher: it dies with main, and joining it would block the forced shutdown it exists to deliver
 	go func() {
 		s := <-sig
 		logger.Printf("received second %v, forcing shutdown", s)

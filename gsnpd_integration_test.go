@@ -70,6 +70,7 @@ func startGsnpd(t *testing.T, args ...string) (*exec.Cmd, string, *bytes.Buffer)
 		cmd.Wait()
 		t.Fatalf("gsnpd never printed its listening line\nstderr:\n%s", stderr.String())
 	}
+	//gsnplint:ignore goroutinejoin pipe drain: io.Copy returns when the child exits and cmd.Wait closes the pipe
 	go io.Copy(io.Discard, stdout) // keep the pipe drained
 	return cmd, base, &stderr
 }

@@ -29,6 +29,11 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
+	// IP is the load-wide interprocedural fact base (call graph +
+	// function summaries), computed once per load and shared by every
+	// analyzer of every package in it.
+	IP *Interproc
+
 	diags []Diagnostic
 }
 
@@ -56,41 +61,65 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
-// Run applies each analyzer to pkg and returns the surviving diagnostics:
-// findings suppressed by a well-formed //gsnplint:ignore directive are
-// dropped, and malformed directives become diagnostics themselves.
-// Results are sorted by file position.
-func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
-	dirs := directives(pkg)
+// RunAll applies each analyzer to every package of one load and returns
+// the surviving diagnostics: findings suppressed by a well-formed
+// //gsnplint:ignore directive are dropped, and malformed directives
+// become diagnostics themselves. The interprocedural fact base is built
+// once, over the whole load, before any analyzer runs — cross-package
+// call edges (service -> journal -> checkpoint) resolve only when the
+// callee's package is part of the same load. Results are sorted by file
+// position.
+func RunAll(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	ip := buildInterproc(pkgs)
 	var out []Diagnostic
-	for _, a := range analyzers {
-		pass := &Pass{
-			Analyzer:  a,
-			Fset:      pkg.Fset,
-			Files:     pkg.Files,
-			Pkg:       pkg.Types,
-			TypesInfo: pkg.TypesInfo,
+	var fset *token.FileSet
+	for _, pkg := range pkgs {
+		fset = pkg.Fset
+		dirs := directives(pkg)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+				IP:        ip,
+			}
+			a.Run(pass)
+			out = append(out, dirs.filter(pkg.Fset, pass.diags)...)
 		}
-		a.Run(pass)
-		out = append(out, dirs.filter(pkg.Fset, pass.diags)...)
+		out = append(out, dirs.problems...)
 	}
-	out = append(out, dirs.problems...)
-	sort.Slice(out, func(i, j int) bool {
-		pi, pj := pkg.Fset.Position(out[i].Pos), pkg.Fset.Position(out[j].Pos)
-		if pi.Filename != pj.Filename {
-			return pi.Filename < pj.Filename
-		}
-		if pi.Line != pj.Line {
-			return pi.Line < pj.Line
-		}
-		return out[i].Analyzer < out[j].Analyzer
-	})
+	if fset != nil {
+		sort.Slice(out, func(i, j int) bool {
+			pi, pj := fset.Position(out[i].Pos), fset.Position(out[j].Pos)
+			if pi.Filename != pj.Filename {
+				return pi.Filename < pj.Filename
+			}
+			if pi.Line != pj.Line {
+				return pi.Line < pj.Line
+			}
+			return out[i].Analyzer < out[j].Analyzer
+		})
+	}
 	return out
 }
 
-// All returns the gsnplint analyzer suite in stable order.
+// Run is RunAll for a single package: the interprocedural layer sees
+// only pkg, so cross-package edges resolve as unknown externals. The
+// fixture harness and single-package pins use it.
+func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	return RunAll([]*Package{pkg}, analyzers)
+}
+
+// All returns the gsnplint analyzer suite in stable order: the four
+// intraprocedural invariants from PR 5, then the three interprocedural
+// analyzers built on the shared call-graph/summary layer.
 func All() []*Analyzer {
-	return []*Analyzer{Determinism, ArenaLifetime, CloseCheck, Saturation}
+	return []*Analyzer{
+		Determinism, ArenaLifetime, CloseCheck, Saturation,
+		GoroutineJoin, LockHold, Durability,
+	}
 }
 
 // ByName resolves a comma-separated analyzer selection.

@@ -5,18 +5,19 @@ import (
 	"go/types"
 )
 
-// CloseCheck flags `defer f.Close()` on writable files and gzip writers:
-// Close is where buffered bytes hit the disk, so a discarded Close error
-// (ENOSPC, quota, NFS flush) silently truncates the output the run just
-// spent hours producing. Writable handles must be closed explicitly with
-// the error propagated, or closed in a deferred closure that joins the
-// error into the function's named return.
+// CloseCheck flags `defer f.Close()` on writable files and compressing
+// writers (gzip, flate, zlib), and `defer bw.Flush()` on bufio.Writer:
+// Close and Flush are where buffered bytes hit the disk, so a discarded
+// error (ENOSPC, quota, NFS flush) silently truncates the output the run
+// just spent hours producing. Writable handles must be closed or flushed
+// explicitly with the error propagated, or in a deferred closure that
+// joins the error into the function's named return.
 //
 // Read-only files are exempt: their Close error cannot lose data.
 var CloseCheck = &Analyzer{
 	Name: "closecheck",
 	Doc: "flag defer f.Close() discarding the error on writable files " +
-		"and gzip writers",
+		"and gzip/flate/zlib writers, and defer bw.Flush() on bufio writers",
 	Run: runCloseCheck,
 }
 
@@ -28,25 +29,44 @@ func runCloseCheck(pass *Pass) {
 				return true
 			}
 			sel, ok := ast.Unparen(df.Call.Fun).(*ast.SelectorExpr)
-			if !ok || sel.Sel.Name != "Close" || len(df.Call.Args) != 0 {
+			if !ok || len(df.Call.Args) != 0 {
 				return true
 			}
-			if why := writableCloser(pass, sel.X, enclosingFunc(stack)); why != "" {
-				pass.Reportf(df.Pos(),
-					"defer %s discards the Close error of a %s; a full disk loses buffered output silently — close explicitly and propagate the error",
-					exprString(sel), why)
+			switch sel.Sel.Name {
+			case "Close":
+				if why := writableCloser(pass, sel.X, enclosingFunc(stack)); why != "" {
+					pass.Reportf(df.Pos(),
+						"defer %s discards the Close error of a %s; a full disk loses buffered output silently — close explicitly and propagate the error",
+						exprString(sel), why)
+				}
+			case "Flush":
+				if isNamed(pass.TypesInfo.TypeOf(sel.X), "bufio", "Writer") {
+					pass.Reportf(df.Pos(),
+						"defer %s discards the Flush error of a bufio writer; the final buffered chunk is exactly what a full disk drops — flush explicitly and propagate the error",
+						exprString(sel))
+				}
 			}
 			return true
 		})
 	}
 }
 
+// compressingWriters are the stdlib writers whose Close flushes the
+// stream footer: losing its error loses the tail of the output.
+var compressingWriters = []struct{ pkg, desc string }{
+	{"compress/gzip", "gzip writer"},
+	{"compress/flate", "flate writer"},
+	{"compress/zlib", "zlib writer"},
+}
+
 // writableCloser classifies x as a writer whose Close reports data loss,
 // returning a short description or "".
 func writableCloser(pass *Pass, x ast.Expr, encl ast.Node) string {
 	info := pass.TypesInfo
-	if isNamed(info.TypeOf(x), "compress/gzip", "Writer") {
-		return "gzip writer"
+	for _, w := range compressingWriters {
+		if isNamed(info.TypeOf(x), w.pkg, "Writer") {
+			return w.desc
+		}
 	}
 	id, ok := ast.Unparen(x).(*ast.Ident)
 	if !ok {

@@ -1,0 +1,12 @@
+package analysis
+
+import "testing"
+
+// TestDurabilityFixture proves the analyzer flags non-atomic writes
+// under durable paths — direct WriteFile/Create/creating-OpenFile, the
+// local-propagation case, and the durable path handed to an oblivious
+// helper — and accepts the fsync-before-rename shape, append-only WAL
+// reopens, and scratch-path writes.
+func TestDurabilityFixture(t *testing.T) {
+	runFixture(t, Durability, "durablefix")
+}

@@ -1,0 +1,695 @@
+package analysis
+
+// The interprocedural layer: a per-load call graph plus one summary per
+// function declaration, computed once when a load's packages enter
+// RunAll and handed to every analyzer through Pass.IP. The summaries
+// record the facts the concurrency and durability analyzers need to see
+// across function boundaries — spawns-goroutine, blocks-on-channel/
+// select/Wait, performs file-or-network I/O, acquires/releases which
+// mutex, writes under which path, fsyncs file handles — and the
+// transitive queries (Blocks, DoneKeys, SendCloseKeys, ...) memoize a
+// DFS over static call edges so asking "does this call eventually
+// block?" is cheap for every analyzer.
+//
+// Resolution is static only: direct calls to package-level functions and
+// methods with a concrete receiver, across every package in the same
+// load. Calls through interface values or function-typed variables fall
+// back to "unknown external", classified by a curated table of standard
+// library functions that block or touch the disk/network. That keeps the
+// layer sound enough for gating (no panic on dynamic dispatch) while
+// catching the shapes this repo actually uses — worker pools, prefetch
+// producers, WAL appends — where the call targets are static.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// BlockOp is one potentially blocking operation inside a function body:
+// a channel send/receive, a select without default, a WaitGroup.Wait, a
+// known-blocking external call (file or network I/O, time.Sleep), or a
+// static call to a load-local function that transitively blocks.
+type BlockOp struct {
+	Pos  token.Pos
+	Desc string // human-readable, e.g. "send on channel" or "call to flush (does file I/O)"
+}
+
+// LockEvent is one mutex acquisition or release, identified by Key.
+type LockEvent struct {
+	Pos      token.Pos
+	Key      string // mutex identity, see chanKey
+	Unlock   bool
+	Deferred bool // defer mu.Unlock(): held to the end of the function
+}
+
+// WriteCall is one direct file-creating/writing call (os.WriteFile,
+// os.Create, writable os.OpenFile) with the path argument it targets.
+type WriteCall struct {
+	Pos     token.Pos
+	Callee  string   // "os.WriteFile", ...
+	PathArg ast.Expr // the path expression passed to the call
+}
+
+// CallSite is one static call edge to a function in the same load.
+type CallSite struct {
+	Pos    token.Pos
+	Callee *types.Func
+	Call   *ast.CallExpr
+}
+
+// FuncInfo is the summary of one function declaration (or one
+// go-statement function literal, which gets its own synthetic summary).
+type FuncInfo struct {
+	Fn   *types.Func // nil for go-statement literals
+	Decl ast.Node    // *ast.FuncDecl or *ast.FuncLit
+	Pkg  *Package
+
+	// GoStmts are the go statements spawned directly by this function
+	// (not by goroutines it spawns).
+	GoStmts []*ast.GoStmt
+
+	// Blocks are the direct potentially-blocking operations, excluding
+	// anything inside a spawned goroutine body or a defer statement.
+	Blocks []BlockOp
+
+	// Calls are the static load-local call edges (defers included).
+	Calls []CallSite
+
+	// Locks are the mutex acquire/release events in source order.
+	Locks []LockEvent
+
+	// DoneKeys / WaitKeys / AddKeys identify the sync.WaitGroups this
+	// function calls Done/Wait/Add on directly.
+	DoneKeys, WaitKeys, AddKeys []string
+
+	// SendKeys / RecvKeys identify channels this function directly sends
+	// on or closes / receives from or ranges over.
+	SendKeys, RecvKeys []string
+
+	// CtxDoneSelect is true when the body receives from a Done() channel
+	// (a ctx-done select case or a bare <-ctx.Done()), i.e. the function
+	// is cancellation-aware.
+	CtxDoneSelect bool
+
+	// IO is true when the function directly performs file or network I/O.
+	IO bool
+
+	// Writes are the direct file-write calls (for the durability check).
+	Writes []WriteCall
+
+	// SyncsFile is true when the function calls Sync() on an *os.File:
+	// it implements its own durability (fsync-before-rename or fsync'd
+	// append) and its writes are sanctioned.
+	SyncsFile bool
+
+	// WriteParams are the parameter indices whose value flows into the
+	// path of an unsanctioned direct write in this function.
+	WriteParams map[int]bool
+
+	// paramObjs maps parameter index -> object, for flow queries.
+	paramObjs []types.Object
+}
+
+// Interproc is the shared interprocedural fact base for one load.
+type Interproc struct {
+	// ByFunc maps every declared function/method in the load to its
+	// summary, keyed by funcKey (Origin().FullName()): the same function
+	// seen through another package's import (an export-data object) and
+	// through its own Defs must land on one summary.
+	ByFunc map[string]*FuncInfo
+	// ByGo maps each go statement to the summary of its spawned body
+	// (the function literal, or the called function's summary).
+	ByGo map[*ast.GoStmt]*FuncInfo
+	// infos lists every summary (declarations and go-literals).
+	infos []*FuncInfo
+
+	// allWaitKeys / allRecvKeys aggregate the load: which WaitGroups
+	// have a Wait somewhere, which channels are received from somewhere.
+	allWaitKeys map[string]bool
+	allRecvKeys map[string]bool
+
+	// memo tables for the transitive queries.
+	blocksMemo map[*FuncInfo]*BlockOp
+	ioMemo     map[*FuncInfo]int8 // 0 unknown, 1 yes, -1 no
+	keysMemo   map[*FuncInfo]*transKeys
+	writeMemo  map[*FuncInfo]map[int]bool
+}
+
+type transKeys struct {
+	done, send map[string]bool
+	ctxDone    bool
+}
+
+// buildInterproc computes summaries for every function in pkgs.
+func buildInterproc(pkgs []*Package) *Interproc {
+	ip := &Interproc{
+		ByFunc:      map[string]*FuncInfo{},
+		ByGo:        map[*ast.GoStmt]*FuncInfo{},
+		allWaitKeys: map[string]bool{},
+		allRecvKeys: map[string]bool{},
+		blocksMemo:  map[*FuncInfo]*BlockOp{},
+		ioMemo:      map[*FuncInfo]int8{},
+		keysMemo:    map[*FuncInfo]*transKeys{},
+		writeMemo:   map[*FuncInfo]map[int]bool{},
+	}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, _ := pkg.TypesInfo.Defs[fd.Name].(*types.Func)
+				info := ip.summarize(pkg, fd, fd.Body, fn)
+				if fn != nil {
+					ip.ByFunc[funcKey(fn)] = info
+				}
+			}
+		}
+	}
+	for _, info := range ip.infos {
+		for _, k := range info.WaitKeys {
+			ip.allWaitKeys[k] = true
+		}
+		for _, k := range info.RecvKeys {
+			ip.allRecvKeys[k] = true
+		}
+	}
+	return ip
+}
+
+// summarize collects the direct facts of one function body. Bodies of
+// go-spawned function literals are excluded (they execute in the
+// goroutine, not the spawner) and summarized separately under ByGo.
+func (ip *Interproc) summarize(pkg *Package, decl ast.Node, body *ast.BlockStmt, fn *types.Func) *FuncInfo {
+	info := &FuncInfo{Fn: fn, Decl: decl, Pkg: pkg}
+	ip.infos = append(ip.infos, info)
+	if fn != nil {
+		sig, _ := fn.Type().(*types.Signature)
+		if sig != nil {
+			for i := 0; i < sig.Params().Len(); i++ {
+				info.paramObjs = append(info.paramObjs, sig.Params().At(i))
+			}
+		}
+	}
+	info.WriteParams = map[int]bool{}
+	inf := pkg.TypesInfo
+
+	var walk func(n ast.Node, inDefer bool)
+	walk = func(n ast.Node, inDefer bool) {
+		ast.Inspect(n, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				info.GoStmts = append(info.GoStmts, n)
+				// The spawned body belongs to the goroutine, not the
+				// spawner: a literal gets its own summary under ByGo, and
+				// `go f(x)` resolves through ByFunc — neither becomes a
+				// call edge, because spawning never blocks the spawner.
+				if lit, ok := ast.Unparen(n.Call.Fun).(*ast.FuncLit); ok {
+					ip.ByGo[n] = ip.summarize(pkg, lit, lit.Body, nil)
+				}
+				// Argument expressions still evaluate in the spawner.
+				for _, a := range n.Call.Args {
+					walk(a, inDefer)
+				}
+				return false
+			case *ast.DeferStmt:
+				// Deferred work runs at return: its lock releases and call
+				// edges count, but its blocking ops are excluded from the
+				// spawner's in-body sequence (inDefer). Only the directly
+				// deferred call is a Deferred unlock — `defer mu.Unlock()`
+				// holds the mutex to the end of the function, while a
+				// Lock/Unlock pair inside a deferred closure body is a
+				// normal bounded pair that merely runs at return.
+				if lit, ok := ast.Unparen(n.Call.Fun).(*ast.FuncLit); ok {
+					for _, a := range n.Call.Args {
+						walk(a, inDefer)
+					}
+					walk(lit.Body, true)
+				} else {
+					ip.callFacts(info, inf, n.Call, true, true)
+					for _, a := range n.Call.Args {
+						walk(a, true)
+					}
+				}
+				return false
+			case *ast.CallExpr:
+				if lit, ok := ast.Unparen(n.Fun).(*ast.FuncLit); ok {
+					// Immediately-invoked literal: runs right here.
+					for _, a := range n.Args {
+						walk(a, inDefer)
+					}
+					walk(lit.Body, inDefer)
+					return false
+				}
+				ip.callFacts(info, inf, n, inDefer, false)
+			case *ast.FuncLit:
+				// A literal that is stored or passed runs wherever its
+				// value is eventually called; attributing its body to this
+				// function would invent blocking ops that never execute
+				// here. Known approximation: facts inside such literals
+				// are invisible to the transitive queries.
+				return false
+			case *ast.SendStmt:
+				if !inDefer {
+					info.Blocks = append(info.Blocks, BlockOp{Pos: n.Pos(), Desc: "send on " + renderKey(inf, n.Chan)})
+				}
+				info.SendKeys = appendKey(info.SendKeys, inf, n.Chan)
+			case *ast.UnaryExpr:
+				if n.Op == token.ARROW {
+					if !inDefer {
+						info.Blocks = append(info.Blocks, BlockOp{Pos: n.Pos(), Desc: "receive from " + renderKey(inf, n.X)})
+					}
+					info.RecvKeys = appendKey(info.RecvKeys, inf, n.X)
+					if isDoneCall(inf, n.X) {
+						info.CtxDoneSelect = true
+					}
+				}
+			case *ast.RangeStmt:
+				if t := inf.TypeOf(n.X); t != nil {
+					if _, ok := t.Underlying().(*types.Chan); ok {
+						if !inDefer {
+							info.Blocks = append(info.Blocks, BlockOp{Pos: n.Pos(), Desc: "range over " + renderKey(inf, n.X)})
+						}
+						info.RecvKeys = appendKey(info.RecvKeys, inf, n.X)
+					}
+				}
+			case *ast.SelectStmt:
+				hasDefault := false
+				for _, c := range n.Body.List {
+					if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+						hasDefault = true
+					}
+				}
+				if !hasDefault && !inDefer {
+					info.Blocks = append(info.Blocks, BlockOp{Pos: n.Pos(), Desc: "select without default"})
+				}
+				// Case channels are recorded by the nested Send/Unary walks.
+			}
+			return true
+		})
+	}
+	walk(body, false)
+	ip.findWriteParams(info)
+	return info
+}
+
+// callFacts classifies one call expression: builtin close, mutex ops,
+// WaitGroup ops, known external blocking/I-O functions, write calls,
+// Sync, and load-local static edges. directDefer marks the call that is
+// itself the deferred expression (`defer mu.Unlock()`), whose unlock
+// extends the held interval to the end of the function.
+func (ip *Interproc) callFacts(info *FuncInfo, inf *types.Info, call *ast.CallExpr, inDefer, directDefer bool) {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "close" && len(call.Args) == 1 {
+		if objOf(inf, id) == nil || objOf(inf, id).Pkg() == nil { // the builtin
+			info.SendKeys = appendKey(info.SendKeys, inf, call.Args[0])
+			return
+		}
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		switch sel.Sel.Name {
+		case "Lock", "RLock":
+			if isMutexExpr(inf, sel.X) {
+				info.Locks = append(info.Locks, LockEvent{Pos: call.Pos(), Key: renderKey(inf, sel.X)})
+				return
+			}
+		case "Unlock", "RUnlock":
+			if isMutexExpr(inf, sel.X) {
+				info.Locks = append(info.Locks, LockEvent{Pos: call.Pos(), Key: renderKey(inf, sel.X), Unlock: true, Deferred: directDefer})
+				return
+			}
+		case "Wait":
+			if isNamed(inf.TypeOf(sel.X), "sync", "WaitGroup") {
+				info.WaitKeys = appendKey(info.WaitKeys, inf, sel.X)
+				if !inDefer {
+					info.Blocks = append(info.Blocks, BlockOp{Pos: call.Pos(), Desc: "sync.WaitGroup.Wait on " + renderKey(inf, sel.X)})
+				}
+				return
+			}
+			// sync.Cond.Wait releases its mutex while parked, so it is
+			// deliberately NOT a blocking op for lockhold.
+			if isNamed(inf.TypeOf(sel.X), "sync", "Cond") {
+				return
+			}
+		case "Done":
+			if isNamed(inf.TypeOf(sel.X), "sync", "WaitGroup") {
+				info.DoneKeys = appendKey(info.DoneKeys, inf, sel.X)
+				return
+			}
+		case "Add":
+			if isNamed(inf.TypeOf(sel.X), "sync", "WaitGroup") {
+				info.AddKeys = appendKey(info.AddKeys, inf, sel.X)
+				return
+			}
+		case "Sync":
+			if isFileType(inf.TypeOf(sel.X)) {
+				info.SyncsFile = true
+				info.IO = true
+				if !inDefer {
+					info.Blocks = append(info.Blocks, BlockOp{Pos: call.Pos(), Desc: "file I/O (Sync)"})
+				}
+				return
+			}
+		}
+	}
+
+	full := calleeFullName(inf, call)
+	switch full {
+	case "os.WriteFile", "os.Create":
+		if len(call.Args) > 0 {
+			info.Writes = append(info.Writes, WriteCall{Pos: call.Pos(), Callee: full, PathArg: call.Args[0]})
+		}
+	case "os.OpenFile":
+		// Only creating or truncating opens count as durable writes: an
+		// O_WRONLY|O_APPEND reopen of an existing fsync'd file (the WAL
+		// after compaction) replaces no bytes by itself, and the appends
+		// that follow carry their own Sync.
+		if len(call.Args) > 1 && flagsCreateOrTruncate(inf, call.Args[1]) {
+			info.Writes = append(info.Writes, WriteCall{Pos: call.Pos(), Callee: full, PathArg: call.Args[0]})
+		}
+	}
+	if desc, blocking := externalBlocking(full); desc != "" {
+		info.IO = info.IO || strings.Contains(desc, "I/O")
+		if blocking && !inDefer {
+			info.Blocks = append(info.Blocks, BlockOp{Pos: call.Pos(), Desc: desc})
+		}
+		return
+	}
+	if callee := staticCallee(inf, call); callee != nil {
+		info.Calls = append(info.Calls, CallSite{Pos: call.Pos(), Callee: callee, Call: call})
+	}
+}
+
+// findWriteParams marks the parameters whose value reaches the path of a
+// direct unsanctioned write in this function (os.WriteFile(filepath.
+// Join(dir, ...), ...) with dir a parameter). Used to flag durable paths
+// handed to oblivious helpers at the call site.
+func (ip *Interproc) findWriteParams(info *FuncInfo) {
+	if info.Fn == nil || len(info.Writes) == 0 || info.SyncsFile {
+		return
+	}
+	inf := info.Pkg.TypesInfo
+	for _, w := range info.Writes {
+		for i, p := range info.paramObjs {
+			if p != nil && usesVar(inf, w.PathArg, p) {
+				info.WriteParams[i] = true
+			}
+		}
+	}
+}
+
+// Info returns the summary of fn, or nil when fn is outside the load.
+func (ip *Interproc) Info(fn *types.Func) *FuncInfo {
+	if ip == nil || fn == nil {
+		return nil
+	}
+	return ip.ByFunc[funcKey(fn)]
+}
+
+// funcKey is the load-stable identity of a function: the generic origin's
+// fully qualified name, so an instantiated method, an imported view and
+// the defining declaration all share one key.
+func funcKey(fn *types.Func) string {
+	return fn.Origin().FullName()
+}
+
+// GoroutineInfo returns the summary of the body spawned by g: the
+// literal's own summary, or the called function's.
+func (ip *Interproc) GoroutineInfo(inf *types.Info, g *ast.GoStmt) *FuncInfo {
+	if info, ok := ip.ByGo[g]; ok && info != nil {
+		return info
+	}
+	if callee := staticCallee(inf, g.Call); callee != nil {
+		return ip.ByFunc[funcKey(callee)]
+	}
+	return nil
+}
+
+// FirstBlock returns the first potentially-blocking operation reachable
+// from info, transitively through static calls, or nil. The description
+// of an indirect block names the call chain's first hop.
+func (ip *Interproc) FirstBlock(info *FuncInfo) *BlockOp {
+	if info == nil {
+		return nil
+	}
+	if op, ok := ip.blocksMemo[info]; ok {
+		return op
+	}
+	ip.blocksMemo[info] = nil // cycle guard: recursion does not block by itself
+	var found *BlockOp
+	if len(info.Blocks) > 0 {
+		found = &info.Blocks[0]
+	} else {
+		for _, c := range info.Calls {
+			callee := ip.ByFunc[funcKey(c.Callee)]
+			if callee == nil {
+				continue
+			}
+			if op := ip.FirstBlock(callee); op != nil {
+				found = &BlockOp{Pos: c.Pos, Desc: "call to " + c.Callee.Name() + ", which " + shortBlockDesc(op.Desc)}
+				break
+			}
+		}
+	}
+	ip.blocksMemo[info] = found
+	return found
+}
+
+func shortBlockDesc(d string) string {
+	switch {
+	case strings.HasPrefix(d, "call to "):
+		return "blocks transitively"
+	case strings.Contains(d, "I/O"):
+		return "does " + d
+	default:
+		return "can block (" + d + ")"
+	}
+}
+
+// transitiveKeys unions DoneKeys/SendKeys/CtxDoneSelect over everything
+// statically reachable from info.
+func (ip *Interproc) transitiveKeys(info *FuncInfo) *transKeys {
+	if info == nil {
+		return &transKeys{done: map[string]bool{}, send: map[string]bool{}}
+	}
+	if tk, ok := ip.keysMemo[info]; ok {
+		return tk
+	}
+	tk := &transKeys{done: map[string]bool{}, send: map[string]bool{}}
+	ip.keysMemo[info] = tk // cycle guard; fixpoint not needed for our queries
+	for _, k := range info.DoneKeys {
+		tk.done[k] = true
+	}
+	for _, k := range info.SendKeys {
+		tk.send[k] = true
+	}
+	tk.ctxDone = info.CtxDoneSelect
+	for _, c := range info.Calls {
+		sub := ip.transitiveKeys(ip.ByFunc[funcKey(c.Callee)])
+		for k := range sub.done {
+			tk.done[k] = true
+		}
+		for k := range sub.send {
+			tk.send[k] = true
+		}
+		tk.ctxDone = tk.ctxDone || sub.ctxDone
+	}
+	return tk
+}
+
+// WaitedSomewhere reports whether any function in the load calls Wait on
+// the WaitGroup identified by key.
+func (ip *Interproc) WaitedSomewhere(key string) bool { return ip.allWaitKeys[key] }
+
+// ReceivedSomewhere reports whether any function in the load receives
+// from (or ranges over) the channel identified by key.
+func (ip *Interproc) ReceivedSomewhere(key string) bool { return ip.allRecvKeys[key] }
+
+// DurableWriteParams returns the parameter indices of fn that flow into
+// an unsanctioned disk write, transitively: fn either writes under the
+// parameter itself or passes it along to a helper that does.
+func (ip *Interproc) DurableWriteParams(info *FuncInfo) map[int]bool {
+	if info == nil {
+		return nil
+	}
+	if m, ok := ip.writeMemo[info]; ok {
+		return m
+	}
+	m := map[int]bool{}
+	ip.writeMemo[info] = m // cycle guard
+	if info.SyncsFile {
+		return m // the function implements its own durability
+	}
+	for i := range info.WriteParams {
+		m[i] = true
+	}
+	inf := info.Pkg.TypesInfo
+	for _, c := range info.Calls {
+		sub := ip.DurableWriteParams(ip.ByFunc[funcKey(c.Callee)])
+		for argIdx := range sub {
+			if argIdx >= len(c.Call.Args) {
+				continue
+			}
+			for pi, p := range info.paramObjs {
+				if p != nil && usesVar(inf, c.Call.Args[argIdx], p) {
+					m[pi] = true
+				}
+			}
+		}
+	}
+	return m
+}
+
+// staticCallee resolves call to a declared function or concrete method,
+// or nil for dynamic/interface/builtin calls.
+func staticCallee(inf *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := objOf(inf, id).(*types.Func)
+	return fn
+}
+
+// flagsCreateOrTruncate reports whether an os.OpenFile flag expression
+// contains O_CREATE or O_TRUNC. A flag value the analyzer cannot read (a
+// variable, a call) is conservatively treated as creating.
+func flagsCreateOrTruncate(inf *types.Info, e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.BinaryExpr:
+		return flagsCreateOrTruncate(inf, e.X) || flagsCreateOrTruncate(inf, e.Y)
+	case *ast.SelectorExpr:
+		if c, ok := objOf(inf, e.Sel).(*types.Const); ok {
+			return c.Name() == "O_CREATE" || c.Name() == "O_TRUNC"
+		}
+	case *ast.Ident:
+		if c, ok := objOf(inf, e).(*types.Const); ok {
+			return c.Name() == "O_CREATE" || c.Name() == "O_TRUNC"
+		}
+	case *ast.BasicLit:
+		return false
+	}
+	return true // unreadable flags: assume the worst
+}
+
+// isMutexExpr reports whether e is a sync.Mutex or sync.RWMutex (or a
+// pointer to one), including promoted/embedded fields accessed directly.
+func isMutexExpr(inf *types.Info, e ast.Expr) bool {
+	t := inf.TypeOf(e)
+	return isNamed(t, "sync", "Mutex") || isNamed(t, "sync", "RWMutex")
+}
+
+// isFileType matches *os.File.
+func isFileType(t types.Type) bool { return isNamed(t, "os", "File") }
+
+// isDoneCall reports whether e is a call to a Done() method — the
+// context cancellation channel.
+func isDoneCall(inf *types.Info, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	return ok && sel.Sel.Name == "Done" && len(call.Args) == 0
+}
+
+// renderKey produces a stable identity for a channel / WaitGroup / mutex
+// expression so uses in different functions can be matched:
+//
+//   - a field chain rooted in a named type renders as "Type.field"
+//     (p.wg on *Pool -> "Pool.wg"), so the worker's p.wg.Done matches
+//     Close's p.wg.Wait even though p differs;
+//   - a plain variable renders as its declaration position, so a local
+//     channel captured by a closure matches receives in the same
+//     function and nothing else.
+func renderKey(inf *types.Info, e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if o := objOf(inf, e); o != nil {
+			if o.Pkg() != nil && o.Parent() == o.Pkg().Scope() {
+				return o.Pkg().Path() + "." + o.Name() // package-level var
+			}
+			return "local@" + itoa(int(o.Pos()))
+		}
+		return e.Name
+	case *ast.SelectorExpr:
+		if n := namedOf(inf.TypeOf(e.X)); n != nil && n.Obj() != nil {
+			owner := n.Obj().Name()
+			if n.Obj().Pkg() != nil {
+				owner = n.Obj().Pkg().Path() + "." + owner
+			}
+			return owner + "." + e.Sel.Name
+		}
+		return renderKey(inf, e.X) + "." + e.Sel.Name
+	case *ast.CallExpr:
+		return calleeName(e) + "()"
+	case *ast.IndexExpr:
+		return renderKey(inf, e.X) + "[i]"
+	default:
+		return "expr"
+	}
+}
+
+func appendKey(keys []string, inf *types.Info, e ast.Expr) []string {
+	return append(keys, renderKey(inf, e))
+}
+
+// externalBlocking classifies a fully qualified external function name.
+// It returns a description ("" when unknown) and whether the call can
+// block the caller. I/O verbs are both: they block and they touch the
+// disk or network.
+func externalBlocking(full string) (desc string, blocking bool) {
+	if full == "" {
+		return "", false
+	}
+	switch full {
+	case "time.Sleep":
+		return "time.Sleep", true
+	case "(*sync.WaitGroup).Wait":
+		return "sync.WaitGroup.Wait", true
+	}
+	// File and network I/O by package + name. The receiver spelling in
+	// FullName is "(*os.File).Write" / "(net.Conn).Read".
+	ioTables := []struct{ prefix, names string }{
+		{"os.", "Create CreateTemp Open OpenFile ReadFile WriteFile Rename Remove RemoveAll Mkdir MkdirAll MkdirTemp ReadDir Stat Lstat Truncate Chtimes Link Symlink"},
+		{"(*os.File).", "Read ReadAt ReadFrom Write WriteAt WriteString WriteTo Sync Close Truncate Seek"},
+		{"io.", "Copy CopyN CopyBuffer ReadAll ReadFull WriteString"},
+		{"(*bufio.Writer).", "Flush ReadFrom Write WriteString WriteByte WriteRune"},
+		{"(*bufio.Reader).", "Read ReadByte ReadBytes ReadLine ReadRune ReadSlice ReadString Peek WriteTo"},
+		{"(*bufio.Scanner).", "Scan"},
+		{"net.", "Dial DialTimeout Listen ListenPacket"},
+		{"net/http.", "Get Head Post PostForm Serve ListenAndServe ListenAndServeTLS"},
+		{"(*net/http.Client).", "Do Get Head Post PostForm"},
+		{"(net.Conn).", "Read Write Close"},
+		{"(net.Listener).", "Accept Close"},
+		{"(*os/exec.Cmd).", "Run Output CombinedOutput Start Wait"},
+		{"(*compress/gzip.Writer).", "Write Close Flush"},
+		{"(*compress/flate.Writer).", "Write Close Flush"},
+		{"(*compress/zlib.Writer).", "Write Close Flush"},
+		{"(*encoding/json.Encoder).", "Encode"},
+		{"(*encoding/json.Decoder).", "Decode"},
+	}
+	for _, tbl := range ioTables {
+		rest, ok := strings.CutPrefix(full, tbl.prefix)
+		if !ok {
+			continue
+		}
+		for _, n := range strings.Fields(tbl.names) {
+			if rest == n {
+				kind := "file I/O"
+				if strings.HasPrefix(tbl.prefix, "net") || strings.Contains(tbl.prefix, "http") {
+					kind = "network I/O"
+				}
+				return kind + " (" + full + ")", true
+			}
+		}
+	}
+	return "", false
+}

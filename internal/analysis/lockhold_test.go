@@ -1,0 +1,12 @@
+package analysis
+
+import "testing"
+
+// TestLockHoldFixture proves the analyzer flags blocking operations
+// inside held critical sections — directly and through a callee whose
+// summary blocks — and accepts compute-only sections, post-release
+// sends, sync.Cond.Wait, and Lock/Unlock pairs inside deferred closure
+// bodies (which are bounded pairs, not defer-held locks).
+func TestLockHoldFixture(t *testing.T) {
+	runFixture(t, LockHold, "lockholdfix")
+}

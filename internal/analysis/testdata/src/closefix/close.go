@@ -3,7 +3,10 @@
 package closefix
 
 import (
+	"bufio"
+	"compress/flate"
 	"compress/gzip"
+	"compress/zlib"
 	"fmt"
 	"io"
 	"os"
@@ -26,6 +29,39 @@ func BadGzip(w io.Writer, data []byte) error {
 	defer zw.Close() // want "defer zw.Close discards the Close error of a gzip writer"
 	_, err := zw.Write(data)
 	return err
+}
+
+// BadFlate loses the final block flush of a flate stream.
+func BadFlate(w io.Writer, data []byte) error {
+	fw, _ := flate.NewWriter(w, flate.DefaultCompression)
+	defer fw.Close() // want "defer fw.Close discards the Close error of a flate writer"
+	_, err := fw.Write(data)
+	return err
+}
+
+// BadZlib loses the checksum trailer of a zlib stream.
+func BadZlib(w io.Writer, data []byte) error {
+	zw := zlib.NewWriter(w)
+	defer zw.Close() // want "defer zw.Close discards the Close error of a zlib writer"
+	_, err := zw.Write(data)
+	return err
+}
+
+// BadFlush loses the last buffered chunk of a bufio writer.
+func BadFlush(w io.Writer, data []byte) error {
+	bw := bufio.NewWriter(w)
+	defer bw.Flush() // want "defer bw.Flush discards the Flush error of a bufio writer"
+	_, err := bw.Write(data)
+	return err
+}
+
+// OkFlush flushes explicitly and propagates the error.
+func OkFlush(w io.Writer, data []byte) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(data); err != nil {
+		return err
+	}
+	return bw.Flush()
 }
 
 // BadOpenFile opens for writing via flags.

@@ -1,0 +1,106 @@
+// Package durablefix exercises the durability analyzer: bytes landing
+// under journal/spool/checkpoint paths must flow through an fsync'ing
+// writer (the AtomicWrite shape), never a plain os.WriteFile, os.Create
+// or creating os.OpenFile.
+package durablefix
+
+import (
+	"os"
+	"path/filepath"
+)
+
+type journal struct {
+	dir string
+}
+
+// --- positive: plain WriteFile straight into the journal dir — a crash
+// can tear the file the journal will later trust.
+
+func (j *journal) record(name string, data []byte) error {
+	return os.WriteFile(filepath.Join(j.dir, name), data, 0o644) // want "writes under a durable path without fsync"
+}
+
+// --- positive, interprocedural: writeInto is oblivious — nothing about
+// it names durable storage, and in isolation it raises nothing. The
+// finding lands on the call site that hands it a durable path, which
+// the intraprocedural analyzers of PR 5 could never connect.
+
+func (j *journal) spill(names []string) error {
+	for _, n := range names {
+		if err := writeInto(j.dir, n); err != nil { // want "durable path passed to writeInto"
+			return err
+		}
+	}
+	return nil
+}
+
+func writeInto(dir, name string) error {
+	return os.WriteFile(filepath.Join(dir, name), nil, 0o644)
+}
+
+// --- negative: the sanctioned shape — temp file, fsync, rename. The
+// Sync call marks every write in this function as carrying its own
+// durability.
+
+func (j *journal) atomicSave(name string, data []byte) error {
+	f, err := os.CreateTemp(j.dir, name+".tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(f.Name(), filepath.Join(j.dir, name))
+}
+
+// --- negative: an append-only reopen of the WAL replaces no bytes; the
+// appends that follow carry their own Sync.
+
+func (j *journal) reopen(walPath string) (*os.File, error) {
+	return os.OpenFile(walPath, os.O_WRONLY|os.O_APPEND, 0o644)
+}
+
+// --- positive: creating or truncating the WAL without fsync machinery.
+
+func initWAL(walPath string) error {
+	f, err := os.OpenFile(walPath, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644) // want "os.OpenFile writes under a durable path"
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// --- negative: scratch paths are not durable.
+
+func scratch(tmpDir string, data []byte) error {
+	return os.WriteFile(filepath.Join(tmpDir, "scratch.bin"), data, 0o644)
+}
+
+// --- positive: the durable root propagates through locals.
+
+func stage(j *journal, data []byte) error {
+	dir := j.dir
+	target := filepath.Join(dir, "staged")
+	f, err := os.Create(target) // want "os.Create writes under a durable path"
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = f.Write(data)
+	return err
+}
+
+// --- suppression: a reasoned ignore is the documented escape hatch.
+
+func (j *journal) debugDump(data []byte) error {
+	//gsnplint:ignore durability scratch debug dump, never read back after a crash
+	return os.WriteFile(filepath.Join(j.dir, "debug.txt"), data, 0o644)
+}

@@ -1,0 +1,99 @@
+// Package lockholdfix exercises the lockhold analyzer: a mutex must not
+// be held across a blocking operation — a channel op, a Wait, file or
+// network I/O — directly in the critical section or inside any function
+// the critical section calls.
+package lockholdfix
+
+import (
+	"os"
+	"sync"
+)
+
+type server struct {
+	mu    sync.Mutex
+	state map[string]int
+	out   chan int
+}
+
+// --- positive: direct channel send under the lock.
+
+func (s *server) publish(v int) {
+	s.mu.Lock()
+	s.state["last"] = v
+	s.out <- v // want "send on .* while holding mutex"
+	s.mu.Unlock()
+}
+
+// --- positive, interprocedural: the blocking write hides one call
+// down. dump alone is fine; holding s.mu across it is the defect, and
+// only the callee's summary reveals it.
+
+func (s *server) snapshot(path string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dump(path) // want "call to dump, which does file I/O .* while holding mutex"
+}
+
+func (s *server) dump(path string) error {
+	return os.WriteFile(path, []byte("state"), 0o600)
+}
+
+// --- negative: compute-only critical section.
+
+func (s *server) bump(k string) {
+	s.mu.Lock()
+	s.state[k]++
+	s.mu.Unlock()
+}
+
+// --- negative: the send happens after the release.
+
+func (s *server) release(v int) {
+	s.mu.Lock()
+	s.state["last"] = v
+	s.mu.Unlock()
+	s.out <- v
+}
+
+// --- negative: sync.Cond.Wait releases the mutex while parked.
+
+type queue struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	n    int
+}
+
+func (q *queue) pop() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.n == 0 {
+		q.cond.Wait()
+	}
+	q.n--
+	return q.n
+}
+
+// --- negative: a Lock/Unlock pair inside a deferred closure is a
+// bounded pair that runs at return — it must not be read as a lock held
+// over the body below the defer statement.
+
+func (s *server) recoverThenWait(f func()) int {
+	defer func() {
+		if r := recover(); r != nil {
+			s.mu.Lock()
+			s.state["panics"]++
+			s.mu.Unlock()
+		}
+	}()
+	f()
+	return <-s.out
+}
+
+// --- suppression: a reasoned ignore is the documented escape hatch.
+
+func (s *server) deliver(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	//gsnplint:ignore lockhold s.out is buffered to the job's task count; the send cannot block
+	s.out <- v
+}

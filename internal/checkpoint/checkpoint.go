@@ -183,6 +183,7 @@ func (w *Writer) Complete(name, outPath string, sites int) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	w.m.Done[name] = Entry{Output: filepath.Base(outPath), SHA256: digest, Sites: sites}
+	//gsnplint:ignore lockhold w.mu exists to serialize manifest read-modify-write saves; the atomic rewrite must stay inside it, and Complete runs once per chromosome, not per record
 	return w.saveLocked()
 }
 

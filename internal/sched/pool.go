@@ -184,6 +184,7 @@ func (p *Pool[R, L]) worker(w int) {
 			pol.ContinueOnError = true // job isolation; failures never cancel siblings
 			v, err, attempts, panicked := execute(j.ctx, &pol, idx, j.tasks[idx], local)
 			p.mu.Lock()
+			//gsnplint:ignore lockhold each job's results channel is buffered to its full task count, so deliverLocked's send can never block
 			p.deliverLocked(j, JobResult[R]{Index: idx, Result: Result[R]{
 				Name: j.tasks[idx].Name, Value: v, Err: err,
 				Wall: time.Since(t0), Worker: w, Attempts: attempts, Panicked: panicked,
@@ -249,6 +250,7 @@ func (p *Pool[R, L]) cancelJob(j *poolJob[R, L], cause error) {
 	for j.next < len(j.tasks) {
 		idx := j.next
 		j.next++
+		//gsnplint:ignore lockhold each job's results channel is buffered to its full task count, so deliverLocked's send can never block
 		p.deliverLocked(j, JobResult[R]{Index: idx, Result: Result[R]{
 			Name: j.tasks[idx].Name, Err: cause, Worker: -1, Skipped: true,
 		}})

@@ -808,7 +808,11 @@ func spoolInputs(dir string, spec *JobSpec) error {
 			files = append(files, spoolFile{in.Name + ".snp", in.SNP})
 		}
 		for _, f := range files {
-			if err := os.WriteFile(filepath.Join(dir, f.name), []byte(f.content), 0o644); err != nil {
+			// The spool dir outlives a crash when journaling is on: recovery
+			// replays the job from these files, so a torn spool input must
+			// not be possible. AtomicWrite (temp + fsync + rename) leaves
+			// either the whole input or nothing.
+			if err := checkpoint.AtomicWrite(filepath.Join(dir, f.name), []byte(f.content)); err != nil {
 				return err
 			}
 		}
